@@ -1,0 +1,63 @@
+"""Extension: the deadline policy's cost-vs-deadline frontier.
+
+Sweeps the target deadline on one Table I workload and reports charging
+units consumed; the frontier should be monotone — slack converts to
+savings — with wire and full-site as unconstrained reference points.
+"""
+
+from __future__ import annotations
+
+from repro.autoscalers import DeadlineAutoscaler, WireAutoscaler, full_site
+from repro.cloud import exogeni_site
+from repro.engine import Simulation
+from repro.experiments import default_transfer_model
+from repro.util.formatting import render_table
+from repro.workloads import pagerank
+
+
+def run_frontier():
+    site = exogeni_site()
+    spec = pagerank("S")
+
+    def run_one(factory):
+        return Simulation(
+            spec.generate(0),
+            site,
+            factory(),
+            60.0,
+            transfer_model=default_transfer_model(),
+            seed=0,
+        ).run()
+
+    static = run_one(lambda: full_site(site))
+    rows = [("full-site (reference)", static.makespan, static.total_units, True)]
+    for multiple in (1.5, 2.5, 4.0, 8.0):
+        deadline = static.makespan * multiple
+        result = run_one(lambda: DeadlineAutoscaler(deadline))
+        rows.append(
+            (
+                f"deadline {multiple:.1f}x best",
+                result.makespan,
+                result.total_units,
+                result.makespan <= deadline,
+            )
+        )
+    wire = run_one(WireAutoscaler)
+    rows.append(("wire (unconstrained)", wire.makespan, wire.total_units, True))
+    return rows
+
+
+def test_deadline_frontier(benchmark, save_report):
+    rows = benchmark.pedantic(run_frontier, rounds=1, iterations=1)
+    save_report(
+        "deadline_frontier",
+        render_table(
+            ["policy", "makespan", "units", "deadline met"],
+            [[name, f"{span:.0f}s", units, met] for name, span, units, met in rows],
+            title="Extension — cost vs deadline frontier (PageRank S, u = 1 min)",
+        ),
+    )
+    deadline_rows = rows[1:-1]
+    assert all(met for _, _, _, met in deadline_rows), "every deadline must be met"
+    units = [u for _, _, u, _ in deadline_rows]
+    assert units == sorted(units, reverse=True) or len(set(units)) == 1

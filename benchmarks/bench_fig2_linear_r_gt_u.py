@@ -1,0 +1,34 @@
+"""Figure 2: steering-policy performance on linear stages with R > U.
+
+For N in {10, 100, 1000} and growing R/U, reports the policy's resource
+usage and completion time relative to optimal. Expected shape (paper
+§IV-A): both ratios bounded (~1.33x cost, ~1.67x time) and approaching
+1.0 as R/U reaches 400+.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import sweep_r_over_u
+from repro.experiments.report import render_linear
+
+RATIOS = [1.5, 2, 5, 10, 40, 100, 400, 1000]
+
+
+def _run_all():
+    return {n: sweep_r_over_u(n, RATIOS) for n in (10, 100, 1000)}
+
+
+def test_fig2_r_over_u(benchmark, save_report):
+    by_n = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    sections = [
+        render_linear(results, title=f"Figure 2 — R > U, N = {n}")
+        for n, results in by_n.items()
+    ]
+    save_report("fig2_linear_r_gt_u", "\n\n".join(sections))
+    for results in by_n.values():
+        # The paper's stated bounds.
+        assert all(r.cost_ratio <= 1.40 for r in results)
+        assert all(r.time_ratio <= 1.72 for r in results)
+        # Approach optimal at the extreme.
+        assert results[-1].cost_ratio < 1.05
+        assert results[-1].time_ratio < 1.05

@@ -1,0 +1,31 @@
+"""Figure 3: steering-policy performance on linear stages with R <= U.
+
+For N in {10, 100, 1000} and growing U/R, reports cost and completion
+ratios. Expected shape (paper §IV-A): "the scaling algorithm may deviate
+widely from optimal behavior along either metric" — elastic agility is
+inherently limited when the charging unit dwarfs task runtimes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import sweep_u_over_r
+from repro.experiments.report import render_linear
+
+RATIOS = [1, 2, 5, 10, 100, 1000]
+
+
+def _run_all():
+    return {n: sweep_u_over_r(n, RATIOS) for n in (10, 100, 1000)}
+
+
+def test_fig3_u_over_r(benchmark, save_report):
+    by_n = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    sections = [
+        render_linear(results, title=f"Figure 3 — R <= U, N = {n}")
+        for n, results in by_n.items()
+    ]
+    save_report("fig3_linear_r_le_u", "\n\n".join(sections))
+    for n, results in by_n.items():
+        # Wide deviation at the extremes, unlike Figure 2.
+        assert max(r.time_ratio for r in results) > 5.0
+        assert max(r.cost_ratio for r in results) > 1.5

@@ -1,0 +1,33 @@
+"""Figure 6: relative execution time across settings and charging units.
+
+Normalizes each (workflow, policy, u) cell's mean makespan to the best
+mean across all of the workflow's cells (§IV-E). Expected shape:
+full-site defines 1.00x nearly everywhere; wire trades bounded slowdown
+for its Figure 5 cost advantage, with its best slowdowns at small u.
+
+Reuses the Figure 5 matrix (same runs, as in the paper).
+"""
+
+from __future__ import annotations
+
+from bench_fig5_resource_cost import full_matrix
+
+from repro.experiments import relative_execution_table
+from repro.experiments.report import render_relative_time
+
+
+def test_fig6_relative_time(benchmark, save_report):
+    cells = benchmark.pedantic(full_matrix, rounds=1, iterations=1)
+    save_report("fig6_relative_time", render_relative_time(cells))
+
+    rows = relative_execution_table(cells)
+    wire_rows = [r for r in rows if r[1] == "wire"]
+    static_rows = [r for r in rows if r[1] == "full-site"]
+
+    # Full-site is (near-)best everywhere.
+    assert all(rel <= 1.05 for _, _, _, rel, _ in static_rows)
+    # Wire's slowdown stays within a bounded factor across the matrix
+    # (paper: 1.02x-3.57x on its testbed; our faster simulated substrate
+    # stretches the worst cells — see EXPERIMENTS.md).
+    assert all(rel < 12.0 for _, _, _, rel, _ in wire_rows)
+    assert min(rel for _, _, _, rel, _ in wire_rows) < 2.0

@@ -1,0 +1,25 @@
+"""Table I: regenerate the workflow characterization.
+
+Prints the paper's Table I columns (stages, task totals, per-stage ranges,
+aggregate hours) for every generated workload next to the published
+targets, and benchmarks workload generation itself.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table1_experiment
+from repro.experiments.report import render_table1
+from repro.workloads import table1_specs
+
+
+def test_table1_characterization(benchmark, save_report):
+    rows = benchmark.pedantic(table1_experiment, args=(0,), rounds=1, iterations=1)
+    save_report("table1", render_table1(rows))
+    assert all(r.counts_match for r in rows)
+
+
+def test_generation_speed_genome_L(benchmark):
+    """Generating the largest workflow (4005 tasks) should be cheap."""
+    spec = table1_specs()["genome-L"]
+    workflow = benchmark(spec.generate, 0)
+    assert len(workflow) == 4005

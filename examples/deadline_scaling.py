@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Meet a deadline at minimum cost (the deadline extension policy).
+
+Runs the Montage mosaic workflow under the `DeadlineAutoscaler` — an
+extension that reuses WIRE's online prediction stack but steers toward a
+target makespan instead of a utilization bar — across a range of
+deadlines, next to plain WIRE and static peak provisioning. Run with:
+
+    python examples/deadline_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro.autoscalers import DeadlineAutoscaler, WireAutoscaler, full_site
+from repro.cloud import exogeni_site
+from repro.engine import ExponentialTransferModel, Simulation
+from repro.util.formatting import format_duration, render_table
+from repro.workloads import montage
+
+
+def main() -> None:
+    site = exogeni_site()
+    charging_unit = 60.0
+    transfers = ExponentialTransferModel(bandwidth=5e7, latency=2.0)
+
+    def run(factory):
+        return Simulation(
+            montage("L", seed=4),
+            site,
+            factory(),
+            charging_unit,
+            transfer_model=transfers,
+            seed=4,
+        ).run()
+
+    static = run(lambda: full_site(site))
+    rows = [
+        [
+            "full-site",
+            "-",
+            format_duration(static.makespan),
+            static.total_units,
+            "-",
+        ]
+    ]
+    for multiple, initial in ((1.5, 12), (3.0, 1), (6.0, 1)):
+        deadline = static.makespan * multiple
+        result = run(
+            lambda: DeadlineAutoscaler(deadline, initial_instances=initial)
+        )
+        rows.append(
+            [
+                f"deadline (start {initial})",
+                format_duration(deadline),
+                format_duration(result.makespan),
+                result.total_units,
+                "yes" if result.makespan <= deadline else "MISSED",
+            ]
+        )
+    wire = run(WireAutoscaler)
+    rows.append(
+        ["wire", "-", format_duration(wire.makespan), wire.total_units, "-"]
+    )
+
+    print(
+        render_table(
+            ["policy", "deadline", "makespan", "units", "met"],
+            rows,
+            title="Montage L: the cost-vs-deadline frontier (u = 1 minute)",
+        )
+    )
+    print(
+        "\nA deadline tighter than the cold-start floor (one instance plus "
+        "a provisioning lag of ramp-up) needs a larger initial pool — the "
+        "initial_instances knob. "
+        "Slack deadlines let the controller ride WIRE's utilization-first "
+        "behaviour. The deadline arithmetic includes a markup of one "
+        "provisioning lag per still-undiscovered stage, because online "
+        "prediction knows nothing about a stage until it fires (§III-E)."
+    )
+
+
+if __name__ == "__main__":
+    main()

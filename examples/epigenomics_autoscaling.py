@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""The paper's headline scenario: Epigenomics on an elastic ExoGENI site.
+
+Runs the Genome S workflow (405 tasks, 8 stages — paper Table I) under all
+four §IV-C resource-management settings and two charging units, printing a
+miniature of Figures 5 and 6 plus an ASCII pool-size timeline for the wire
+run. Run with:
+
+    python examples/epigenomics_autoscaling.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import default_transfer_model, policy_factories, run_setting
+from repro.util.formatting import format_duration, render_table
+from repro.workloads import epigenomics
+
+
+def pool_ascii(timeline, makespan, width=72, height=12):
+    """Render (time, pool size) steps as a small ASCII chart."""
+    if not timeline:
+        return "(no pool changes)"
+    peak = max(c for _, c in timeline)
+    columns = []
+    for x in range(width):
+        t = makespan * x / (width - 1)
+        size = 0
+        for time, count in timeline:
+            if time <= t:
+                size = count
+            else:
+                break
+        columns.append(size)
+    lines = []
+    for level in range(peak, 0, -1):
+        row = "".join("#" if c >= level else " " for c in columns)
+        lines.append(f"{level:3d} |{row}")
+    lines.append("    +" + "-" * width)
+    lines.append(f"     0 {'time ->':^{width - 14}} {format_duration(makespan)}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    spec = epigenomics("S")
+    factories = policy_factories()
+    charging_units = (60.0, 1800.0)  # 1 and 30 minutes
+
+    results = {}
+    for policy_name, factory in factories.items():
+        for u in charging_units:
+            results[(policy_name, u)] = run_setting(
+                spec, factory, u, seed=7, transfer_model=default_transfer_model()
+            )
+
+    best = min(r.makespan for r in results.values())
+    rows = [
+        [
+            name,
+            int(u // 60),
+            format_duration(r.makespan),
+            f"{r.makespan / best:.2f}x",
+            r.total_units,
+            r.peak_instances,
+            r.restarts,
+        ]
+        for (name, u), r in sorted(results.items())
+    ]
+    print(
+        render_table(
+            ["policy", "u (min)", "makespan", "relative", "units", "peak", "restarts"],
+            rows,
+            title="Genome S across settings (mini Figures 5/6)",
+        )
+    )
+
+    wire = results[("wire", 60.0)]
+    print("\nwire run pool size over time (u = 1 minute):\n")
+    print(pool_ascii(wire.pool_timeline, wire.makespan))
+    print(
+        "\nThe pool ramps up for the wide per-chunk stages, then collapses "
+        "to one instance for the serial merge/index/pileup tail — exactly "
+        "the §III-E behaviour."
+    )
+
+
+if __name__ == "__main__":
+    main()

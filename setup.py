@@ -1,0 +1,23 @@
+"""Setup shim.
+
+The execution environment is offline and has no ``wheel`` package, so
+PEP 517 editable installs (which build a wheel) fail. This shim lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path. Metadata mirrors pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of WIRE: Resource-efficient Scaling with Online "
+        "Prediction for DAG-based Workflows (CLUSTER 2021)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

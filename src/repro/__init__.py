@@ -1,0 +1,19 @@
+"""repro — a reproduction of WIRE (CLUSTER 2021).
+
+WIRE manages cloud resources for DAG-based workflows through a MAPE loop:
+it learns task performance online, simulates the workflow ahead of
+execution to predict upcoming load, and steers an elastic worker-instance
+pool for maximal parallelism at bounded cost.
+
+Public API highlights
+---------------------
+- :mod:`repro.dag` — tasks, stages, validated workflow DAGs
+- :mod:`repro.cloud` — simulated IaaS substrate (instances, billing, lag)
+- :mod:`repro.engine` — discrete-event workflow execution engine
+- :mod:`repro.core` — the WIRE controller (predictor, lookahead, steering)
+- :mod:`repro.autoscalers` — WIRE plus the paper's baseline policies
+- :mod:`repro.workloads` — Table I workload generators
+- :mod:`repro.experiments` — regenerates every table and figure of §IV
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,29 @@
+"""Pool-sizing policies: WIRE plus the paper's baselines.
+
+The four settings of §IV-C map to:
+
+- *full-site*  -> :func:`full_site` / :class:`StaticAutoscaler`
+- *pure-reactive* -> :class:`PureReactiveAutoscaler`
+- *reactive-conserving* -> :class:`ReactiveConservingAutoscaler`
+- *wire* -> :class:`WireAutoscaler`
+
+:class:`OracleAutoscaler` (clairvoyant WIRE) and
+:class:`DeadlineAutoscaler` (meet a deadline at minimum cost, on WIRE's
+prediction stack) are extensions beyond the paper.
+"""
+
+from repro.autoscalers.conserving import ReactiveConservingAutoscaler
+from repro.autoscalers.deadline import DeadlineAutoscaler
+from repro.autoscalers.reactive import PureReactiveAutoscaler
+from repro.autoscalers.static import StaticAutoscaler, full_site
+from repro.autoscalers.wire import OracleAutoscaler, WireAutoscaler
+
+__all__ = [
+    "DeadlineAutoscaler",
+    "OracleAutoscaler",
+    "PureReactiveAutoscaler",
+    "ReactiveConservingAutoscaler",
+    "StaticAutoscaler",
+    "WireAutoscaler",
+    "full_site",
+]

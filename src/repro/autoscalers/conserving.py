@@ -1,0 +1,54 @@
+"""Reactive-conserving autoscaling (paper §IV-C setting 4).
+
+"Elastic settings ruled by the active tasks and the resource steering
+policy. At run time, we predict the load according to the number of
+idle/running tasks and add/delete resources according to the resource
+steering policy."
+
+The growth signal is the same instantaneous task count pure-reactive uses,
+but releases follow Algorithm 2's conserving rules: only when an
+instance's charging unit is about to expire (``r_j <= lag``) and the
+restart cost is below the threshold, with the release placed exactly at
+the charge boundary. It lacks WIRE's lookahead — it cannot anticipate a
+stage firing or distinguish long tasks from short ones.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.steering import SteerableInstance, SteeringPolicy
+from repro.engine.control import Autoscaler, Observation, ScalingDecision
+
+__all__ = ["ReactiveConservingAutoscaler"]
+
+
+class ReactiveConservingAutoscaler(Autoscaler):
+    """Instantaneous-load target + Algorithm 2's conserving releases."""
+
+    name = "reactive-conserving"
+
+    def __init__(self, restart_threshold_fraction: float = 0.2) -> None:
+        self._steering = SteeringPolicy(restart_threshold_fraction)
+
+    def plan(self, obs: Observation) -> ScalingDecision:
+        slots = obs.site.itype.slots
+        target = math.ceil(obs.runnable_task_count() / slots)
+        instances = [
+            SteerableInstance(
+                instance_id=i.instance_id,
+                time_to_next_charge=obs.billing.time_to_next_charge(i, obs.now),
+                restart_cost=obs.restart_cost(i),
+            )
+            for i in obs.steerable_instances()
+        ]
+        return self._steering.decide_with_target(
+            target=target,
+            now=obs.now,
+            instances=instances,
+            pending_count=len(obs.pool.pending()),
+            charging_unit=obs.charging_unit,
+            lag=obs.lag,
+            min_instances=max(1, obs.site.min_instances),
+            max_instances=obs.site.max_instances,
+        )

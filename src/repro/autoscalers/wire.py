@@ -1,0 +1,57 @@
+"""WIRE as an autoscaler, plus the clairvoyant oracle variant.
+
+:class:`WireAutoscaler` is a thin alias over
+:class:`~repro.core.mape.MapeController` so experiment code can import
+every policy from one package.
+
+:class:`OracleAutoscaler` is an *extension* beyond the paper: the same
+MAPE pipeline (lookahead + Algorithms 2/3) driven by a predictor that
+reads the ground-truth nominal runtimes instead of learning them online.
+The gap between oracle and wire isolates how much cost/performance is
+attributable to prediction error versus the steering policy itself.
+"""
+
+from __future__ import annotations
+
+from repro.core.mape import MapeController
+from repro.core.predictor import TaskPredictor
+from repro.core.runstate import PredictionPolicy
+from repro.dag.workflow import Workflow
+from repro.engine.master import TaskExecState
+from repro.engine.monitor import Monitor
+
+__all__ = ["OracleAutoscaler", "WireAutoscaler"]
+
+
+class WireAutoscaler(MapeController):
+    """The paper's system, unchanged (exists for import symmetry)."""
+
+    name = "wire"
+
+
+class _ClairvoyantPredictor(TaskPredictor):
+    """A predictor that returns each task's true nominal execution time.
+
+    Transfer estimates remain the observed median — transfers are drawn
+    memorylessly, so the median of observations is the best available
+    estimate even with full knowledge of the model.
+    """
+
+    def estimate_execution(
+        self,
+        task_id: str,
+        phase: TaskExecState,
+        monitor: Monitor,
+        now: float,
+        **_: object,
+    ) -> tuple[float, PredictionPolicy]:
+        return self.workflow.task(task_id).runtime, PredictionPolicy.OBSERVED
+
+
+class OracleAutoscaler(MapeController):
+    """WIRE with perfect execution-time predictions (upper reference)."""
+
+    name = "oracle"
+
+    def _make_predictor(self, workflow: Workflow) -> TaskPredictor:
+        return _ClairvoyantPredictor(workflow, self.config)

@@ -1,0 +1,430 @@
+"""Command-line interface.
+
+``python -m repro <command>`` drives the library without writing code:
+
+- ``workloads`` — list the Table I workloads and their published profiles;
+- ``run`` — execute one workload under one policy, with optional SVG
+  pool/Gantt exports;
+- ``compare`` — one workload under all four §IV-C settings;
+- ``table1`` / ``fig2`` / ``fig3`` / ``fig4`` / ``overhead`` — regenerate
+  a paper artifact and print its rows (``fig5``/``fig6`` run the full
+  matrix and accept ``--repetitions``);
+- ``dax export`` / ``dax run`` — write a workload as a Pegasus DAX, or
+  autoscale a DAX file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.cloud import exogeni_site
+from repro.engine.simulator import RunResult, Simulation
+from repro.experiments import (
+    cost_experiment,
+    default_transfer_model,
+    overhead_experiment,
+    policy_factories,
+    prediction_experiment,
+    sweep_r_over_u,
+    sweep_u_over_r,
+    table1_experiment,
+)
+from repro.experiments.report import (
+    render_cost,
+    render_linear,
+    render_overhead,
+    render_prediction,
+    render_relative_time,
+    render_table1,
+)
+from repro.util.formatting import format_duration, render_table
+from repro.workloads import PAPER_PROFILES, table1_specs
+
+__all__ = ["main"]
+
+
+def _workload(name: str):
+    specs = table1_specs()
+    if name not in specs:
+        known = ", ".join(sorted(specs))
+        raise SystemExit(f"unknown workload {name!r}; choose one of: {known}")
+    return specs[name]
+
+
+def _policy(name: str, site):
+    factories = policy_factories(site, include_oracle=True)
+    if name not in factories:
+        known = ", ".join(sorted(factories))
+        raise SystemExit(f"unknown policy {name!r}; choose one of: {known}")
+    return factories[name]
+
+
+def _run(workflow, policy_factory, args) -> RunResult:
+    return Simulation(
+        workflow,
+        exogeni_site(),
+        policy_factory(),
+        args.charging_unit,
+        transfer_model=default_transfer_model(),
+        seed=args.seed,
+    ).run()
+
+
+def _summary_row(result: RunResult) -> list:
+    return [
+        result.autoscaler_name,
+        format_duration(result.makespan),
+        result.total_units,
+        result.peak_instances,
+        f"{result.utilization * 100:.0f}%",
+        result.restarts,
+    ]
+
+
+_SUMMARY_HEADERS = ["policy", "makespan", "units", "peak", "utilization", "restarts"]
+
+
+# ----------------------------------------------------------------------
+# subcommand handlers
+# ----------------------------------------------------------------------
+def cmd_workloads(args: argparse.Namespace) -> int:
+    rows = []
+    for name, profile in sorted(PAPER_PROFILES.items()):
+        rows.append(
+            [
+                name,
+                profile.framework,
+                profile.total_tasks,
+                profile.n_stages,
+                f"{profile.aggregate_exec_hours}h",
+                profile.task_types,
+            ]
+        )
+    print(
+        render_table(
+            ["workload", "framework", "tasks", "stages", "aggregate", "task types"],
+            rows,
+            title="Table I workloads",
+        )
+    )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    site = exogeni_site()
+    workflow = _workload(args.workload).generate(args.seed)
+    controller = None
+    if args.deadline is not None:
+        from repro.autoscalers import DeadlineAutoscaler
+
+        deadline = args.deadline
+        factory = lambda: DeadlineAutoscaler(deadline)  # noqa: E731
+    elif args.explain and args.policy == "wire":
+        from repro.autoscalers import WireAutoscaler
+
+        controller = WireAutoscaler()
+        factory = lambda: controller  # noqa: E731
+    else:
+        factory = _policy(args.policy, site)
+    result = _run(workflow, factory, args)
+    print(
+        render_table(
+            _SUMMARY_HEADERS,
+            [_summary_row(result)],
+            title=f"{args.workload} (u = {args.charging_unit:.0f}s, seed {args.seed})",
+        )
+    )
+    if args.pool_chart:
+        from repro.reporting import pool_ascii
+
+        print()
+        print(pool_ascii(result))
+    if args.explain:
+        if controller is None:
+            print("\n--explain requires --policy wire (without --deadline)")
+        else:
+            print("\nMAPE iterations (what the controller saw and decided):")
+            rows = [
+                [
+                    f"{d.now:.0f}s",
+                    d.upcoming_tasks,
+                    d.pool_before,
+                    d.target_pool,
+                    d.launched,
+                    d.terminated,
+                    f"{d.transfer_estimate:.1f}s",
+                    ", ".join(
+                        f"{policy.name.lower()}:{count}"
+                        for policy, count in sorted(d.policy_counts.items())
+                        if policy.value > 0  # skip OBSERVED
+                    ),
+                ]
+                for d in controller.diagnostics
+            ]
+            print(
+                render_table(
+                    ["tick", "Q", "pool", "target", "+", "-", "t~data",
+                     "prediction policies"],
+                    rows,
+                )
+            )
+    if args.svg:
+        from repro.reporting import gantt_svg, pool_svg, save_svg
+
+        base = Path(args.svg)
+        save_svg(pool_svg(result), base.with_suffix(".pool.svg"))
+        save_svg(gantt_svg(result), base.with_suffix(".gantt.svg"))
+        print(f"\nSVGs written to {base.with_suffix('.pool.svg')} and "
+              f"{base.with_suffix('.gantt.svg')}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    site = exogeni_site()
+    spec = _workload(args.workload)
+    rows = []
+    for name, factory in policy_factories(site, include_oracle=args.oracle).items():
+        result = _run(spec.generate(args.seed), factory, args)
+        rows.append(_summary_row(result))
+    print(
+        render_table(
+            _SUMMARY_HEADERS,
+            rows,
+            title=f"{args.workload} across policies "
+            f"(u = {args.charging_unit:.0f}s)",
+        )
+    )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.dag import (
+        critical_path_length,
+        depth,
+        ideal_parallelism_profile,
+        level_widths,
+    )
+    from repro.workloads import summarize_workflow
+
+    workflow = _workload(args.workload).generate(args.seed)
+    summary = summarize_workflow(workflow)
+    profile = ideal_parallelism_profile(workflow)
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["tasks", summary.total_tasks],
+                ["stages", summary.n_stages],
+                ["DAG depth (levels)", depth(workflow)],
+                ["tasks per stage", f"{summary.min_stage_tasks}-{summary.max_stage_tasks}"],
+                ["stage mean exec (s)", f"{summary.min_stage_mean_exec:.2f}-"
+                 f"{summary.max_stage_mean_exec:.2f}"],
+                ["aggregate execution", f"{summary.aggregate_exec_hours:.3f}h"],
+                ["critical path", format_duration(critical_path_length(workflow))],
+                ["ideal peak parallelism", profile.peak],
+                ["total input data", f"{summary.total_input_gb:.2f} GB"],
+            ],
+            title=f"{args.workload} (seed {args.seed})",
+        )
+    )
+    # A compact width histogram over DAG levels.
+    widths = level_widths(workflow)
+    peak = max(widths)
+    print("\nparallelism by DAG level (each # ~ tasks):")
+    for index, width in enumerate(widths):
+        bar = "#" * max(1, round(40 * width / peak))
+        print(f"  level {index:2d} {width:5d} |{bar}")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    print(render_table1(table1_experiment(seed=args.seed)))
+    return 0
+
+
+def cmd_fig2(args: argparse.Namespace) -> int:
+    ratios = [1.5, 2, 5, 10, 40, 100, 400]
+    for n in args.n_tasks:
+        print(render_linear(sweep_r_over_u(n, ratios), title=f"Figure 2 — N = {n}"))
+        print()
+    return 0
+
+
+def cmd_fig3(args: argparse.Namespace) -> int:
+    ratios = [1, 2, 5, 10, 100, 1000]
+    for n in args.n_tasks:
+        print(render_linear(sweep_u_over_r(n, ratios), title=f"Figure 3 — N = {n}"))
+        print()
+    return 0
+
+
+def cmd_fig4(args: argparse.Namespace) -> int:
+    workflows = None
+    if args.workloads:
+        workflows = {
+            name: _workload(name).generate(args.seed) for name in args.workloads
+        }
+    results = prediction_experiment(
+        workflows, n_orders=args.orders, seed=args.seed
+    )
+    print(render_prediction(results))
+    return 0
+
+
+def cmd_fig5(args: argparse.Namespace) -> int:
+    specs = None
+    if args.workloads:
+        specs = {name: _workload(name) for name in args.workloads}
+    cells = cost_experiment(specs, repetitions=args.repetitions, seed=args.seed)
+    print(render_cost(cells))
+    print()
+    print(render_relative_time(cells))
+    return 0
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    print(render_overhead(overhead_experiment(seed=args.seed)))
+    return 0
+
+
+def cmd_dax_export(args: argparse.Namespace) -> int:
+    from repro.dag.dax import write_dax_file
+
+    workflow = _workload(args.workload).generate(args.seed)
+    write_dax_file(workflow, args.out)
+    print(f"wrote {len(workflow)} jobs to {args.out}")
+    return 0
+
+
+def cmd_dax_run(args: argparse.Namespace) -> int:
+    from repro.dag.dax import read_dax_file
+
+    site = exogeni_site()
+    workflow = read_dax_file(args.file)
+    result = _run(workflow, _policy(args.policy, site), args)
+    print(
+        render_table(
+            _SUMMARY_HEADERS,
+            [_summary_row(result)],
+            title=f"{args.file} (u = {args.charging_unit:.0f}s)",
+        )
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--charging-unit",
+        type=float,
+        default=60.0,
+        help="billing unit in seconds (paper: 60/900/1800/3600)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="run seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WIRE (CLUSTER 2021) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list Table I workloads").set_defaults(
+        handler=cmd_workloads
+    )
+
+    run = sub.add_parser("run", help="run one workload under one policy")
+    run.add_argument("workload")
+    run.add_argument("--policy", default="wire")
+    run.add_argument(
+        "--deadline",
+        type=float,
+        help="use the deadline extension policy targeting this many seconds",
+    )
+    run.add_argument(
+        "--pool-chart", action="store_true", help="print an ASCII pool chart"
+    )
+    run.add_argument(
+        "--explain",
+        action="store_true",
+        help="print per-tick MAPE diagnostics (wire policy only)",
+    )
+    run.add_argument("--svg", help="basename for SVG pool/Gantt exports")
+    _add_common_run_args(run)
+    run.set_defaults(handler=cmd_run)
+
+    compare = sub.add_parser("compare", help="run all policies on one workload")
+    compare.add_argument("workload")
+    compare.add_argument(
+        "--oracle", action="store_true", help="include the clairvoyant oracle"
+    )
+    _add_common_run_args(compare)
+    compare.set_defaults(handler=cmd_compare)
+
+    analyze = sub.add_parser("analyze", help="structural analysis of a workload")
+    analyze.add_argument("workload")
+    analyze.add_argument("--seed", type=int, default=0)
+    analyze.set_defaults(handler=cmd_analyze)
+
+    table1 = sub.add_parser("table1", help="regenerate Table I")
+    table1.add_argument("--seed", type=int, default=0)
+    table1.set_defaults(handler=cmd_table1)
+
+    for name, handler in (("fig2", cmd_fig2), ("fig3", cmd_fig3)):
+        fig = sub.add_parser(name, help=f"regenerate Figure {name[-1]}")
+        fig.add_argument(
+            "--n-tasks", type=int, nargs="+", default=[10, 100],
+            help="stage sizes to sweep",
+        )
+        fig.set_defaults(handler=handler)
+
+    fig4 = sub.add_parser("fig4", help="regenerate Figure 4")
+    fig4.add_argument("--orders", type=int, default=5)
+    fig4.add_argument("--seed", type=int, default=0)
+    fig4.add_argument(
+        "--workloads", nargs="+", help="subset of workloads (default: all)"
+    )
+    fig4.set_defaults(handler=cmd_fig4)
+
+    fig5 = sub.add_parser("fig5", help="regenerate Figures 5 and 6")
+    fig5.add_argument("--repetitions", type=int, default=1)
+    fig5.add_argument("--seed", type=int, default=0)
+    fig5.add_argument(
+        "--workloads", nargs="+", help="subset of workloads (default: all)"
+    )
+    fig5.set_defaults(handler=cmd_fig5)
+
+    overhead = sub.add_parser("overhead", help="regenerate the §IV-F report")
+    overhead.add_argument("--seed", type=int, default=0)
+    overhead.set_defaults(handler=cmd_overhead)
+
+    dax = sub.add_parser("dax", help="Pegasus DAX import/export")
+    dax_sub = dax.add_subparsers(dest="dax_command", required=True)
+    export = dax_sub.add_parser("export", help="write a workload as DAX")
+    export.add_argument("workload")
+    export.add_argument("--out", required=True)
+    export.add_argument("--seed", type=int, default=0)
+    export.set_defaults(handler=cmd_dax_export)
+    dax_run = dax_sub.add_parser("run", help="autoscale a DAX file")
+    dax_run.add_argument("file")
+    dax_run.add_argument("--policy", default="wire")
+    _add_common_run_args(dax_run)
+    dax_run.set_defaults(handler=cmd_dax_run)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

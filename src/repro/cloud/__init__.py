@@ -1,0 +1,26 @@
+"""Simulated IaaS cloud substrate.
+
+Stands in for the paper's ExoGENI network cloud: typed worker instances
+with task slots, provisioning lag, charging-unit billing, and site capacity
+caps. WIRE only ever observes the cloud through these abstractions, which
+is what makes the substitution behaviour-preserving (see DESIGN.md).
+"""
+
+from repro.cloud.billing import BillingModel
+from repro.cloud.instance import XO_XLARGE, Instance, InstanceState, InstanceType
+from repro.cloud.pool import InstancePool
+from repro.cloud.provisioner import LaunchOrder, Provisioner
+from repro.cloud.site import CloudSite, exogeni_site
+
+__all__ = [
+    "BillingModel",
+    "CloudSite",
+    "Instance",
+    "InstancePool",
+    "InstanceState",
+    "InstanceType",
+    "LaunchOrder",
+    "Provisioner",
+    "XO_XLARGE",
+    "exogeni_site",
+]

@@ -1,0 +1,273 @@
+"""Cloud-side messaging protocol (ExoGENI client stand-in).
+
+The paper's prototype talks to the cloud through a messaging protocol
+(§III-F: 227 lines of Python in Pegasus plus 706 lines of Java in the
+ExoGENI client). This module reproduces that control plane: typed,
+JSON-serializable request/reply messages, a :class:`CloudBroker` that
+executes them against a site's provisioner, and a
+:class:`MessagingClient` that exposes a provisioner-like API while
+round-tripping every call through the wire encoding — so anything the
+controller needs is guaranteed to be expressible in messages.
+
+ExoGENI is lease-based; the vocabulary follows suit: a *lease request*
+asks for instances, a *lease grant* names the instances and when they
+will be usable, a *release request* schedules a termination.
+"""
+
+from __future__ import annotations
+
+import json
+import itertools
+from dataclasses import asdict, dataclass, field
+from typing import ClassVar
+
+from repro.cloud.provisioner import Provisioner
+
+__all__ = [
+    "CloudBroker",
+    "ErrorReply",
+    "LeaseGrant",
+    "LeaseRequest",
+    "Message",
+    "MessagingClient",
+    "PoolStatus",
+    "PoolStatusRequest",
+    "ProtocolError",
+    "ReleaseAck",
+    "ReleaseRequest",
+    "decode",
+    "encode",
+]
+
+
+class ProtocolError(RuntimeError):
+    """Raised by the client when the broker reports an error."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class; subclasses register themselves by ``TYPE``."""
+
+    TYPE: ClassVar[str] = "message"
+    _registry: ClassVar[dict[str, type["Message"]]] = {}
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        Message._registry[cls.TYPE] = cls
+
+
+@dataclass(frozen=True)
+class LeaseRequest(Message):
+    """Ask the cloud for ``count`` instances at time ``now``."""
+
+    TYPE: ClassVar[str] = "lease_request"
+    request_id: int
+    now: float
+    count: int
+
+
+@dataclass(frozen=True)
+class LeaseGrant(Message):
+    """The cloud's answer: which instances, usable when.
+
+    ``granted`` may be shorter than the requested count when the site
+    capacity truncates the lease (the controller must handle this, as on
+    real ExoGENI).
+    """
+
+    TYPE: ClassVar[str] = "lease_grant"
+    request_id: int
+    instance_ids: tuple[str, ...]
+    ready_at: float
+
+
+@dataclass(frozen=True)
+class ReleaseRequest(Message):
+    """Schedule ``instance_id``'s termination at time ``at``."""
+
+    TYPE: ClassVar[str] = "release_request"
+    request_id: int
+    now: float
+    instance_id: str
+    at: float
+
+
+@dataclass(frozen=True)
+class ReleaseAck(Message):
+    """Release accepted; effective at ``at``."""
+
+    TYPE: ClassVar[str] = "release_ack"
+    request_id: int
+    instance_id: str
+    at: float
+
+
+@dataclass(frozen=True)
+class PoolStatusRequest(Message):
+    """Ask for the current pool composition."""
+
+    TYPE: ClassVar[str] = "pool_status_request"
+    request_id: int
+
+
+@dataclass(frozen=True)
+class PoolStatus(Message):
+    """Pool composition snapshot."""
+
+    TYPE: ClassVar[str] = "pool_status"
+    request_id: int
+    running: tuple[str, ...]
+    pending: tuple[str, ...]
+    capacity: int
+
+
+@dataclass(frozen=True)
+class ErrorReply(Message):
+    """The broker could not satisfy a request."""
+
+    TYPE: ClassVar[str] = "error"
+    request_id: int
+    reason: str
+
+
+def encode(message: Message) -> str:
+    """Serialize a message to its JSON wire form."""
+    payload = asdict(message)
+    payload["type"] = message.TYPE
+    return json.dumps(payload, sort_keys=True)
+
+
+def decode(text: str) -> Message:
+    """Parse a JSON wire form back into a typed message."""
+    payload = json.loads(text)
+    try:
+        message_type = payload.pop("type")
+    except KeyError:
+        raise ValueError("message without type field") from None
+    cls = Message._registry.get(message_type)
+    if cls is None:
+        raise ValueError(f"unknown message type {message_type!r}")
+    for key, value in payload.items():
+        if isinstance(value, list):
+            payload[key] = tuple(value)
+    return cls(**payload)
+
+
+class CloudBroker:
+    """Server side: executes protocol messages against the provisioner.
+
+    Every handled message (request and reply) is appended to
+    :attr:`log` in wire form — the debugging trail operators of the real
+    system rely on.
+    """
+
+    def __init__(self, provisioner: Provisioner) -> None:
+        self.provisioner = provisioner
+        self.log: list[str] = []
+
+    def handle(self, wire: str) -> str:
+        """Process one encoded request; return the encoded reply."""
+        self.log.append(wire)
+        reply = self._dispatch(decode(wire))
+        encoded = encode(reply)
+        self.log.append(encoded)
+        return encoded
+
+    def _dispatch(self, message: Message) -> Message:
+        if isinstance(message, LeaseRequest):
+            if message.count < 0:
+                return ErrorReply(
+                    request_id=message.request_id,
+                    reason=f"invalid lease count {message.count}",
+                )
+            orders = self.provisioner.order_launches(message.count, message.now)
+            ready_at = orders[0].ready_at if orders else (
+                message.now + self.provisioner.site.lag
+            )
+            return LeaseGrant(
+                request_id=message.request_id,
+                instance_ids=tuple(o.instance.instance_id for o in orders),
+                ready_at=ready_at,
+            )
+        if isinstance(message, ReleaseRequest):
+            pool = self.provisioner.pool
+            try:
+                instance = pool.get(message.instance_id)
+            except KeyError:
+                return ErrorReply(
+                    request_id=message.request_id,
+                    reason=f"unknown instance {message.instance_id}",
+                )
+            try:
+                effective = self.provisioner.validate_termination(
+                    instance, at=message.at, now=message.now
+                )
+            except (RuntimeError, ValueError) as exc:
+                return ErrorReply(request_id=message.request_id, reason=str(exc))
+            return ReleaseAck(
+                request_id=message.request_id,
+                instance_id=message.instance_id,
+                at=effective,
+            )
+        if isinstance(message, PoolStatusRequest):
+            pool = self.provisioner.pool
+            return PoolStatus(
+                request_id=message.request_id,
+                running=tuple(i.instance_id for i in pool.running()),
+                pending=tuple(i.instance_id for i in pool.pending()),
+                capacity=self.provisioner.site.max_instances,
+            )
+        return ErrorReply(
+            request_id=getattr(message, "request_id", -1),
+            reason=f"unexpected message type {message.TYPE!r}",
+        )
+
+
+class MessagingClient:
+    """Client side: a provisioner-like API over the wire protocol.
+
+    Every call encodes a request, sends it through the broker, and
+    decodes the reply — proving the protocol is sufficient for the
+    controller's needs. Replies with mismatched request ids or error
+    payloads raise :class:`ProtocolError`.
+    """
+
+    def __init__(self, broker: CloudBroker) -> None:
+        self.broker = broker
+        self._ids = itertools.count(1)
+
+    def _roundtrip(self, request: Message) -> Message:
+        reply = decode(self.broker.handle(encode(request)))
+        request_id = getattr(request, "request_id")
+        if getattr(reply, "request_id", None) != request_id:
+            raise ProtocolError(
+                f"reply correlates to {getattr(reply, 'request_id', None)}, "
+                f"expected {request_id}"
+            )
+        if isinstance(reply, ErrorReply):
+            raise ProtocolError(reply.reason)
+        return reply
+
+    def lease(self, count: int, now: float) -> LeaseGrant:
+        """Request ``count`` instances; returns the (possibly truncated)
+        grant."""
+        request = LeaseRequest(request_id=next(self._ids), now=now, count=count)
+        reply = self._roundtrip(request)
+        assert isinstance(reply, LeaseGrant)
+        return reply
+
+    def release(self, instance_id: str, at: float, now: float) -> ReleaseAck:
+        """Schedule a release; raises :class:`ProtocolError` if refused."""
+        request = ReleaseRequest(
+            request_id=next(self._ids), now=now, instance_id=instance_id, at=at
+        )
+        reply = self._roundtrip(request)
+        assert isinstance(reply, ReleaseAck)
+        return reply
+
+    def pool_status(self) -> PoolStatus:
+        """Snapshot the pool composition."""
+        request = PoolStatusRequest(request_id=next(self._ids))
+        reply = self._roundtrip(request)
+        assert isinstance(reply, PoolStatus)
+        return reply

@@ -1,0 +1,107 @@
+"""Worker instance pool.
+
+Tracks the set of instances a workflow run has requested, running, and
+terminated, and aggregates their billing. The pool is the object WIRE's
+resource-steering policy resizes (paper §III-A: "WIRE auto-scales the pool
+of cloud worker instances allocated to a workflow").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.cloud.billing import BillingModel
+from repro.cloud.instance import Instance, InstanceState, InstanceType
+
+__all__ = ["InstancePool"]
+
+
+class InstancePool:
+    """All instances ever allocated to a run, with billing aggregation."""
+
+    def __init__(self, itype: InstanceType, billing: BillingModel) -> None:
+        self.itype = itype
+        self.billing = billing
+        self._instances: dict[str, Instance] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def create(self, now: float) -> Instance:
+        """Register a newly requested (PENDING) instance."""
+        self._counter += 1
+        instance = Instance(
+            instance_id=f"vm-{self._counter:04d}",
+            itype=self.itype,
+            requested_at=now,
+        )
+        self._instances[instance.instance_id] = instance
+        return instance
+
+    def get(self, instance_id: str) -> Instance:
+        """Return the instance with ``instance_id``."""
+        return self._instances[instance_id]
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __iter__(self) -> Iterator[Instance]:
+        return iter(self._instances.values())
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def running(self) -> list[Instance]:
+        """RUNNING instances, ordered by id (deterministic)."""
+        return self._select(InstanceState.RUNNING)
+
+    def pending(self) -> list[Instance]:
+        """PENDING (launch ordered, not yet usable) instances."""
+        return self._select(InstanceState.PENDING)
+
+    def active_size(self) -> int:
+        """Pool size as the steering policy sees it: running + pending.
+
+        Pending instances count because a launch already ordered will join
+        the pool at the next interval; ignoring them would double-order.
+        """
+        return len(self.running()) + len(self.pending())
+
+    def _select(self, state: InstanceState) -> list[Instance]:
+        return sorted(
+            (i for i in self._instances.values() if i.state is state),
+            key=lambda i: i.instance_id,
+        )
+
+    def free_slots(self) -> int:
+        """Total free slots across RUNNING instances."""
+        return sum(i.free_slots for i in self.running())
+
+    def total_slots(self) -> int:
+        """Total slots across RUNNING instances."""
+        return sum(i.itype.slots for i in self.running())
+
+    def instance_of_task(self, task_id: str) -> Instance | None:
+        """The RUNNING instance whose slot ``task_id`` occupies, if any."""
+        for instance in self._instances.values():
+            if task_id in instance.occupants:
+                return instance
+        return None
+
+    # ------------------------------------------------------------------
+    # billing aggregation
+    # ------------------------------------------------------------------
+    def total_units(self, now: float) -> int:
+        """Total charging units billed across all instances as of ``now``."""
+        return sum(self.billing.units_charged(i, now) for i in self._instances.values())
+
+    def total_cost(self, now: float) -> float:
+        """Total monetary cost across all instances as of ``now``."""
+        return sum(self.billing.cost(i, now) for i in self._instances.values())
+
+    def total_wasted_time(self, now: float) -> float:
+        """Total paid-but-unused seconds across all instances."""
+        return sum(
+            self.billing.wasted_time(i, now) for i in self._instances.values()
+        )

@@ -1,0 +1,79 @@
+"""Provisioning with lag.
+
+The provisioner turns pool-resize orders into instance lifecycle plans:
+launches become usable one lag later (paper §III-A), terminations take
+effect at a caller-chosen time (WIRE schedules them at the instance's
+charge boundary to avoid the recharge cost, Algorithm 2).
+
+The provisioner itself is engine-agnostic: it mutates pool membership and
+returns *when* each transition should happen; the discrete-event engine
+schedules the corresponding events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.instance import Instance, InstanceState
+from repro.cloud.pool import InstancePool
+from repro.cloud.site import CloudSite
+
+__all__ = ["LaunchOrder", "Provisioner"]
+
+
+@dataclass(frozen=True)
+class LaunchOrder:
+    """A planned instance launch: usable at ``ready_at``."""
+
+    instance: Instance
+    ready_at: float
+
+
+class Provisioner:
+    """Orders launches and terminations against a site's capacity."""
+
+    def __init__(self, site: CloudSite, pool: InstancePool) -> None:
+        self.site = site
+        self.pool = pool
+
+    def order_launches(self, count: int, now: float) -> list[LaunchOrder]:
+        """Order up to ``count`` launches, truncated to site capacity.
+
+        Capacity counts PENDING and RUNNING instances — an ordered launch
+        consumes capacity immediately even though it is not yet usable.
+        Returns the accepted orders; each instance becomes usable at
+        ``now + site.lag``.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        headroom = self.site.max_instances - self.pool.active_size()
+        accepted = max(0, min(count, headroom))
+        ready_at = now + self.site.lag
+        return [
+            LaunchOrder(instance=self.pool.create(now), ready_at=ready_at)
+            for _ in range(accepted)
+        ]
+
+    def can_terminate(self, instance: Instance) -> bool:
+        """Whether ``instance`` is in a state that permits termination."""
+        return instance.state is InstanceState.RUNNING and (
+            self.pool.active_size() > self.site.min_instances
+        )
+
+    def validate_termination(self, instance: Instance, at: float, now: float) -> float:
+        """Check a termination order and return its effective time.
+
+        ``at`` must not precede ``now``; terminating a non-RUNNING instance
+        or shrinking below the site floor is rejected.
+        """
+        if not self.can_terminate(instance):
+            raise RuntimeError(
+                f"instance {instance.instance_id} cannot be terminated "
+                f"(state={instance.state.value}, pool={self.pool.active_size()}, "
+                f"floor={self.site.min_instances})"
+            )
+        if at < now:
+            raise ValueError(
+                f"termination time {at} precedes current time {now}"
+            )
+        return at

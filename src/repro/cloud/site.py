@@ -1,0 +1,77 @@
+"""Cloud site description.
+
+Paper §IV-B: "An experiment is on an ExoGENI site and has 1–12 worker
+instances (the max number of the worker instances a site can provide). An
+instance is an XOXLarge ExoGENI VM instance and can host up to four
+concurrent tasks at a time. ... the VM instantiation time is ~3 minutes
+(the lag time)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.instance import XO_XLARGE, InstanceType
+from repro.util.validation import check_positive
+
+__all__ = ["CloudSite", "exogeni_site"]
+
+
+@dataclass(frozen=True)
+class CloudSite:
+    """Static description of one IaaS site.
+
+    Parameters
+    ----------
+    itype:
+        The (single) worker instance flavor the site rents. The paper runs
+        each experiment on identically provisioned instances (§III-A).
+    max_instances:
+        Site capacity cap; launch orders beyond it are truncated.
+    lag:
+        Provisioning lag *t* in seconds — the maximum delay to launch or
+        release an instance (§III-A). WIRE's MAPE period equals this lag.
+    min_instances:
+        Floor on the pool size; the steering policy never shrinks below it
+        (the framework master itself needs somewhere to run, and
+        Algorithm 3 line 28 always plans at least one instance while work
+        remains).
+    """
+
+    name: str
+    itype: InstanceType
+    max_instances: int
+    lag: float
+    min_instances: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("site name must be non-empty")
+        if not isinstance(self.max_instances, int) or self.max_instances <= 0:
+            raise ValueError(
+                f"max_instances must be a positive int, got {self.max_instances!r}"
+            )
+        if (
+            not isinstance(self.min_instances, int)
+            or not 0 <= self.min_instances <= self.max_instances
+        ):
+            raise ValueError(
+                "min_instances must be an int in [0, max_instances], got "
+                f"{self.min_instances!r}"
+            )
+        check_positive("lag", self.lag)
+
+
+def exogeni_site(
+    *,
+    max_instances: int = 12,
+    lag: float = 180.0,
+    itype: InstanceType = XO_XLARGE,
+) -> CloudSite:
+    """The paper's evaluation site: 12 XOXLarge VMs, ~3-minute lag."""
+    return CloudSite(
+        name="exogeni",
+        itype=itype,
+        max_instances=max_instances,
+        lag=lag,
+    )

@@ -1,0 +1,83 @@
+"""WIRE controller configuration.
+
+Every constant the paper fixes is a field here with the paper's value as
+the default, so the ablation benches can sweep them without touching the
+algorithms: the 0.2u restart/partial-instance threshold (§III-D), the 0.1
+OGD learning rate (Algorithm 1), the first-five stage boost (§III-C), and
+the median estimator choice (§III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["WireConfig"]
+
+
+@dataclass(frozen=True)
+class WireConfig:
+    """Tunable parameters of the WIRE MAPE controller.
+
+    Parameters
+    ----------
+    restart_threshold_fraction:
+        Maximum restart cost, as a fraction of the charging unit, at which
+        Algorithm 2 will still release an instance ("arbitrarily chosen as
+        0.2u ... but freely configurable", §III-D). The same fraction
+        bounds the tail-instance test in Algorithm 3 line 28.
+    learning_rate:
+        Online-gradient-descent step size (Algorithm 1 line 4).
+    ogd_epochs_per_update:
+        Gradient passes over the training set per MAPE iteration.
+        Algorithm 1 performs exactly one; values > 1 are an extension for
+        the learning-rate ablation.
+    use_median:
+        True (paper) uses medians for peer-task aggregation; False uses
+        means — the §III-C design-choice ablation.
+    input_size_rtol:
+        Relative tolerance under which two input sizes count as
+        "equivalent" for Policy 4's completed-group matching.
+    transfer_window:
+        Moving-median window (in MAPE intervals) for the transfer-time
+        estimate ``t̃_data``. 1 = the paper's literal "median of the
+        observations between the n-1th and nth iterations".
+    lookahead:
+        When False, the controller skips the workflow simulation and
+        steers from the instantaneous ready/running load — the
+        degenerate-to-reactive ablation.
+    boost_k:
+        Ready tasks per stage dispatched with high priority (§III-C: 5).
+        Consumed by the engine's scheduler; carried here so one config
+        object describes a full WIRE deployment.
+    """
+
+    restart_threshold_fraction: float = 0.2
+    learning_rate: float = 0.1
+    ogd_epochs_per_update: int = 1
+    use_median: bool = True
+    input_size_rtol: float = 0.02
+    transfer_window: int = 1
+    lookahead: bool = True
+    boost_k: int = 5
+
+    def __post_init__(self) -> None:
+        check_in_range(
+            "restart_threshold_fraction", self.restart_threshold_fraction, 0.0, 1.0
+        )
+        check_positive("learning_rate", self.learning_rate)
+        if not isinstance(self.ogd_epochs_per_update, int) or (
+            self.ogd_epochs_per_update < 1
+        ):
+            raise ValueError(
+                "ogd_epochs_per_update must be an int >= 1, got "
+                f"{self.ogd_epochs_per_update!r}"
+            )
+        check_in_range("input_size_rtol", self.input_size_rtol, 0.0, 1.0)
+        if not isinstance(self.transfer_window, int) or self.transfer_window < 1:
+            raise ValueError(
+                f"transfer_window must be an int >= 1, got {self.transfer_window!r}"
+            )
+        if not isinstance(self.boost_k, int) or self.boost_k < 0:
+            raise ValueError(f"boost_k must be an int >= 0, got {self.boost_k!r}")

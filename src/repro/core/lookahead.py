@@ -1,0 +1,241 @@
+"""WIRE's workflow simulator (paper §III-B2).
+
+At each MAPE iteration, WIRE simulates the workflow's execution over the
+next control interval to predict the *upcoming load*: the set of tasks
+expected to be active (runnable) at the start of the target interval, each
+with its predicted minimum remaining slot occupancy, plus the sunk restart
+cost of every instance at that time.
+
+The simulation projects the framework's FIFO dispatch (§III-D) over the
+current pool: predicted completions free slots, freed slots pull queued
+tasks, completions fire children. Any drift between this projection and
+the framework master's true schedule is tolerated by design — the paper's
+§III-D argues (and §IV-E confirms) the effect is minor.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from repro.core.runstate import RunState
+from repro.dag.workflow import Workflow
+from repro.engine.master import TaskExecState
+
+__all__ = ["LookaheadSimulator", "UpcomingLoad", "UpcomingTask", "VirtualInstance"]
+
+
+@dataclass(frozen=True)
+class UpcomingTask:
+    """One entry of the upcoming load Q_task."""
+
+    task_id: str
+    #: predicted minimum remaining occupancy at the target interval start
+    remaining: float
+
+
+@dataclass(frozen=True)
+class VirtualInstance:
+    """An instance available to the projection.
+
+    ``available_at`` is when it can accept work (now for running
+    instances, the launch-ready time for pending ones); ``occupants`` are
+    the task ids currently holding its slots.
+    """
+
+    instance_id: str
+    slots: int
+    available_at: float
+    occupants: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class UpcomingLoad:
+    """Output of one lookahead projection."""
+
+    #: target interval start (now + horizon)
+    at: float
+    #: tasks expected active at ``at``: virtually running first (soonest
+    #: completion first), then still-queued tasks in FIFO order
+    tasks: tuple[UpcomingTask, ...]
+    #: per-instance max sunk occupancy of tasks projected onto it at ``at``
+    restart_costs: dict[str, float]
+    #: True when the projection finishes the whole workflow before ``at``
+    workflow_done: bool
+
+
+@dataclass
+class _VirtualTask:
+    task_id: str
+    remaining: float
+    instance_id: str | None = None
+    started_at: float | None = None  # virtual dispatch time
+    initial_sunk: float = 0.0  # real occupancy consumed before `now`
+
+
+class LookaheadSimulator:
+    """Projects one control interval ahead from a run-state snapshot."""
+
+    def __init__(self, workflow: Workflow) -> None:
+        self.workflow = workflow
+
+    def project(
+        self,
+        run_state: RunState,
+        instances: list[VirtualInstance],
+        queued_task_ids: tuple[str, ...],
+        horizon: float,
+    ) -> UpcomingLoad:
+        """Simulate from ``run_state.now`` to ``now + horizon``.
+
+        ``instances`` must cover every instance whose occupants appear in
+        the run state as in-flight; tasks attached to excluded (draining)
+        instances are re-queued at time ``now`` with their full predicted
+        occupancy, mirroring the engine's resubmit-on-terminate semantics.
+        """
+        now = run_state.now
+        target = now + horizon
+        estimates = run_state.estimates
+
+        known_instances = {vi.instance_id: vi for vi in instances}
+        counter = itertools.count()
+        heap: list[tuple[float, int, str, str]] = []  # (time, seq, kind, id)
+
+        # -- seed instance availability -------------------------------
+        free_slots: dict[str, int] = {}
+        for vi in instances:
+            if vi.available_at <= now:
+                free_slots[vi.instance_id] = vi.slots - len(vi.occupants)
+            else:
+                heapq.heappush(
+                    heap, (vi.available_at, next(counter), "instance", vi.instance_id)
+                )
+
+        # -- seed task states ------------------------------------------
+        virtual: dict[str, _VirtualTask] = {}
+        unfinished_parents: dict[str, int] = {}
+        completed: set[str] = set()
+        queue: list[str] = []
+        queued_set: set[str] = set()
+
+        def enqueue(task_id: str, *, front: bool = False) -> None:
+            if task_id in queued_set:
+                return
+            queued_set.add(task_id)
+            if front:
+                queue.insert(0, task_id)
+            else:
+                queue.append(task_id)
+
+        for task_id in self.workflow.topological_order():
+            estimate = estimates[task_id]
+            if estimate.phase is TaskExecState.COMPLETED:
+                completed.add(task_id)
+                continue
+            unfinished_parents[task_id] = sum(
+                1
+                for p in self.workflow.parents(task_id)
+                if p not in completed
+                and estimates[p].phase is not TaskExecState.COMPLETED
+            )
+            vt = _VirtualTask(task_id=task_id, remaining=estimate.remaining_occupancy)
+            virtual[task_id] = vt
+            if estimate.phase.occupies_slot:
+                if estimate.instance_id in known_instances:
+                    vt.instance_id = estimate.instance_id
+                    vt.started_at = now
+                    vt.initial_sunk = estimate.sunk_occupancy
+                    heapq.heappush(
+                        heap,
+                        (now + vt.remaining, next(counter), "complete", task_id),
+                    )
+                else:
+                    # Its instance is draining/gone: the task will restart.
+                    # Conservatively requeue at the front with full occupancy.
+                    exec_part = estimate.exec_estimate
+                    vt.remaining = (
+                        2 * run_state.transfer_estimate + exec_part
+                    )
+                    enqueue(task_id, front=True)
+
+        for task_id in queued_task_ids:
+            if task_id in virtual and virtual[task_id].instance_id is None:
+                enqueue(task_id)
+
+        # -- projection loop -------------------------------------------
+        def dispatch(time: float) -> None:
+            while queue:
+                slot_host = next(
+                    (
+                        iid
+                        for iid in sorted(free_slots)
+                        if free_slots[iid] > 0
+                    ),
+                    None,
+                )
+                if slot_host is None:
+                    return
+                task_id = queue.pop(0)
+                queued_set.discard(task_id)
+                vt = virtual[task_id]
+                vt.instance_id = slot_host
+                vt.started_at = time
+                free_slots[slot_host] -= 1
+                heapq.heappush(
+                    heap, (time + vt.remaining, next(counter), "complete", task_id)
+                )
+
+        dispatch(now)
+        while heap and heap[0][0] <= target:
+            time, _, kind, payload = heapq.heappop(heap)
+            if kind == "instance":
+                vi = known_instances[payload]
+                free_slots[payload] = vi.slots
+            else:  # a predicted task completion
+                vt = virtual[payload]
+                completed.add(payload)
+                del virtual[payload]
+                if vt.instance_id is not None and vt.instance_id in free_slots:
+                    free_slots[vt.instance_id] += 1
+                for child in sorted(self.workflow.children(payload)):
+                    if child not in unfinished_parents:
+                        continue
+                    unfinished_parents[child] -= 1
+                    if unfinished_parents[child] == 0:
+                        enqueue(child)
+            dispatch(time)
+
+        # -- snapshot at the target interval start ---------------------
+        running: list[tuple[float, str, float]] = []  # (completion, id, remaining)
+        restart_costs: dict[str, float] = {
+            vi.instance_id: 0.0 for vi in instances
+        }
+        for task_id, vt in virtual.items():
+            if vt.instance_id is None:
+                continue
+            assert vt.started_at is not None
+            completion = vt.started_at + vt.remaining
+            remaining = max(0.0, completion - target)
+            running.append((completion, task_id, remaining))
+            sunk = vt.initial_sunk + (target - vt.started_at)
+            if vt.instance_id in restart_costs:
+                restart_costs[vt.instance_id] = max(
+                    restart_costs[vt.instance_id], sunk
+                )
+        running.sort()
+
+        upcoming: list[UpcomingTask] = [
+            UpcomingTask(task_id=tid, remaining=rem) for _, tid, rem in running
+        ]
+        for task_id in queue:
+            upcoming.append(
+                UpcomingTask(task_id=task_id, remaining=virtual[task_id].remaining)
+            )
+
+        return UpcomingLoad(
+            at=target,
+            tasks=tuple(upcoming),
+            restart_costs=restart_costs,
+            workflow_done=len(completed) == len(self.workflow),
+        )

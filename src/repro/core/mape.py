@@ -1,0 +1,209 @@
+"""The WIRE MAPE controller.
+
+Wires the paper's three components — task predictor, workflow simulator,
+and resource-steering policy (§III-B, Figure 1) — into a single
+:class:`~repro.engine.control.Autoscaler` executed once per control
+interval:
+
+- **Monitor**: harvest the previous interval's measurements
+  (:meth:`TaskPredictor.observe_interval`).
+- **Analyze**: rebuild the run state — conservative minimum remaining
+  occupancy for every task on the wavefront.
+- **Plan**: project one interval ahead with the lookahead simulator to get
+  the upcoming load ``Q_task`` and per-instance restart costs.
+- **Execute**: apply Algorithms 2/3 to grow or shrink the pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import WireConfig
+from repro.core.lookahead import LookaheadSimulator, VirtualInstance
+from repro.core.predictor import TaskPredictor
+from repro.core.runstate import PredictionPolicy, RunState
+from repro.core.steering import SteerableInstance, SteeringPolicy
+from repro.dag.workflow import Workflow
+from repro.engine.control import Autoscaler, Observation, ScalingDecision
+from repro.engine.master import TaskExecState
+
+__all__ = ["MapeController", "TickDiagnostics"]
+
+
+@dataclass(frozen=True)
+class TickDiagnostics:
+    """What one MAPE iteration saw and decided (experiment telemetry)."""
+
+    now: float
+    upcoming_tasks: int
+    target_pool: int
+    pool_before: int
+    launched: int
+    terminated: int
+    transfer_estimate: float
+    policy_counts: dict[PredictionPolicy, int] = field(default_factory=dict)
+
+
+class MapeController(Autoscaler):
+    """WIRE: online-prediction-driven elastic pool control.
+
+    One controller instance manages one workflow run; it lazily binds to
+    the workflow on the first tick and refuses to be reused for another.
+    """
+
+    name = "wire"
+
+    def __init__(self, config: WireConfig | None = None) -> None:
+        self.config = config or WireConfig()
+        self._steering = SteeringPolicy(self.config.restart_threshold_fraction)
+        self._predictor: TaskPredictor | None = None
+        self._lookahead: LookaheadSimulator | None = None
+        self._workflow: Workflow | None = None
+        self._last_run_state: RunState | None = None
+        #: per-tick telemetry, appended in tick order
+        self.diagnostics: list[TickDiagnostics] = []
+
+    # ------------------------------------------------------------------
+    def _make_predictor(self, workflow: Workflow) -> TaskPredictor:
+        """Factory hook; the oracle baseline substitutes a clairvoyant
+        predictor here while reusing the whole MAPE pipeline."""
+        return TaskPredictor(workflow, self.config)
+
+    def _bind(self, workflow: Workflow) -> None:
+        if self._workflow is None:
+            self._workflow = workflow
+            self._predictor = self._make_predictor(workflow)
+            self._lookahead = LookaheadSimulator(workflow)
+        elif self._workflow is not workflow:
+            raise RuntimeError(
+                "a MapeController instance manages a single run; create a "
+                "fresh controller per workflow"
+            )
+
+    @property
+    def predictor(self) -> TaskPredictor:
+        """The bound task predictor (after the first tick)."""
+        if self._predictor is None:
+            raise RuntimeError("controller has not observed a run yet")
+        return self._predictor
+
+    # ------------------------------------------------------------------
+    def plan(self, obs: Observation) -> ScalingDecision:
+        self._bind(obs.workflow)
+        assert self._predictor is not None and self._lookahead is not None
+
+        # Monitor + Analyze
+        self._predictor.observe_interval(obs.monitor, obs.window_start, obs.now)
+        run_state = self._predictor.build_run_state(obs.master, obs.monitor, obs.now)
+        self._last_run_state = run_state
+
+        steerable = obs.steerable_instances()
+        pending = obs.pool.pending()
+
+        # Plan: project the next interval
+        if self.config.lookahead:
+            virtual = [
+                VirtualInstance(
+                    instance_id=i.instance_id,
+                    slots=i.itype.slots,
+                    available_at=obs.now,
+                    occupants=tuple(sorted(i.occupants)),
+                )
+                for i in steerable
+            ]
+            virtual.extend(
+                VirtualInstance(
+                    instance_id=i.instance_id,
+                    slots=i.itype.slots,
+                    available_at=i.requested_at + obs.lag,
+                )
+                for i in pending
+            )
+            load = self._lookahead.project(
+                run_state, virtual, obs.queued_task_ids, horizon=obs.lag
+            )
+            upcoming = [t.remaining for t in load.tasks]
+        else:
+            # Ablation: steer from the instantaneous load with no DAG
+            # projection — ready/in-flight tasks only.
+            load = None
+            upcoming = [
+                e.remaining_occupancy
+                for e in run_state.wavefront()
+                if e.phase is not TaskExecState.BLOCKED
+            ]
+
+        # Restart cost c_j, evaluated at the moment a release would actually
+        # happen: the instance's charge boundary (Algorithm 2 frames c_j "at
+        # the interval's start", but releasing at the interval start would
+        # already incur the recharge Algorithm 2 exists to avoid — see
+        # DESIGN.md). An occupant predicted to finish before the boundary
+        # contributes nothing; one predicted to outlive it would be killed
+        # with its sunk occupancy grown to the boundary.
+        steer_inputs = []
+        for instance in steerable:
+            r_j = obs.billing.time_to_next_charge(instance, obs.now)
+            cost = 0.0
+            for task_id in instance.occupants:
+                estimate = run_state.estimates[task_id]
+                if estimate.remaining_occupancy > r_j:
+                    cost = max(cost, estimate.sunk_occupancy + r_j)
+            steer_inputs.append(
+                SteerableInstance(
+                    instance_id=instance.instance_id,
+                    time_to_next_charge=r_j,
+                    restart_cost=cost,
+                )
+            )
+
+        # Execute
+        decision = self._steering.decide(
+            now=obs.now,
+            upcoming_remaining=upcoming,
+            instances=steer_inputs,
+            pending_count=len(pending),
+            charging_unit=obs.charging_unit,
+            lag=obs.lag,
+            slots_per_instance=obs.site.itype.slots,
+            min_instances=max(1, obs.site.min_instances),
+            max_instances=obs.site.max_instances,
+        )
+
+        self.diagnostics.append(
+            TickDiagnostics(
+                now=obs.now,
+                upcoming_tasks=len(upcoming),
+                target_pool=len(steerable)
+                + len(pending)
+                + decision.launch
+                - len(decision.terminations),
+                pool_before=len(steerable) + len(pending),
+                launched=decision.launch,
+                terminated=len(decision.terminations),
+                transfer_estimate=run_state.transfer_estimate,
+                policy_counts=run_state.policy_counts(),
+            )
+        )
+        return decision
+
+    # ------------------------------------------------------------------
+    def state_size_bytes(self) -> int | None:
+        """Persistent controller state for the §IV-F overhead report.
+
+        Counts what WIRE must keep *between* MAPE iterations: the
+        per-stage learning models and the transfer-estimate window. The
+        run-state annotations are a transient per-iteration working
+        buffer rebuilt from monitoring data each tick (tracked separately
+        in :meth:`working_set_bytes`); the paper's <= 16 KB claim can only
+        refer to the persistent state — Genome L alone has 4005 tasks,
+        whose per-task annotations would exceed 16 KB under any encoding.
+        """
+        if self._predictor is None:
+            return 0
+        return self._predictor.state_size_bytes()
+
+    def working_set_bytes(self) -> int:
+        """Transient per-iteration working buffer (run-state annotations)."""
+        if self._last_run_state is None:
+            return 0
+        return self._last_run_state.state_size_bytes()

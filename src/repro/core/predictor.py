@@ -1,0 +1,307 @@
+"""Online task-performance prediction (paper §III-B1 and §III-C).
+
+At the start of each MAPE iteration the task predictor harvests the
+previous interval's measurements and updates two kinds of estimators:
+
+- per-stage execution-time models, applied through the five online
+  prediction policies of §III-C (reproduced in
+  :class:`~repro.core.runstate.PredictionPolicy`);
+- the data-transfer estimate ``t̃_data``, the (moving) median of the
+  transfer times observed between consecutive iterations (§III-B1).
+
+The predictor then annotates the DAG wavefront with conservative minimum
+remaining occupancy times, producing the
+:class:`~repro.core.runstate.RunState` the lookahead simulator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.config import WireConfig
+from repro.core.ogd import OnlineGradientDescentModel
+from repro.core.runstate import PredictionPolicy, RunState, TaskEstimate
+from repro.dag.workflow import Workflow
+from repro.engine.master import FrameworkMaster, TaskExecState
+from repro.engine.monitor import Monitor, TaskAttempt
+from repro.metrics.stats import MovingMedian, mean, median
+
+__all__ = ["TaskPredictor", "group_by_input_size"]
+
+
+def group_by_input_size(
+    attempts: Sequence[TaskAttempt], rtol: float
+) -> list[tuple[float, list[float]]]:
+    """Cluster completed attempts by (approximately) equal input size.
+
+    Returns ``(representative_size, execution_times)`` pairs sorted by
+    size. Two sizes are "equivalent" (paper Policy 4's group *L*) when
+    they differ by at most ``rtol`` relative to the larger of the two.
+    """
+    completed = sorted(
+        (a for a in attempts if a.execution_time is not None),
+        key=lambda a: a.input_size,
+    )
+    groups: list[tuple[float, list[float]]] = []
+    for attempt in completed:
+        size = attempt.input_size
+        exec_time = attempt.execution_time
+        assert exec_time is not None
+        if groups and _sizes_equivalent(groups[-1][0], size, rtol):
+            groups[-1][1].append(exec_time)
+        else:
+            groups.append((size, [exec_time]))
+    return groups
+
+
+def _sizes_equivalent(a: float, b: float, rtol: float) -> bool:
+    if a == b:
+        return True
+    return abs(a - b) <= rtol * max(abs(a), abs(b))
+
+
+@dataclass(frozen=True)
+class _StageView:
+    """One stage's peer-task aggregates at a single instant."""
+
+    stage_id: str
+    has_completed: bool
+    has_running: bool
+    #: aggregate elapsed run time of in-flight tasks (Policy 2), if any
+    median_elapsed: float | None
+    #: aggregate execution time of completed tasks (Policy 3), if any
+    median_completed: float | None
+    #: (representative input size, aggregate execution time) per group
+    groups: list[tuple[float, float]]
+
+
+class TaskPredictor:
+    """Per-stage online estimators plus the transfer-time estimate."""
+
+    def __init__(self, workflow: Workflow, config: WireConfig | None = None) -> None:
+        self.workflow = workflow
+        self.config = config or WireConfig()
+        self._agg: Callable[[Sequence[float]], float] = (
+            median if self.config.use_median else mean
+        )
+        self._ogd: dict[str, OnlineGradientDescentModel] = {
+            stage.stage_id: OnlineGradientDescentModel(self.config.learning_rate)
+            for stage in workflow.stages
+        }
+        self._transfer = MovingMedian(self.config.transfer_window)
+        self._transfer_fallback: float | None = None
+
+    # ------------------------------------------------------------------
+    # Monitor + Analyze: harvest the previous interval
+    # ------------------------------------------------------------------
+    def observe_interval(self, monitor: Monitor, window_start: float, now: float) -> None:
+        """Update all models from data gathered in ``(window_start, now]``.
+
+        Called once per MAPE iteration before any prediction is made.
+        """
+        observations = monitor.transfer_times_between(window_start, now)
+        if observations:
+            interval_median = median(observations)
+            self._transfer.push(interval_median)
+            self._transfer_fallback = interval_median
+        for stage in self.workflow.stages:
+            completed = monitor.completed_in_stage(stage.stage_id)
+            if not completed:
+                continue
+            training_set = [
+                (size, self._agg(times))
+                for size, times in group_by_input_size(
+                    completed, self.config.input_size_rtol
+                )
+            ]
+            model = self._ogd[stage.stage_id]
+            for _ in range(self.config.ogd_epochs_per_update):
+                model.update(training_set)
+
+    def transfer_estimate(self) -> float:
+        """Current ``t̃_data`` in seconds (0 before any observation)."""
+        value = self._transfer.value()
+        if value is not None:
+            return value
+        return self._transfer_fallback or 0.0
+
+    def ogd_model(self, stage_id: str) -> OnlineGradientDescentModel:
+        """The stage's online-gradient-descent model (read access)."""
+        return self._ogd[stage_id]
+
+    # ------------------------------------------------------------------
+    # the five prediction policies (§III-C)
+    # ------------------------------------------------------------------
+    def _stage_view(self, stage_id: str, monitor: Monitor, now: float) -> "_StageView":
+        """Aggregate one stage's peer-task data once (shared by all its
+        incomplete tasks within a tick — stages can hold thousands)."""
+        completed = monitor.completed_in_stage(stage_id)
+        running = monitor.running_in_stage(stage_id)
+        median_elapsed = (
+            self._agg([a.elapsed_execution(now) for a in running])
+            if running
+            else None
+        )
+        if completed:
+            exec_times = [
+                a.execution_time for a in completed if a.execution_time is not None
+            ]
+            median_completed = self._agg(exec_times)
+            groups = [
+                (size, self._agg(times))
+                for size, times in group_by_input_size(
+                    completed, self.config.input_size_rtol
+                )
+            ]
+        else:
+            median_completed = None
+            groups = []
+        return _StageView(
+            stage_id=stage_id,
+            has_completed=bool(completed),
+            has_running=bool(running),
+            median_elapsed=median_elapsed,
+            median_completed=median_completed,
+            groups=groups,
+        )
+
+    def estimate_execution(
+        self,
+        task_id: str,
+        phase: TaskExecState,
+        monitor: Monitor,
+        now: float,
+        *,
+        _view: "_StageView | None" = None,
+    ) -> tuple[float, PredictionPolicy]:
+        """Estimated minimum execution time for an incomplete task.
+
+        Implements the policy selection of §III-C verbatim; returns the
+        estimate and which policy produced it. ``_view`` is an internal
+        fast path: :meth:`build_run_state` precomputes one stage view and
+        shares it across the stage's tasks.
+        """
+        stage_id = self.workflow.stage_of[task_id]
+        view = _view if _view is not None else self._stage_view(stage_id, monitor, now)
+
+        if not view.has_completed:
+            if view.has_running:
+                # Policy 2: conservatively presume running tasks are about
+                # to complete; the estimate is their median run time so far.
+                assert view.median_elapsed is not None
+                return view.median_elapsed, PredictionPolicy.RUNNING_ONLY
+            # Policy 1: nothing observed at this stage. (A stage whose only
+            # attempts were all killed also lands here: with no live data
+            # the conservative floor is zero.)
+            return 0.0, PredictionPolicy.NO_TASK_STARTED
+
+        if phase is TaskExecState.BLOCKED:
+            # Policy 3: input data not yet available; use the stage median.
+            assert view.median_completed is not None
+            return view.median_completed, PredictionPolicy.COMPLETED_UNREADY
+
+        task = self.workflow.task(task_id)
+        for size, agg_time in view.groups:
+            if _sizes_equivalent(size, task.input_size, self.config.input_size_rtol):
+                # Policy 4: a group L of completed peers shares this size.
+                return agg_time, PredictionPolicy.MATCHED_GROUP
+        # Policy 5: ready to run with a previously unseen input size.
+        return (
+            self._ogd[stage_id].predict(task.input_size),
+            PredictionPolicy.OGD,
+        )
+
+    # ------------------------------------------------------------------
+    # run-state assembly
+    # ------------------------------------------------------------------
+    def build_run_state(
+        self, master: FrameworkMaster, monitor: Monitor, now: float
+    ) -> RunState:
+        """Annotate every task with its estimate and remaining occupancy."""
+        t_data = self.transfer_estimate()
+        state = RunState(now=now, transfer_estimate=t_data)
+        views: dict[str, _StageView] = {}
+        for task_id in self.workflow.topological_order():
+            phase = master.state(task_id)
+            if phase is TaskExecState.COMPLETED:
+                attempt = monitor.current_attempt(task_id)
+                exec_time = attempt.execution_time or 0.0
+                state.estimates[task_id] = TaskEstimate(
+                    task_id=task_id,
+                    stage_id=self.workflow.stage_of[task_id],
+                    phase=phase,
+                    exec_estimate=exec_time,
+                    policy=PredictionPolicy.OBSERVED,
+                    remaining_occupancy=0.0,
+                    sunk_occupancy=0.0,
+                    instance_id=attempt.instance_id,
+                )
+                continue
+            stage_id = self.workflow.stage_of[task_id]
+            if stage_id not in views:
+                views[stage_id] = self._stage_view(stage_id, monitor, now)
+            estimate, policy = self.estimate_execution(
+                task_id, phase, monitor, now, _view=views[stage_id]
+            )
+            state.estimates[task_id] = self._annotate_incomplete(
+                task_id, phase, estimate, policy, monitor, now, t_data
+            )
+        return state
+
+    def _annotate_incomplete(
+        self,
+        task_id: str,
+        phase: TaskExecState,
+        estimate: float,
+        policy: PredictionPolicy,
+        monitor: Monitor,
+        now: float,
+        t_data: float,
+    ) -> TaskEstimate:
+        stage_id = self.workflow.stage_of[task_id]
+        sunk = 0.0
+        instance_id: str | None = None
+        if phase in (TaskExecState.BLOCKED, TaskExecState.READY):
+            remaining = t_data + estimate + t_data
+        else:
+            attempt = monitor.current_attempt(task_id)
+            sunk = attempt.occupancy_elapsed(now)
+            instance_id = attempt.instance_id
+            if phase is TaskExecState.STAGING_IN:
+                elapsed_in = now - attempt.dispatch_time
+                remaining = max(t_data - elapsed_in, 0.0) + estimate + t_data
+            elif phase is TaskExecState.EXECUTING:
+                elapsed_exec = attempt.elapsed_execution(now)
+                # A running task will run at least as long as it already
+                # has (§III-A's conservative presumption).
+                estimate = max(estimate, elapsed_exec)
+                if policy is PredictionPolicy.RUNNING_ONLY:
+                    # Before any peer completes, the stage's estimate is the
+                    # median elapsed time and keeps growing; §III-E's pool
+                    # arithmetic ("at time U the pool has N instances")
+                    # requires running tasks to contribute the full growing
+                    # estimate, not estimate-minus-elapsed (which would be
+                    # ~0 and freeze growth).
+                    remaining = estimate + t_data
+                else:
+                    remaining = max(estimate - elapsed_exec, 0.0) + t_data
+            else:  # STAGING_OUT
+                assert attempt.exec_end is not None
+                elapsed_out = now - attempt.exec_end
+                remaining = max(t_data - elapsed_out, 0.0)
+        return TaskEstimate(
+            task_id=task_id,
+            stage_id=stage_id,
+            phase=phase,
+            exec_estimate=estimate,
+            policy=policy,
+            remaining_occupancy=remaining,
+            sunk_occupancy=sunk,
+            instance_id=instance_id,
+        )
+
+    def state_size_bytes(self) -> int:
+        """Model footprint: OGD coefficients per stage + transfer window."""
+        ogd = sum(m.state_size_bytes() for m in self._ogd.values())
+        return ogd + 8 * self.config.transfer_window

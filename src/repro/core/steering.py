@@ -1,0 +1,187 @@
+"""The resource-steering policy (paper Algorithms 2 and 3).
+
+Algorithm 3 ("resizePool") computes the ideal pool size *p*: it greedily
+packs the upcoming tasks into instance slots, counting an instance
+whenever the packed occupancy fills at least one charging unit, plus one
+final instance when leftover work is non-trivial (a task with more than
+``0.2u`` remaining) or no instance was counted at all.
+
+Algorithm 2 compares *p* to the current pool size *m* and either requests
+``p - m`` launches or releases instances — but only instances whose
+charging unit expires before the next interval (``r_j <= t``, avoiding the
+recharge cost) and whose task restart cost is below the ``0.2u``
+threshold. Released instances' running tasks are resubmitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.engine.control import ScalingDecision, TerminationOrder
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["SteerableInstance", "SteeringPolicy", "resize_pool"]
+
+
+def resize_pool(
+    remaining_times: Sequence[float],
+    charging_unit: float,
+    slots_per_instance: int,
+    *,
+    tail_threshold_fraction: float = 0.2,
+) -> int:
+    """Algorithm 3: ideal instance count for the upcoming load.
+
+    ``remaining_times`` are the predicted minimum remaining occupancy
+    times of Q_task, in the FIFO order the framework is expected to
+    dispatch them. Returns the planned pool size ``p`` (>= 1 whenever the
+    load is non-empty).
+    """
+    check_positive("charging_unit", charging_unit)
+    if slots_per_instance <= 0:
+        raise ValueError(
+            f"slots_per_instance must be > 0, got {slots_per_instance}"
+        )
+    check_in_range(
+        "tail_threshold_fraction", tail_threshold_fraction, 0.0, 1.0
+    )
+    if not remaining_times:
+        return 0
+
+    queue = list(remaining_times)
+    queue.reverse()  # pop() from the end == FIFO poll()
+    p = 0
+    t_used = 0.0
+    slot_used: list[float] = []
+    while queue:
+        while len(slot_used) < slots_per_instance and queue:
+            slot_used.append(queue.pop())
+        if len(slot_used) == slots_per_instance:
+            t_min = min(slot_used)
+            t_used += t_min
+            if t_used >= charging_unit:
+                p += 1
+                t_used = 0.0
+                slot_used = []
+            else:
+                # Lines 18-24: tasks at the minimum complete and leave the
+                # slot set (all ties at once — each would otherwise leave
+                # on a zero-cost later round); the rest advance by t_min.
+                slot_used = [t - t_min for t in slot_used if t != t_min]
+    if p == 0 or (slot_used and max(slot_used) > tail_threshold_fraction * charging_unit):
+        p += 1
+    return p
+
+
+@dataclass(frozen=True)
+class SteerableInstance:
+    """What Algorithm 2 needs to know about one running instance."""
+
+    instance_id: str
+    #: seconds until the next charging-unit boundary (r_j)
+    time_to_next_charge: float
+    #: max sunk occupancy of its projected tasks at the interval start (c_j)
+    restart_cost: float
+
+
+class SteeringPolicy:
+    """Algorithm 2: grow or shrink the pool toward Algorithm 3's target."""
+
+    def __init__(self, restart_threshold_fraction: float = 0.2) -> None:
+        check_in_range(
+            "restart_threshold_fraction", restart_threshold_fraction, 0.0, 1.0
+        )
+        self.restart_threshold_fraction = restart_threshold_fraction
+
+    def decide(
+        self,
+        *,
+        now: float,
+        upcoming_remaining: Sequence[float],
+        instances: Sequence[SteerableInstance],
+        pending_count: int,
+        charging_unit: float,
+        lag: float,
+        slots_per_instance: int,
+        min_instances: int,
+        max_instances: int,
+    ) -> ScalingDecision:
+        """One Execute step.
+
+        ``instances`` are the steerable (running, non-draining) instances;
+        ``pending_count`` counts launches already ordered. The decision
+        never shrinks below ``min_instances`` nor plans beyond
+        ``max_instances``.
+        """
+        p = resize_pool(
+            upcoming_remaining,
+            charging_unit,
+            slots_per_instance,
+            tail_threshold_fraction=self.restart_threshold_fraction,
+        )
+        if not upcoming_remaining:
+            # §III-D: with an empty Q_task, retain a minimal pool until the
+            # next control iteration (or workflow end).
+            p = min_instances
+        return self.decide_with_target(
+            target=p,
+            now=now,
+            instances=instances,
+            pending_count=pending_count,
+            charging_unit=charging_unit,
+            lag=lag,
+            min_instances=min_instances,
+            max_instances=max_instances,
+        )
+
+    def decide_with_target(
+        self,
+        *,
+        target: int,
+        now: float,
+        instances: Sequence[SteerableInstance],
+        pending_count: int,
+        charging_unit: float,
+        lag: float,
+        min_instances: int,
+        max_instances: int,
+    ) -> ScalingDecision:
+        """Algorithm 2's grow/shrink step for an externally chosen target.
+
+        The reactive-conserving baseline reuses this with a target derived
+        from instantaneous task counts rather than Algorithm 3.
+        """
+        m = len(instances) + pending_count
+        p = max(min_instances, min(target, max_instances))
+
+        if p > m:
+            return ScalingDecision(launch=p - m)
+        if p >= m:
+            return ScalingDecision()
+
+        threshold = self.restart_threshold_fraction * charging_unit
+        candidates = sorted(
+            (
+                inst
+                for inst in instances
+                if inst.time_to_next_charge <= lag
+                and inst.restart_cost <= threshold
+            ),
+            key=lambda inst: (
+                inst.restart_cost,
+                inst.time_to_next_charge,
+                inst.instance_id,
+            ),
+        )
+        to_release = min(m - p, len(candidates), max(0, m - min_instances))
+        orders = tuple(
+            TerminationOrder(
+                instance_id=inst.instance_id,
+                # Release exactly at the charge boundary: every paid second
+                # is usable, and no recharge is incurred.
+                at=now + inst.time_to_next_charge,
+            )
+            for inst in candidates[:to_release]
+        )
+        return ScalingDecision(terminations=orders)

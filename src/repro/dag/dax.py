@@ -1,0 +1,179 @@
+"""Pegasus DAX (Directed Acyclic graph in XML) import/export.
+
+The paper's prototype is built on Pegasus WMS, whose abstract workflows
+are exchanged as DAX documents. This module reads and writes the DAX v3.x
+subset needed to round-trip this library's workflows, so that
+
+- real Pegasus workflows (e.g. the published Epigenomics DAXes) can be
+  loaded and autoscaled by WIRE, and
+- workflows generated here can be inspected with standard Pegasus
+  tooling.
+
+Supported elements: ``<job>`` with ``id``/``name``/``runtime`` (the
+Pegasus profile key ``runtime`` or a ``job``-level attribute), ``<uses>``
+file declarations with ``link="input|output"`` and ``size``, and
+``<child>/<parent>`` dependency edges. Unknown elements are ignored on
+read (real DAXes carry much more).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from xml.dom import minidom
+
+from repro.dag.task import Task
+from repro.dag.workflow import Workflow
+
+__all__ = ["read_dax", "read_dax_file", "write_dax", "write_dax_file"]
+
+_DAX_NAMESPACE = "http://pegasus.isi.edu/schema/DAX"
+
+
+def _local(tag: str) -> str:
+    """Strip a namespace from an element tag."""
+    return tag.rsplit("}", 1)[-1]
+
+
+def read_dax(text: str, *, default_runtime: float = 1.0) -> Workflow:
+    """Parse a DAX document into a :class:`Workflow`.
+
+    Job runtimes come from (in priority order) a ``runtime`` attribute on
+    the ``<job>``, or a ``<profile namespace="pegasus" key="runtime">``
+    child; jobs without either get ``default_runtime``. Input/output
+    sizes are summed over ``<uses>`` declarations carrying ``size``.
+    """
+    root = ET.fromstring(text)
+    if _local(root.tag) != "adag":
+        raise ValueError(f"not a DAX document: root element is <{_local(root.tag)}>")
+    name = root.get("name") or "dax-workflow"
+
+    tasks: list[Task] = []
+    edges: list[tuple[str, str]] = []
+    for element in root:
+        tag = _local(element.tag)
+        if tag == "job":
+            tasks.append(_parse_job(element, default_runtime))
+        elif tag == "child":
+            child_id = element.get("ref")
+            if not child_id:
+                raise ValueError("<child> element without ref attribute")
+            for parent in element:
+                if _local(parent.tag) != "parent":
+                    continue
+                parent_id = parent.get("ref")
+                if not parent_id:
+                    raise ValueError("<parent> element without ref attribute")
+                edges.append((parent_id, child_id))
+    return Workflow(name, tasks, edges)
+
+
+def _parse_job(element: ET.Element, default_runtime: float) -> Task:
+    job_id = element.get("id")
+    if not job_id:
+        raise ValueError("<job> element without id attribute")
+    executable = element.get("name") or job_id
+
+    runtime = element.get("runtime")
+    input_size = 0.0
+    output_size = 0.0
+    for child in element:
+        tag = _local(child.tag)
+        if tag == "profile" and runtime is None:
+            if (
+                child.get("namespace") == "pegasus"
+                and child.get("key") == "runtime"
+            ):
+                runtime = (child.text or "").strip()
+        elif tag == "uses":
+            size = float(child.get("size", 0.0) or 0.0)
+            link = child.get("link", "")
+            if link == "input":
+                input_size += size
+            elif link == "output":
+                output_size += size
+    return Task(
+        task_id=job_id,
+        executable=executable,
+        runtime=float(runtime) if runtime is not None else default_runtime,
+        input_size=input_size,
+        output_size=output_size,
+    )
+
+
+def read_dax_file(path: str | Path, *, default_runtime: float = 1.0) -> Workflow:
+    """Read a DAX document from ``path``."""
+    return read_dax(
+        Path(path).read_text(encoding="utf-8"), default_runtime=default_runtime
+    )
+
+
+def write_dax(workflow: Workflow) -> str:
+    """Serialize ``workflow`` as a DAX v3.6 document.
+
+    Runtimes are written both as a ``runtime`` job attribute (for easy
+    round-tripping) and a pegasus profile (for Pegasus tooling); sizes as
+    a pair of ``<uses>`` entries per job.
+    """
+    root = ET.Element(
+        "adag",
+        {
+            "xmlns": _DAX_NAMESPACE,
+            "version": "3.6",
+            "name": workflow.name,
+            "jobCount": str(len(workflow)),
+            "childCount": str(
+                sum(1 for t in workflow.tasks if workflow.parents(t))
+            ),
+        },
+    )
+    for task_id in workflow.topological_order():
+        task = workflow.task(task_id)
+        job = ET.SubElement(
+            root,
+            "job",
+            {
+                "id": task.task_id,
+                "name": task.executable,
+                "runtime": repr(task.runtime),
+            },
+        )
+        profile = ET.SubElement(
+            job, "profile", {"namespace": "pegasus", "key": "runtime"}
+        )
+        profile.text = repr(task.runtime)
+        if task.input_size > 0:
+            ET.SubElement(
+                job,
+                "uses",
+                {
+                    "file": f"{task.task_id}.in",
+                    "link": "input",
+                    "size": repr(task.input_size),
+                },
+            )
+        if task.output_size > 0:
+            ET.SubElement(
+                job,
+                "uses",
+                {
+                    "file": f"{task.task_id}.out",
+                    "link": "output",
+                    "size": repr(task.output_size),
+                },
+            )
+    for task_id in workflow.topological_order():
+        parents = sorted(workflow.parents(task_id))
+        if not parents:
+            continue
+        child = ET.SubElement(root, "child", {"ref": task_id})
+        for parent in parents:
+            ET.SubElement(child, "parent", {"ref": parent})
+
+    raw = ET.tostring(root, encoding="unicode")
+    return minidom.parseString(raw).toprettyxml(indent="  ")
+
+
+def write_dax_file(workflow: Workflow, path: str | Path) -> None:
+    """Write ``workflow`` to ``path`` as a DAX document."""
+    Path(path).write_text(write_dax(workflow), encoding="utf-8")

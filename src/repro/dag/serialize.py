@@ -1,0 +1,73 @@
+"""JSON serialization for workflow definitions.
+
+A lightweight sibling of the DAX support (:mod:`repro.dag.dax`): the
+native interchange format for this library. Round-trips every field of
+the task model exactly (DAX is lossier — it has no executable/id split
+for stages, and float formatting is at the mercy of XML tooling).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.dag.task import Task
+from repro.dag.workflow import Workflow
+
+__all__ = ["workflow_from_json", "workflow_to_json", "load_workflow", "save_workflow"]
+
+_FORMAT_VERSION = 1
+
+
+def workflow_to_json(workflow: Workflow) -> str:
+    """Serialize a workflow definition to a JSON document."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "name": workflow.name,
+        "tasks": [
+            {
+                "id": task.task_id,
+                "executable": task.executable,
+                "runtime": task.runtime,
+                "input_size": task.input_size,
+                "output_size": task.output_size,
+            }
+            for task in workflow  # topological order
+        ],
+        "edges": [
+            [parent, child]
+            for child in workflow.topological_order()
+            for parent in sorted(workflow.parents(child))
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def workflow_from_json(text: str) -> Workflow:
+    """Parse a document produced by :func:`workflow_to_json`."""
+    payload = json.loads(text)
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported workflow format version {version!r}")
+    tasks = [
+        Task(
+            task_id=t["id"],
+            executable=t["executable"],
+            runtime=float(t["runtime"]),
+            input_size=float(t.get("input_size", 0.0)),
+            output_size=float(t.get("output_size", 0.0)),
+        )
+        for t in payload["tasks"]
+    ]
+    edges = [(parent, child) for parent, child in payload["edges"]]
+    return Workflow(payload["name"], tasks, edges)
+
+
+def save_workflow(workflow: Workflow, path: str | Path) -> None:
+    """Write a workflow definition to ``path``."""
+    Path(path).write_text(workflow_to_json(workflow), encoding="utf-8")
+
+
+def load_workflow(path: str | Path) -> Workflow:
+    """Read a workflow definition from ``path``."""
+    return workflow_from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,39 @@
+"""Stage model.
+
+The paper (§I) defines a *stage* as a group of tasks that share the same
+executable and the same dependent predecessor tasks. WIRE's task predictor
+operates per stage because peer tasks within a stage are comparable
+(§II-C property 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Stage"]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """A group of comparable tasks within a workflow.
+
+    Stages are derived by :meth:`repro.dag.workflow.Workflow.stages` — two
+    tasks belong to the same stage when they run the same executable and
+    their parent tasks belong to the same set of stages.
+    """
+
+    stage_id: str
+    executable: str
+    task_ids: tuple[str, ...]
+    predecessor_stage_ids: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not self.task_ids:
+            raise ValueError(f"stage {self.stage_id!r} has no tasks")
+        if len(set(self.task_ids)) != len(self.task_ids):
+            raise ValueError(f"stage {self.stage_id!r} has duplicate task ids")
+
+    @property
+    def size(self) -> int:
+        """Number of tasks in the stage."""
+        return len(self.task_ids)

@@ -1,0 +1,225 @@
+"""Workflow DAG: tasks, dependency edges, stage inference.
+
+A :class:`Workflow` is an immutable, validated DAG of
+:class:`~repro.dag.task.Task` objects with data-flow dependency edges. It is
+the static structure WIRE's lookahead simulator walks (paper §II-C property
+2: "the load flows of a run are predictable").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from functools import cached_property
+from typing import Iterable, Iterator, Mapping
+
+from repro.dag.stage import Stage
+from repro.dag.task import Task
+
+__all__ = ["CycleError", "Workflow"]
+
+
+class CycleError(ValueError):
+    """Raised when the declared dependencies contain a cycle."""
+
+
+class Workflow:
+    """An immutable task DAG.
+
+    Parameters
+    ----------
+    name:
+        Human-readable workflow name (e.g. ``"epigenomics-S"``).
+    tasks:
+        The tasks of the workflow. Task ids must be unique.
+    edges:
+        ``(parent_id, child_id)`` dependency pairs: the child may start only
+        after the parent completes. Duplicate edges are coalesced;
+        self-edges and edges naming unknown tasks are rejected.
+
+    Raises
+    ------
+    CycleError
+        If the dependency graph is cyclic.
+    ValueError
+        On duplicate task ids, unknown endpoints, or self-edges.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tasks: Iterable[Task],
+        edges: Iterable[tuple[str, str]] = (),
+    ) -> None:
+        if not name:
+            raise ValueError("workflow name must be non-empty")
+        self.name = name
+        self._tasks: dict[str, Task] = {}
+        for task in tasks:
+            if task.task_id in self._tasks:
+                raise ValueError(f"duplicate task id {task.task_id!r}")
+            self._tasks[task.task_id] = task
+        if not self._tasks:
+            raise ValueError("workflow must contain at least one task")
+
+        self._parents: dict[str, set[str]] = {tid: set() for tid in self._tasks}
+        self._children: dict[str, set[str]] = {tid: set() for tid in self._tasks}
+        for parent, child in edges:
+            if parent not in self._tasks:
+                raise ValueError(f"edge parent {parent!r} is not a task")
+            if child not in self._tasks:
+                raise ValueError(f"edge child {child!r} is not a task")
+            if parent == child:
+                raise ValueError(f"self-edge on task {parent!r}")
+            self._parents[child].add(parent)
+            self._children[parent].add(child)
+
+        self._topological = self._compute_topological_order()
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def tasks(self) -> Mapping[str, Task]:
+        """Mapping of task id to :class:`Task`."""
+        return dict(self._tasks)
+
+    def task(self, task_id: str) -> Task:
+        """Return the task with ``task_id``."""
+        return self._tasks[task_id]
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._tasks
+
+    def __iter__(self) -> Iterator[Task]:
+        """Iterate tasks in topological order."""
+        return (self._tasks[tid] for tid in self._topological)
+
+    def parents(self, task_id: str) -> frozenset[str]:
+        """Ids of the tasks that must complete before ``task_id`` starts."""
+        return frozenset(self._parents[task_id])
+
+    def children(self, task_id: str) -> frozenset[str]:
+        """Ids of the tasks that depend on ``task_id``."""
+        return frozenset(self._children[task_id])
+
+    @cached_property
+    def roots(self) -> tuple[str, ...]:
+        """Task ids with no parents, in topological order."""
+        return tuple(t for t in self._topological if not self._parents[t])
+
+    @cached_property
+    def leaves(self) -> tuple[str, ...]:
+        """Task ids with no children, in topological order."""
+        return tuple(t for t in self._topological if not self._children[t])
+
+    def topological_order(self) -> tuple[str, ...]:
+        """All task ids in a deterministic topological order.
+
+        Ties are broken by task id so the order is stable across runs.
+        """
+        return self._topological
+
+    def _compute_topological_order(self) -> tuple[str, ...]:
+        in_degree = {tid: len(ps) for tid, ps in self._parents.items()}
+        # Deterministic Kahn's algorithm: the frontier is kept sorted.
+        frontier = sorted(tid for tid, deg in in_degree.items() if deg == 0)
+        queue = deque(frontier)
+        order: list[str] = []
+        while queue:
+            tid = queue.popleft()
+            order.append(tid)
+            ready: list[str] = []
+            for child in self._children[tid]:
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    ready.append(child)
+            for child in sorted(ready):
+                queue.append(child)
+        if len(order) != len(self._tasks):
+            unresolved = sorted(tid for tid, deg in in_degree.items() if deg > 0)
+            raise CycleError(
+                f"workflow {self.name!r} has a dependency cycle involving "
+                f"{unresolved[:5]}"
+            )
+        return tuple(order)
+
+    # ------------------------------------------------------------------
+    # stage inference
+    # ------------------------------------------------------------------
+    @cached_property
+    def stages(self) -> tuple[Stage, ...]:
+        """Infer stages: groups with equal executable and predecessor stages.
+
+        Following the paper's definition (§I), a task's stage is determined
+        by its executable plus the *stages* (not individual tasks) of its
+        parents, computed in topological order. Stage ids are
+        ``"<executable>#<k>"`` with ``k`` disambiguating same-executable
+        groups with different predecessors, numbered in topological order of
+        first appearance.
+        """
+        task_stage: dict[str, str] = {}
+        key_to_stage: dict[tuple[str, frozenset[str]], str] = {}
+        members: dict[str, list[str]] = {}
+        preds: dict[str, frozenset[str]] = {}
+        exe_counter: dict[str, int] = {}
+
+        for tid in self._topological:
+            task = self._tasks[tid]
+            parent_stages = frozenset(task_stage[p] for p in self._parents[tid])
+            key = (task.executable, parent_stages)
+            stage_id = key_to_stage.get(key)
+            if stage_id is None:
+                index = exe_counter.get(task.executable, 0)
+                exe_counter[task.executable] = index + 1
+                stage_id = f"{task.executable}#{index}"
+                key_to_stage[key] = stage_id
+                members[stage_id] = []
+                preds[stage_id] = parent_stages
+            task_stage[tid] = stage_id
+            members[stage_id].append(tid)
+
+        return tuple(
+            Stage(
+                stage_id=sid,
+                executable=sid.rsplit("#", 1)[0],
+                task_ids=tuple(members[sid]),
+                predecessor_stage_ids=preds[sid],
+            )
+            for sid in members
+        )
+
+    @cached_property
+    def stage_of(self) -> Mapping[str, str]:
+        """Mapping of task id to its inferred stage id."""
+        mapping: dict[str, str] = {}
+        for stage in self.stages:
+            for tid in stage.task_ids:
+                mapping[tid] = stage.stage_id
+        return mapping
+
+    def stage(self, stage_id: str) -> Stage:
+        """Return the stage with ``stage_id``."""
+        for stage in self.stages:
+            if stage.stage_id == stage_id:
+                return stage
+        raise KeyError(stage_id)
+
+    # ------------------------------------------------------------------
+    # aggregate properties
+    # ------------------------------------------------------------------
+    @cached_property
+    def total_work(self) -> float:
+        """Sum of all task nominal runtimes, in seconds.
+
+        Corresponds to Table I's "aggregate task execution time".
+        """
+        return float(sum(t.runtime for t in self._tasks.values()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Workflow({self.name!r}, tasks={len(self._tasks)}, "
+            f"stages={len(self.stages)})"
+        )

@@ -1,0 +1,149 @@
+"""The engine <-> autoscaler contract.
+
+At every MAPE tick the simulator hands the active autoscaler an
+:class:`Observation` — everything a controller co-located with the
+framework master could legitimately see (paper §II-C: monitored lifecycles,
+the DAG, pool and billing state) — and receives a :class:`ScalingDecision`
+back. The engine applies launches with the site's provisioning lag and
+terminations at the decision's chosen times.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.cloud.billing import BillingModel
+from repro.cloud.instance import Instance
+from repro.cloud.pool import InstancePool
+from repro.cloud.site import CloudSite
+from repro.dag.workflow import Workflow
+from repro.engine.master import FrameworkMaster, TaskExecState
+from repro.engine.monitor import Monitor
+
+__all__ = ["Autoscaler", "Observation", "ScalingDecision", "TerminationOrder"]
+
+
+@dataclass(frozen=True)
+class TerminationOrder:
+    """Release ``instance_id`` at absolute simulation time ``at``.
+
+    WIRE schedules releases at an instance's charge boundary so no paid
+    time is forfeited (Algorithm 2); reactive policies release immediately.
+    """
+
+    instance_id: str
+    at: float
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """The outcome of one control iteration."""
+
+    launch: int = 0
+    terminations: tuple[TerminationOrder, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.launch < 0:
+            raise ValueError(f"launch must be >= 0, got {self.launch}")
+        if self.launch and self.terminations:
+            raise ValueError("a decision cannot both launch and terminate")
+
+    @property
+    def is_noop(self) -> bool:
+        return self.launch == 0 and not self.terminations
+
+
+NO_CHANGE = ScalingDecision()
+
+
+@dataclass
+class Observation:
+    """Snapshot handed to the autoscaler at a MAPE tick.
+
+    ``window_start`` is the time of the previous tick, so
+    ``monitor.transfer_times_between(window_start, now)`` yields exactly
+    the paper's "observations between the n-1th and nth MAPE iterations".
+    """
+
+    now: float
+    window_start: float
+    workflow: Workflow
+    master: FrameworkMaster
+    monitor: Monitor
+    pool: InstancePool
+    billing: BillingModel
+    site: CloudSite
+    queued_task_ids: tuple[str, ...]
+    draining_ids: frozenset[str] = field(default_factory=frozenset)
+
+    # ------------------------------------------------------------------
+    # convenience views shared by every policy
+    # ------------------------------------------------------------------
+    @property
+    def charging_unit(self) -> float:
+        return self.billing.charging_unit
+
+    @property
+    def lag(self) -> float:
+        return self.site.lag
+
+    def steerable_instances(self) -> list[Instance]:
+        """RUNNING instances not already scheduled for termination."""
+        return [
+            i
+            for i in self.pool.running()
+            if i.instance_id not in self.draining_ids
+        ]
+
+    def effective_pool_size(self) -> int:
+        """Pool size the policy should plan against.
+
+        Counts RUNNING (minus draining, which will be gone) plus PENDING
+        (already ordered, will arrive) instances.
+        """
+        running = len(self.steerable_instances())
+        pending = len(self.pool.pending())
+        return running + pending
+
+    def runnable_task_count(self) -> int:
+        """Tasks ready or in flight — the reactive policies' load signal."""
+        master = self.master
+        return (
+            master.count(TaskExecState.READY)
+            + master.count(TaskExecState.STAGING_IN)
+            + master.count(TaskExecState.EXECUTING)
+            + master.count(TaskExecState.STAGING_OUT)
+        )
+
+    def restart_cost(self, instance: Instance) -> float:
+        """Max sunk occupancy of any task on ``instance`` as of now.
+
+        The paper's ``c_j``: "the maximum sunk cost (consumed slot
+        occupancy time ...) of any task assigned to a slot on instance j".
+        """
+        cost = 0.0
+        for task_id in instance.occupants:
+            attempt = self.monitor.current_attempt(task_id)
+            cost = max(cost, attempt.occupancy_elapsed(self.now))
+        return cost
+
+
+class Autoscaler(ABC):
+    """A pool-sizing policy. Subclasses must be engine-agnostic."""
+
+    #: short name used in experiment reports ("wire", "full-site", ...)
+    name: str = "autoscaler"
+
+    @abstractmethod
+    def plan(self, obs: Observation) -> ScalingDecision:
+        """Compute pool changes for the upcoming interval."""
+
+    def initial_pool_size(self, site: CloudSite) -> int:
+        """Instances to provision before the run starts (default: one)."""
+        return min(1, site.max_instances)
+
+    def state_size_bytes(self) -> int | None:
+        """Approximate controller state footprint, for the §IV-F overhead
+        report. None means "not tracked"."""
+        return None

@@ -1,0 +1,98 @@
+"""Task fault injection.
+
+Paper §II-C notes frameworks monitor task lifecycles "for fault
+tolerance"; on real clouds tasks die mid-execution (preemptions, node
+failures, application crashes) and the framework resubmits them. Fault
+models let tests and experiments inject such failures: a failed attempt
+consumes slot occupancy (visible to WIRE as a killed attempt and as
+wasted work), then the task is requeued like a policy-restart.
+
+WIRE itself needs no changes — its predictor only learns from completed
+attempts, and its conservative estimates absorb the extra load — which is
+exactly what the robustness tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.cloud.instance import Instance
+from repro.dag.task import Task
+from repro.util.validation import check_in_range
+
+__all__ = ["FaultModel", "NoFaults", "RandomFaults"]
+
+
+class FaultModel(Protocol):
+    """Decides whether (and when) a task attempt fails mid-execution."""
+
+    def failure_offset(
+        self,
+        task: Task,
+        instance: Instance,
+        attempt: int,
+        execution_time: float,
+        rng: np.random.Generator,
+    ) -> float | None:
+        """Seconds into execution at which the attempt dies, or None.
+
+        A returned offset must be < ``execution_time``; the engine treats
+        anything >= as success.
+        """
+        ...
+
+
+@dataclass(frozen=True)
+class NoFaults:
+    """The default: attempts never fail."""
+
+    def failure_offset(
+        self,
+        task: Task,
+        instance: Instance,
+        attempt: int,
+        execution_time: float,
+        rng: np.random.Generator,
+    ) -> float | None:
+        return None
+
+
+@dataclass(frozen=True)
+class RandomFaults:
+    """Bernoulli failures at a uniform point of the execution.
+
+    Each attempt independently fails with ``probability``; the failure
+    strikes at a uniformly random fraction of the attempt's execution
+    time. ``max_attempt`` caps injection (attempts beyond it always
+    succeed), guaranteeing runs terminate; real frameworks use similar
+    retry policies.
+    """
+
+    probability: float = 0.05
+    max_attempt: int = 5
+
+    def __post_init__(self) -> None:
+        check_in_range("probability", self.probability, 0.0, 1.0)
+        if not isinstance(self.max_attempt, int) or self.max_attempt < 1:
+            raise ValueError(
+                f"max_attempt must be an int >= 1, got {self.max_attempt!r}"
+            )
+
+    def failure_offset(
+        self,
+        task: Task,
+        instance: Instance,
+        attempt: int,
+        execution_time: float,
+        rng: np.random.Generator,
+    ) -> float | None:
+        if attempt > self.max_attempt:
+            return None
+        if execution_time <= 0.0:
+            return None
+        if rng.random() >= self.probability:
+            return None
+        return float(rng.uniform(0.0, execution_time))

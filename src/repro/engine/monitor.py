@@ -1,0 +1,215 @@
+"""Kickstart-style task monitoring.
+
+Paper §II-C property 1: workflow frameworks already "collect [each task's]
+CPU time and start/end times, ... record input/output data sizes". The
+:class:`Monitor` is this repo's stand-in for Pegasus kickstart records plus
+HTCondor logs: it records every task attempt's lifecycle timestamps and
+answers the queries WIRE's task predictor makes at the start of each MAPE
+iteration (§III-B1) — completed execution times, elapsed run times of
+running tasks, recent data-transfer observations, and input sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["Monitor", "TaskAttempt"]
+
+
+@dataclass
+class TaskAttempt:
+    """One attempt at executing a task (restarts create new attempts).
+
+    Timeline: ``dispatch_time`` (slot assigned, stage-in begins) ->
+    ``exec_start`` (stage-in done, computation begins) -> ``exec_end``
+    (computation done, stage-out begins) -> ``complete_time`` (stage-out
+    done, slot freed). A killed attempt has ``killed_at`` set and whatever
+    later timestamps it never reached left as ``None``.
+    """
+
+    task_id: str
+    stage_id: str
+    attempt: int
+    instance_id: str
+    dispatch_time: float
+    input_size: float
+    output_size: float
+    exec_start: float | None = None
+    exec_end: float | None = None
+    complete_time: float | None = None
+    killed_at: float | None = None
+    #: True when the attempt died of an injected fault (vs a pool-shrink
+    #: kill); both requeue, but experiments distinguish the causes
+    failed: bool = False
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def is_completed(self) -> bool:
+        return self.complete_time is not None
+
+    @property
+    def is_killed(self) -> bool:
+        return self.killed_at is not None
+
+    @property
+    def in_flight(self) -> bool:
+        return not self.is_completed and not self.is_killed
+
+    @property
+    def execution_time(self) -> float | None:
+        """Measured pure execution seconds, if the computation finished."""
+        if self.exec_start is None or self.exec_end is None:
+            return None
+        return self.exec_end - self.exec_start
+
+    @property
+    def stage_in_time(self) -> float | None:
+        """Measured input-transfer seconds, if stage-in finished."""
+        if self.exec_start is None:
+            return None
+        return self.exec_start - self.dispatch_time
+
+    @property
+    def stage_out_time(self) -> float | None:
+        """Measured output-transfer seconds, if the attempt completed."""
+        if self.complete_time is None or self.exec_end is None:
+            return None
+        return self.complete_time - self.exec_end
+
+    def elapsed_execution(self, now: float) -> float:
+        """Seconds the computation has been running as of ``now``.
+
+        Zero while the attempt is still staging data in — the paper's
+        "run time" of a running task measures execution, and WIRE treats
+        transfers separately through ``t̃_data``.
+        """
+        if self.exec_start is None:
+            return 0.0
+        end = self.exec_end if self.exec_end is not None else now
+        return max(0.0, end - self.exec_start)
+
+    def occupancy_elapsed(self, now: float) -> float:
+        """Seconds of slot occupancy so far — the sunk/restart cost basis."""
+        end = now
+        if self.complete_time is not None:
+            end = self.complete_time
+        elif self.killed_at is not None:
+            end = self.killed_at
+        return max(0.0, end - self.dispatch_time)
+
+
+class Monitor:
+    """Records task attempts and serves the predictor's online queries."""
+
+    def __init__(self) -> None:
+        self._attempts: dict[str, list[TaskAttempt]] = {}
+        self._by_stage: dict[str, list[TaskAttempt]] = {}
+
+    # ------------------------------------------------------------------
+    # recording (called by the engine)
+    # ------------------------------------------------------------------
+    def record_dispatch(
+        self,
+        task_id: str,
+        stage_id: str,
+        instance_id: str,
+        now: float,
+        input_size: float,
+        output_size: float,
+    ) -> TaskAttempt:
+        """Open a new attempt when a task is assigned to a slot."""
+        history = self._attempts.setdefault(task_id, [])
+        attempt = TaskAttempt(
+            task_id=task_id,
+            stage_id=stage_id,
+            attempt=len(history) + 1,
+            instance_id=instance_id,
+            dispatch_time=now,
+            input_size=input_size,
+            output_size=output_size,
+        )
+        history.append(attempt)
+        self._by_stage.setdefault(stage_id, []).append(attempt)
+        return attempt
+
+    def record_exec_start(self, task_id: str, now: float) -> None:
+        self.current_attempt(task_id).exec_start = now
+
+    def record_exec_end(self, task_id: str, now: float) -> None:
+        self.current_attempt(task_id).exec_end = now
+
+    def record_complete(self, task_id: str, now: float) -> None:
+        self.current_attempt(task_id).complete_time = now
+
+    def record_kill(self, task_id: str, now: float, *, failed: bool = False) -> None:
+        attempt = self.current_attempt(task_id)
+        attempt.killed_at = now
+        attempt.failed = failed
+
+    # ------------------------------------------------------------------
+    # queries (called by controllers and experiments)
+    # ------------------------------------------------------------------
+    def current_attempt(self, task_id: str) -> TaskAttempt:
+        """The most recent attempt for ``task_id``."""
+        history = self._attempts.get(task_id)
+        if not history:
+            raise KeyError(f"no attempts recorded for task {task_id!r}")
+        return history[-1]
+
+    def attempts(self, task_id: str) -> list[TaskAttempt]:
+        """All attempts for ``task_id`` (may be empty)."""
+        return list(self._attempts.get(task_id, ()))
+
+    def all_attempts(self) -> Iterable[TaskAttempt]:
+        """Every attempt recorded so far."""
+        for history in self._attempts.values():
+            yield from history
+
+    def completed_in_stage(self, stage_id: str) -> list[TaskAttempt]:
+        """Completed attempts in ``stage_id`` (the predictor's training data)."""
+        return [a for a in self._by_stage.get(stage_id, ()) if a.is_completed]
+
+    def running_in_stage(self, stage_id: str) -> list[TaskAttempt]:
+        """In-flight attempts in ``stage_id``."""
+        return [a for a in self._by_stage.get(stage_id, ()) if a.in_flight]
+
+    def stage_has_dispatches(self, stage_id: str) -> bool:
+        """Whether any task of ``stage_id`` was ever dispatched."""
+        return bool(self._by_stage.get(stage_id))
+
+    def transfer_times_between(self, t0: float, t1: float) -> list[float]:
+        """All transfer durations that *finished* in the window ``(t0, t1]``.
+
+        This feeds the paper's ``t̃_data``: "the median of the data
+        transfer times of the tasks between the n-1th and nth MAPE
+        iterations". Stage-in and stage-out observations both count.
+        """
+        observations: list[float] = []
+        for attempt in self.all_attempts():
+            if attempt.exec_start is not None and t0 < attempt.exec_start <= t1:
+                observations.append(attempt.stage_in_time or 0.0)
+            if (
+                attempt.complete_time is not None
+                and t0 < attempt.complete_time <= t1
+            ):
+                observations.append(attempt.stage_out_time or 0.0)
+        return observations
+
+    def total_restarts(self) -> int:
+        """Number of killed attempts across the run (wasted work events)."""
+        return sum(1 for a in self.all_attempts() if a.is_killed)
+
+    def total_failures(self) -> int:
+        """Killed attempts attributable to injected faults."""
+        return sum(1 for a in self.all_attempts() if a.failed)
+
+    def wasted_occupancy(self) -> float:
+        """Total slot-seconds consumed by attempts that were later killed."""
+        return sum(
+            a.occupancy_elapsed(a.killed_at)  # type: ignore[arg-type]
+            for a in self.all_attempts()
+            if a.is_killed
+        )

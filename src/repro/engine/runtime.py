@@ -1,0 +1,84 @@
+"""Task execution-time realization.
+
+The workload generator stamps each task with a nominal ``runtime``; a
+runtime model decides what the engine actually realizes for a given
+attempt on a given instance. Separating the two lets us model the paper's
+two variability axes independently: intra-stage skew is baked into the
+nominal runtimes by the generators (Observation 1), while cross-run and
+cross-instance variability (Observation 2) is layered on here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.cloud.instance import Instance
+from repro.dag.task import Task
+from repro.util.validation import check_non_negative
+
+__all__ = ["NominalRuntimeModel", "PerturbedRuntimeModel", "TaskRuntimeModel"]
+
+
+class TaskRuntimeModel(Protocol):
+    """Realizes execution durations for task attempts."""
+
+    def execution_time(
+        self,
+        task: Task,
+        instance: Instance,
+        attempt: int,
+        rng: np.random.Generator,
+    ) -> float:
+        """Seconds of pure execution for this attempt (excludes transfers)."""
+        ...
+
+
+@dataclass(frozen=True)
+class NominalRuntimeModel:
+    """Deterministic: nominal runtime scaled by the instance's speed."""
+
+    def execution_time(
+        self,
+        task: Task,
+        instance: Instance,
+        attempt: int,
+        rng: np.random.Generator,
+    ) -> float:
+        return task.runtime / instance.itype.speed_factor
+
+
+@dataclass(frozen=True)
+class PerturbedRuntimeModel:
+    """Lognormal multiplicative noise around the nominal runtime.
+
+    ``cv`` is the coefficient of variation of the noise factor. The factor
+    has mean 1, so expected durations match the nominal runtimes while
+    individual attempts vary — the interference effect of §II-B. Each
+    attempt resamples, so a restarted task may run a different duration in
+    the same run, as it would on a real cloud.
+    """
+
+    cv: float = 0.1
+
+    def __post_init__(self) -> None:
+        check_non_negative("cv", self.cv)
+
+    def execution_time(
+        self,
+        task: Task,
+        instance: Instance,
+        attempt: int,
+        rng: np.random.Generator,
+    ) -> float:
+        base = task.runtime / instance.itype.speed_factor
+        if self.cv == 0.0 or base == 0.0:
+            return base
+        sigma2 = np.log1p(self.cv**2)
+        # mean of lognorm(mu, sigma) is exp(mu + sigma^2/2); choose mu so
+        # the multiplicative factor has expectation exactly 1.
+        mu = -0.5 * sigma2
+        factor = float(rng.lognormal(mean=mu, sigma=float(np.sqrt(sigma2))))
+        return base * factor

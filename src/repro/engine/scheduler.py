@@ -1,0 +1,144 @@
+"""Task schedulers with the paper's first-*k* stage boost.
+
+Paper §III-C: "WIRE dispatches the first five ready-to-run tasks to fire in
+a stage with high priority. These tasks often run before the final tasks of
+predecessor stages ... which provides the performance data for more
+stages" — i.e. the boost exists to warm up the online predictors quickly.
+
+The default scheduler is plain FIFO, matching the expected framework
+scheduling the steering policy assumes (§III-D). §III-D also concedes the
+controller's "predicted assignment of tasks to instances might differ from
+the true schedule selected by the framework master" and claims the drift
+effect is minor; :class:`LifoScheduler` and :class:`RandomScheduler`
+realize such drift (their ``snapshot`` still reports the insertion order
+the controller assumes, while ``pop`` diverges), so the claim can be
+tested (``benchmarks/bench_scheduler_drift.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from repro.util.rng import spawn_rng
+
+__all__ = ["FifoScheduler", "LifoScheduler", "RandomScheduler"]
+
+_PRIORITY_BOOSTED = 0
+_PRIORITY_NORMAL = 1
+
+
+class FifoScheduler:
+    """Priority-FIFO queue of ready task ids.
+
+    Within a priority class, tasks pop in insertion order. The first
+    ``boost_k`` tasks of each stage to become ready are enqueued at boosted
+    priority; requeued (killed-and-restarted) tasks are also boosted so
+    their sunk work is recovered promptly.
+    """
+
+    def __init__(self, boost_k: int = 5) -> None:
+        if not isinstance(boost_k, int) or boost_k < 0:
+            raise ValueError(f"boost_k must be a non-negative int, got {boost_k!r}")
+        self.boost_k = boost_k
+        self._heap: list[tuple[int, int, str]] = []
+        self._counter = itertools.count()
+        self._boosted_per_stage: dict[str, int] = {}
+        self._queued: set[str] = set()
+
+    def push(self, task_id: str, stage_id: str, *, requeue: bool = False) -> None:
+        """Enqueue a ready task.
+
+        ``requeue=True`` marks a task resubmitted after its instance was
+        terminated (Algorithm 2 line 12); it gets boosted priority without
+        consuming the stage's boost budget.
+        """
+        if task_id in self._queued:
+            raise RuntimeError(f"task {task_id!r} is already queued")
+        if requeue:
+            priority = _PRIORITY_BOOSTED
+        else:
+            used = self._boosted_per_stage.get(stage_id, 0)
+            if used < self.boost_k:
+                self._boosted_per_stage[stage_id] = used + 1
+                priority = _PRIORITY_BOOSTED
+            else:
+                priority = _PRIORITY_NORMAL
+        heapq.heappush(self._heap, (priority, next(self._counter), task_id))
+        self._queued.add(task_id)
+
+    def pop(self) -> str | None:
+        """Dequeue the next task id, or None when empty."""
+        while self._heap:
+            _, _, task_id = heapq.heappop(self._heap)
+            if task_id in self._queued:
+                self._queued.discard(task_id)
+                return task_id
+        return None
+
+    def __len__(self) -> int:
+        return len(self._queued)
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._queued
+
+
+    def _remove(self, entry: tuple[int, int, str]) -> None:
+        """Remove a specific entry, restoring the heap invariant.
+
+        O(n), but n is the live queue — fine at engine scale, and it
+        keeps requeued tasks from leaving stale duplicates behind.
+        """
+        self._heap.remove(entry)
+        heapq.heapify(self._heap)
+        self._queued.discard(entry[2])
+
+    def snapshot(self) -> tuple[str, ...]:
+        """Queued task ids in *assumed* (FIFO) pop order, unmutated.
+
+        WIRE's lookahead simulator uses this to project the framework's
+        dispatch decisions (§III-D). Drift-modelling subclasses keep this
+        FIFO view while popping in a different order.
+        """
+        entries = sorted(e for e in self._heap if e[2] in self._queued)
+        return tuple(task_id for _, _, task_id in entries)
+
+
+class LifoScheduler(FifoScheduler):
+    """Pops the most recently queued task within each priority class.
+
+    Maximal structured drift from the controller's FIFO assumption.
+    """
+
+    def pop(self) -> str | None:
+        entries = sorted(e for e in self._heap if e[2] in self._queued)
+        if not entries:
+            return None
+        # Last insertion within the best (lowest) priority class.
+        best_priority = entries[0][0]
+        entry = max(e for e in entries if e[0] == best_priority)
+        self._remove(entry)
+        return entry[2]
+
+
+class RandomScheduler(FifoScheduler):
+    """Pops a uniformly random queued task within the best priority class.
+
+    Unstructured drift; deterministic for a given seed.
+    """
+
+    def __init__(self, boost_k: int = 5, *, seed: int = 0) -> None:
+        super().__init__(boost_k)
+        self._rng: np.random.Generator = spawn_rng(seed, "random-scheduler")
+
+    def pop(self) -> str | None:
+        entries = sorted(e for e in self._heap if e[2] in self._queued)
+        if not entries:
+            return None
+        best_priority = entries[0][0]
+        candidates = [e for e in entries if e[0] == best_priority]
+        entry = candidates[int(self._rng.integers(0, len(candidates)))]
+        self._remove(entry)
+        return entry[2]

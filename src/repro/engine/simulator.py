@@ -1,0 +1,483 @@
+"""Discrete-event workflow execution engine.
+
+This is the repo's stand-in for "Pegasus WMS/HTCondor running on ExoGENI":
+it executes one workflow run on an elastic pool of simulated worker
+instances, invoking an :class:`~repro.engine.control.Autoscaler` every
+control period (the MAPE cadence, paper §III-A) and applying its decisions
+with the site's provisioning lag.
+
+Determinism: all randomness flows from a single seed through labelled
+sub-streams (:mod:`repro.util.rng`), and simultaneous events fire in
+scheduling order, so a run is a pure function of
+``(workflow, site, autoscaler, charging_unit, models, seed)``.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+
+from repro.cloud.billing import BillingModel
+from repro.cloud.instance import Instance, InstanceState
+from repro.cloud.pool import InstancePool
+from repro.cloud.provisioner import Provisioner
+from repro.cloud.site import CloudSite
+from repro.dag.workflow import Workflow
+from repro.engine.control import Autoscaler, Observation, ScalingDecision
+from repro.engine.events import Event, EventKind, EventQueue
+from repro.engine.faults import FaultModel, NoFaults
+from repro.engine.master import FrameworkMaster
+from repro.engine.monitor import Monitor
+from repro.engine.runtime import NominalRuntimeModel, TaskRuntimeModel
+from repro.engine.scheduler import FifoScheduler
+from repro.engine.transfer import DataTransferModel, NoTransferModel
+from repro.util.rng import RngStream
+from repro.util.validation import check_positive
+
+__all__ = ["RunResult", "Simulation"]
+
+
+@dataclass
+class RunResult:
+    """Everything measured from one workflow run."""
+
+    workflow_name: str
+    autoscaler_name: str
+    charging_unit: float
+    #: completion time of the last task (simulation seconds)
+    makespan: float
+    #: False when the run hit ``max_time`` before finishing
+    completed: bool
+    #: total charging units billed (Fig 5's "resource cost")
+    total_units: int
+    #: total monetary cost (units x price)
+    total_cost: float
+    #: paid-but-unused instance seconds
+    wasted_seconds: float
+    #: busy slot-seconds / paid slot-seconds, in [0, 1]
+    utilization: float
+    #: largest number of simultaneously RUNNING instances
+    peak_instances: int
+    #: total instances ever launched
+    instances_launched: int
+    #: task attempts killed by pool shrinks
+    restarts: int
+    #: MAPE iterations executed
+    ticks: int
+    #: wall-clock seconds spent inside autoscaler.plan() (§IV-F overhead)
+    controller_cpu_seconds: float
+    #: autoscaler-reported state footprint in bytes (None if untracked)
+    controller_state_bytes: int | None
+    #: (time, running instance count) at every pool change
+    pool_timeline: list[tuple[float, int]]
+    #: full task attempt records
+    monitor: Monitor = field(repr=False)
+
+    @property
+    def total_task_seconds(self) -> float:
+        """Aggregate completed execution seconds (Table I's aggregate)."""
+        return sum(
+            a.execution_time or 0.0
+            for a in self.monitor.all_attempts()
+            if a.is_completed
+        )
+
+
+class Simulation:
+    """One workflow run under one autoscaling policy.
+
+    Parameters
+    ----------
+    workflow, site, autoscaler:
+        What to run, where, and under which pool-sizing policy.
+    charging_unit:
+        Billing unit *u* in seconds.
+    transfer_model, runtime_model:
+        Ground-truth generators for transfers and execution times.
+    controller_period:
+        MAPE iteration period; defaults to the site's lag as the paper
+        prescribes (§III-A).
+    boost_k:
+        First-*k* per-stage priority boost (paper: 5).
+    seed:
+        Root seed for all stochastic models.
+    max_time:
+        Safety horizon; the run is marked incomplete if it exceeds this.
+    """
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        site: CloudSite,
+        autoscaler: Autoscaler,
+        charging_unit: float,
+        *,
+        transfer_model: DataTransferModel | None = None,
+        runtime_model: TaskRuntimeModel | None = None,
+        fault_model: FaultModel | None = None,
+        controller_period: float | None = None,
+        boost_k: int = 5,
+        scheduler: FifoScheduler | None = None,
+        launch_jitter: float = 0.0,
+        seed: int = 0,
+        max_time: float = 1e8,
+    ) -> None:
+        check_positive("charging_unit", charging_unit)
+        check_positive("max_time", max_time)
+        self.workflow = workflow
+        self.site = site
+        self.autoscaler = autoscaler
+        self.billing = BillingModel(charging_unit)
+        self.transfer_model = transfer_model or NoTransferModel()
+        self.runtime_model = runtime_model or NominalRuntimeModel()
+        self.fault_model = fault_model or NoFaults()
+        self.period = controller_period if controller_period is not None else site.lag
+        check_positive("controller_period", self.period)
+        # The paper's lag is "the *maximum* delay to launch or release an
+        # instance" (§III-A); with jitter j, an ordered instance becomes
+        # usable after lag * (1 - j*U[0,1)) — up to j earlier than the
+        # worst case the controller plans around.
+        if not 0.0 <= launch_jitter <= 1.0:
+            raise ValueError(
+                f"launch_jitter must be in [0, 1], got {launch_jitter!r}"
+            )
+        self.launch_jitter = launch_jitter
+        self.max_time = max_time
+
+        rng = RngStream(seed=seed, label="simulation")
+        self._rng_transfer = rng.child("transfer").generator()
+        self._rng_runtime = rng.child("runtime").generator()
+        self._rng_faults = rng.child("faults").generator()
+        self._rng_launch = rng.child("launch").generator()
+
+        self.pool = InstancePool(site.itype, self.billing)
+        self.provisioner = Provisioner(site, self.pool)
+        self.master = FrameworkMaster(workflow)
+        self.monitor = Monitor()
+        # A custom scheduler models §III-D's dispatch-order drift; the
+        # default is the FIFO order the steering policy assumes.
+        self.scheduler = scheduler if scheduler is not None else FifoScheduler(
+            boost_k=boost_k
+        )
+        self.events = EventQueue()
+
+        self._now = 0.0
+        self._draining: set[str] = set()
+        self._pending_task_event: dict[str, Event] = {}
+        self._timeline: list[tuple[float, int]] = []
+        self._last_completion = 0.0
+        self._ticks = 0
+        self._controller_seconds = 0.0
+        self._last_tick_time = 0.0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Execute the workflow to completion and return measurements."""
+        self._bootstrap()
+        completed = True
+        while not self.master.is_done():
+            if not self.events:
+                raise RuntimeError(
+                    "event queue drained before workflow completion "
+                    f"(at t={self._now}); the pool can no longer make progress"
+                )
+            event = self.events.pop()
+            if event.time > self.max_time:
+                completed = False
+                break
+            self._now = event.time
+            self._handle(event)
+        return self._finalize(completed)
+
+    # ------------------------------------------------------------------
+    # setup / teardown
+    # ------------------------------------------------------------------
+    def _bootstrap(self) -> None:
+        initial = self.autoscaler.initial_pool_size(self.site)
+        initial = max(self.site.min_instances, min(initial, self.site.max_instances))
+        for _ in range(initial):
+            instance = self.pool.create(now=0.0)
+            instance.mark_running(0.0)
+        self._record_pool_change(0.0)
+        for task_id in self.master.initially_ready():
+            self.scheduler.push(task_id, self.workflow.stage_of[task_id])
+        self._dispatch()
+        self.events.push(self.period, EventKind.CONTROLLER_TICK)
+
+    def _finalize(self, completed: bool) -> RunResult:
+        makespan = self._last_completion if completed else self._now
+        # Tear down whatever is still up; the run is over.
+        for instance in self.pool:
+            if instance.state is InstanceState.RUNNING:
+                for task_id in sorted(instance.occupants):
+                    # Only possible on an incomplete (timed-out) run.
+                    self.monitor.record_kill(task_id, makespan)
+                    instance.release(task_id)
+                instance.mark_terminated(max(makespan, instance.started_at or 0.0))
+            elif instance.state is InstanceState.PENDING:
+                # Never became usable; never billed.
+                instance.state = InstanceState.TERMINATED
+                instance.terminated_at = instance.requested_at
+
+        total_units = self.pool.total_units(makespan)
+        busy = sum(
+            a.occupancy_elapsed(makespan) for a in self.monitor.all_attempts()
+        )
+        paid_slot_seconds = sum(
+            self.billing.units_charged(i, makespan)
+            * self.billing.charging_unit
+            * i.itype.slots
+            for i in self.pool
+        )
+        utilization = busy / paid_slot_seconds if paid_slot_seconds > 0 else 0.0
+        return RunResult(
+            workflow_name=self.workflow.name,
+            autoscaler_name=self.autoscaler.name,
+            charging_unit=self.billing.charging_unit,
+            makespan=makespan,
+            completed=completed,
+            total_units=total_units,
+            total_cost=self.pool.total_cost(makespan),
+            wasted_seconds=self.pool.total_wasted_time(makespan),
+            utilization=min(1.0, utilization),
+            peak_instances=max((c for _, c in self._timeline), default=0),
+            instances_launched=len(self.pool),
+            restarts=self.monitor.total_restarts(),
+            ticks=self._ticks,
+            controller_cpu_seconds=self._controller_seconds,
+            controller_state_bytes=self.autoscaler.state_size_bytes(),
+            pool_timeline=list(self._timeline),
+            monitor=self.monitor,
+        )
+
+    # ------------------------------------------------------------------
+    # event dispatch
+    # ------------------------------------------------------------------
+    def _handle(self, event: Event) -> None:
+        if event.kind is EventKind.INSTANCE_READY:
+            self._on_instance_ready(event.payload)
+        elif event.kind is EventKind.INSTANCE_TERMINATE:
+            self._on_instance_terminate(event.payload)
+        elif event.kind is EventKind.STAGE_IN_DONE:
+            self._on_stage_in_done(event.payload)
+        elif event.kind is EventKind.EXEC_DONE:
+            self._on_exec_done(event.payload)
+        elif event.kind is EventKind.STAGE_OUT_DONE:
+            self._on_stage_out_done(event.payload)
+        elif event.kind is EventKind.TASK_FAILED:
+            self._on_task_failed(event.payload)
+        elif event.kind is EventKind.CONTROLLER_TICK:
+            self._on_controller_tick()
+        else:  # pragma: no cover - exhaustive enum
+            raise RuntimeError(f"unknown event kind {event.kind}")
+
+    def _on_instance_ready(self, instance_id: str) -> None:
+        self.pool.get(instance_id).mark_running(self._now)
+        self._record_pool_change(self._now)
+        self._dispatch()
+
+    def _on_instance_terminate(self, instance_id: str) -> None:
+        instance = self.pool.get(instance_id)
+        for task_id in sorted(instance.occupants):
+            pending = self._pending_task_event.pop(task_id, None)
+            if pending is not None:
+                self.events.cancel(pending)
+            self.monitor.record_kill(task_id, self._now)
+            self.master.mark_killed(task_id)
+            self.scheduler.push(
+                task_id, self.workflow.stage_of[task_id], requeue=True
+            )
+        instance.occupants.clear()
+        instance.mark_terminated(self._now)
+        self._draining.discard(instance_id)
+        self._record_pool_change(self._now)
+        self._dispatch()
+
+    def _on_stage_in_done(self, task_id: str) -> None:
+        self.master.mark_executing(task_id)
+        self.monitor.record_exec_start(task_id, self._now)
+        instance = self.pool.instance_of_task(task_id)
+        assert instance is not None, f"executing task {task_id} has no instance"
+        task = self.workflow.task(task_id)
+        attempt = self.master.attempts(task_id)
+        duration = self.runtime_model.execution_time(
+            task, instance, attempt, self._rng_runtime
+        )
+        failure = self.fault_model.failure_offset(
+            task, instance, attempt, duration, self._rng_faults
+        )
+        if failure is not None and failure < duration:
+            self._pending_task_event[task_id] = self.events.push(
+                self._now + failure, EventKind.TASK_FAILED, task_id
+            )
+        else:
+            self._pending_task_event[task_id] = self.events.push(
+                self._now + duration, EventKind.EXEC_DONE, task_id
+            )
+
+    def _on_exec_done(self, task_id: str) -> None:
+        self.master.mark_staging_out(task_id)
+        self.monitor.record_exec_end(task_id, self._now)
+        duration = self.transfer_model.stage_out_time(
+            self.workflow.task(task_id), self._rng_transfer
+        )
+        self._pending_task_event[task_id] = self.events.push(
+            self._now + duration, EventKind.STAGE_OUT_DONE, task_id
+        )
+
+    def _on_stage_out_done(self, task_id: str) -> None:
+        self._pending_task_event.pop(task_id, None)
+        self.monitor.record_complete(task_id, self._now)
+        instance = self.pool.instance_of_task(task_id)
+        assert instance is not None, f"completing task {task_id} has no instance"
+        instance.release(task_id)
+        self._last_completion = self._now
+        for child in self.master.mark_completed(task_id):
+            self.scheduler.push(child, self.workflow.stage_of[child])
+        self._dispatch()
+
+    def _on_task_failed(self, task_id: str) -> None:
+        """An attempt died mid-execution: the framework resubmits it."""
+        self._pending_task_event.pop(task_id, None)
+        instance = self.pool.instance_of_task(task_id)
+        assert instance is not None, f"failed task {task_id} has no instance"
+        self.monitor.record_kill(task_id, self._now, failed=True)
+        self.master.mark_killed(task_id)
+        instance.release(task_id)
+        self.scheduler.push(task_id, self.workflow.stage_of[task_id], requeue=True)
+        self._dispatch()
+
+    def _on_controller_tick(self) -> None:
+        if self.master.is_done():
+            return
+        observation = Observation(
+            now=self._now,
+            window_start=self._last_tick_time,
+            workflow=self.workflow,
+            master=self.master,
+            monitor=self.monitor,
+            pool=self.pool,
+            billing=self.billing,
+            site=self.site,
+            queued_task_ids=self.scheduler.snapshot(),
+            draining_ids=frozenset(self._draining),
+        )
+        started = _time.perf_counter()
+        decision = self.autoscaler.plan(observation)
+        self._controller_seconds += _time.perf_counter() - started
+        self._ticks += 1
+        self._last_tick_time = self._now
+        self._apply_decision(decision)
+        self.events.push(self._now + self.period, EventKind.CONTROLLER_TICK)
+
+    # ------------------------------------------------------------------
+    # decision application
+    # ------------------------------------------------------------------
+    def _apply_decision(self, decision: ScalingDecision) -> None:
+        if decision.launch > 0:
+            for order in self.provisioner.order_launches(decision.launch, self._now):
+                ready_at = order.ready_at
+                if self.launch_jitter > 0.0:
+                    lag = order.ready_at - self._now
+                    ready_at = self._now + lag * (
+                        1.0 - self.launch_jitter * float(self._rng_launch.random())
+                    )
+                self.events.push(
+                    ready_at, EventKind.INSTANCE_READY, order.instance.instance_id
+                )
+        remaining = self.pool.active_size() - len(self._draining)
+        for order in decision.terminations:
+            if order.instance_id in self._draining:
+                continue  # already scheduled for release
+            instance = self.pool.get(order.instance_id)
+            if instance.state is not InstanceState.RUNNING:
+                continue
+            if remaining <= self.site.min_instances:
+                break
+            at = max(order.at, self._now)
+            self._draining.add(order.instance_id)
+            self.events.push(at, EventKind.INSTANCE_TERMINATE, order.instance_id)
+            remaining -= 1
+
+    # ------------------------------------------------------------------
+    # task dispatch
+    # ------------------------------------------------------------------
+    def _dispatchable_instance(self) -> Instance | None:
+        """Pick the fullest running, non-draining instance with a free slot.
+
+        Packing tightly (fewest free slots first) keeps marginal instances
+        empty so the steering policy can release them cheaply.
+        """
+        candidates = [
+            i
+            for i in self.pool.running()
+            if i.free_slots > 0 and i.instance_id not in self._draining
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda i: (i.free_slots, i.instance_id))
+
+    def _dispatch(self) -> None:
+        while len(self.scheduler) > 0:
+            instance = self._dispatchable_instance()
+            if instance is None:
+                return
+            task_id = self.scheduler.pop()
+            assert task_id is not None
+            task = self.workflow.task(task_id)
+            instance.assign(task_id)
+            self.master.mark_dispatched(task_id)
+            self.monitor.record_dispatch(
+                task_id,
+                self.workflow.stage_of[task_id],
+                instance.instance_id,
+                self._now,
+                task.input_size,
+                task.output_size,
+            )
+            duration = self._stage_in_duration(task, instance)
+            self._pending_task_event[task_id] = self.events.push(
+                self._now + duration, EventKind.STAGE_IN_DONE, task_id
+            )
+
+    def _stage_in_duration(self, task, instance: Instance) -> float:
+        """Sample the stage-in time, with placement awareness when the
+        transfer model supports it (see LocalityTransferModel)."""
+        placed = getattr(self.transfer_model, "stage_in_time_placed", None)
+        if placed is None:
+            return self.transfer_model.stage_in_time(task, self._rng_transfer)
+        return placed(
+            task,
+            self._local_input_fraction(task, instance),
+            self._rng_transfer,
+        )
+
+    def _local_input_fraction(self, task, instance: Instance) -> float:
+        """Fraction of input bytes produced on ``instance`` by parents."""
+        parents = self.workflow.parents(task.task_id)
+        if not parents:
+            return 0.0
+        total = 0.0
+        local = 0.0
+        for parent_id in parents:
+            parent = self.workflow.task(parent_id)
+            total += parent.output_size
+            attempts = self.monitor.attempts(parent_id)
+            final = next((a for a in reversed(attempts) if a.is_completed), None)
+            if final is not None and final.instance_id == instance.instance_id:
+                local += parent.output_size
+        if total <= 0.0:
+            return 0.0
+        return local / total
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _record_pool_change(self, now: float) -> None:
+        count = len(self.pool.running())
+        if self._timeline and self._timeline[-1][0] == now:
+            self._timeline[-1] = (now, count)
+        else:
+            self._timeline.append((now, count))

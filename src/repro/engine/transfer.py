@@ -1,0 +1,162 @@
+"""Data transfer models.
+
+Paper §III-B1: "we presume a task's data transfer follows a memoryless
+distribution", i.e. transfer times are exponentially distributed around a
+size-dependent mean, reflecting the transient interference and varying
+pool membership discussed in §II-B. WIRE itself estimates transfer times
+from the *median of recent observations* — that logic lives in the task
+predictor; these classes only generate the ground truth the engine
+realizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.dag.task import Task
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = [
+    "DataTransferModel",
+    "ExponentialTransferModel",
+    "LinearTransferModel",
+    "LocalityTransferModel",
+    "NoTransferModel",
+]
+
+
+class DataTransferModel(Protocol):
+    """Generates stage-in / stage-out durations for task attempts."""
+
+    def stage_in_time(self, task: Task, rng: np.random.Generator) -> float:
+        """Seconds to stage the task's input data onto its instance."""
+        ...
+
+    def stage_out_time(self, task: Task, rng: np.random.Generator) -> float:
+        """Seconds to stage the task's output data off its instance."""
+        ...
+
+
+@dataclass(frozen=True)
+class NoTransferModel:
+    """Zero-cost transfers — for tests and the §IV-A linear simulations,
+    where occupancy is pure execution time."""
+
+    def stage_in_time(self, task: Task, rng: np.random.Generator) -> float:
+        return 0.0
+
+    def stage_out_time(self, task: Task, rng: np.random.Generator) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class LinearTransferModel:
+    """Deterministic transfers: ``latency + bytes / bandwidth``.
+
+    Useful when a test needs exact occupancy arithmetic.
+    """
+
+    bandwidth: float  # bytes per second
+    latency: float = 0.0  # fixed per-transfer seconds
+
+    def __post_init__(self) -> None:
+        check_positive("bandwidth", self.bandwidth)
+        check_non_negative("latency", self.latency)
+
+    def _time(self, nbytes: float) -> float:
+        return self.latency + nbytes / self.bandwidth
+
+    def stage_in_time(self, task: Task, rng: np.random.Generator) -> float:
+        return self._time(task.input_size)
+
+    def stage_out_time(self, task: Task, rng: np.random.Generator) -> float:
+        return self._time(task.output_size)
+
+
+@dataclass(frozen=True)
+class ExponentialTransferModel:
+    """The paper's memoryless transfer model.
+
+    Each transfer draws from an exponential distribution whose mean is
+    ``latency + bytes / bandwidth``: bigger inputs take longer on average,
+    but individual transfers vary widely, exactly the regime in which a
+    median-of-recent-observations estimator (``t̃_data``) is appropriate.
+    """
+
+    bandwidth: float  # bytes per second
+    latency: float = 0.5  # fixed per-transfer mean component, seconds
+
+    def __post_init__(self) -> None:
+        check_positive("bandwidth", self.bandwidth)
+        check_non_negative("latency", self.latency)
+
+    def _sample(self, nbytes: float, rng: np.random.Generator) -> float:
+        mean = self.latency + nbytes / self.bandwidth
+        if mean <= 0.0:
+            return 0.0
+        return float(rng.exponential(mean))
+
+    def stage_in_time(self, task: Task, rng: np.random.Generator) -> float:
+        return self._sample(task.input_size, rng)
+
+    def stage_out_time(self, task: Task, rng: np.random.Generator) -> float:
+        return self._sample(task.output_size, rng)
+
+
+@dataclass(frozen=True)
+class LocalityTransferModel:
+    """Placement-aware memoryless transfers.
+
+    Input bytes whose producers ran on the *same* instance are read
+    locally at ``local_speedup`` times the network bandwidth; the rest
+    cross the network. The engine computes the local fraction from where
+    each parent's final attempt completed and calls
+    :meth:`stage_in_time_placed`; models without that method are treated
+    as placement-blind.
+
+    This stresses WIRE's transfer estimator realistically: observed
+    transfer times become bimodal (local vs remote), and the median
+    ``t̃_data`` lands on whichever mode dominates the recent window.
+    """
+
+    bandwidth: float  # network bytes per second
+    latency: float = 0.5
+    local_speedup: float = 10.0
+
+    def __post_init__(self) -> None:
+        check_positive("bandwidth", self.bandwidth)
+        check_non_negative("latency", self.latency)
+        check_positive("local_speedup", self.local_speedup)
+
+    def _sample(self, mean: float, rng: np.random.Generator) -> float:
+        if mean <= 0.0:
+            return 0.0
+        return float(rng.exponential(mean))
+
+    def stage_in_time_placed(
+        self, task: Task, local_fraction: float, rng: np.random.Generator
+    ) -> float:
+        if not 0.0 <= local_fraction <= 1.0:
+            raise ValueError(
+                f"local_fraction must be in [0, 1], got {local_fraction}"
+            )
+        remote_bytes = task.input_size * (1.0 - local_fraction)
+        local_bytes = task.input_size * local_fraction
+        mean = (
+            self.latency
+            + remote_bytes / self.bandwidth
+            + local_bytes / (self.bandwidth * self.local_speedup)
+        )
+        return self._sample(mean, rng)
+
+    def stage_in_time(self, task: Task, rng: np.random.Generator) -> float:
+        """Placement-blind fallback: everything crosses the network."""
+        return self.stage_in_time_placed(task, 0.0, rng)
+
+    def stage_out_time(self, task: Task, rng: np.random.Generator) -> float:
+        # Outputs are written to instance-local storage and published
+        # lazily; only the fixed publishing latency applies here.
+        return self._sample(self.latency, rng)

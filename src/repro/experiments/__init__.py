@@ -1,0 +1,81 @@
+"""Experiment harness: regenerates every table and figure of §IV.
+
+| Paper artifact | Function |
+|---|---|
+| Table I        | :func:`table1_experiment` |
+| Figure 2       | :func:`sweep_r_over_u` |
+| Figure 3       | :func:`sweep_u_over_r` |
+| Figure 4       | :func:`prediction_experiment` |
+| Figures 5/6    | :func:`cost_experiment` |
+| §IV-F overhead | :func:`overhead_experiment` |
+
+``repro.experiments.report`` renders each result set as text.
+"""
+
+from repro.experiments.analytic import (
+    cost_ratio_r_above_u,
+    makespan_r_above_u,
+    time_ratio_bounds_r_below_u,
+    time_ratio_r_above_u,
+    units_r_above_u,
+)
+from repro.experiments.cost import CostCell, cost_experiment, relative_execution_table
+from repro.experiments.harness import (
+    CHARGING_UNITS,
+    default_transfer_model,
+    policy_factories,
+    run_setting,
+)
+from repro.experiments.linear_sim import (
+    LinearSimResult,
+    simulate_linear_stage,
+    sweep_r_over_u,
+    sweep_u_over_r,
+)
+from repro.experiments.overhead import OverheadRow, overhead_experiment
+from repro.experiments.campaign import CampaignStore, CellKey, CellRecord, run_campaign
+from repro.experiments.motivation import MotivationRow, motivation_experiment
+from repro.experiments.sensitivity import LagSensitivityRow, lag_sensitivity_experiment
+from repro.experiments.robustness import RobustnessRow, robustness_experiment
+from repro.experiments.prediction import (
+    StagePredictionResult,
+    prediction_experiment,
+    replay_stage_predictions,
+)
+from repro.experiments.table1 import Table1Row, table1_experiment
+
+__all__ = [
+    "CHARGING_UNITS",
+    "CampaignStore",
+    "CellKey",
+    "CellRecord",
+    "CostCell",
+    "LagSensitivityRow",
+    "LinearSimResult",
+    "MotivationRow",
+    "OverheadRow",
+    "RobustnessRow",
+    "StagePredictionResult",
+    "Table1Row",
+    "cost_experiment",
+    "cost_ratio_r_above_u",
+    "default_transfer_model",
+    "lag_sensitivity_experiment",
+    "makespan_r_above_u",
+    "motivation_experiment",
+    "overhead_experiment",
+    "policy_factories",
+    "prediction_experiment",
+    "relative_execution_table",
+    "replay_stage_predictions",
+    "robustness_experiment",
+    "run_campaign",
+    "run_setting",
+    "simulate_linear_stage",
+    "sweep_r_over_u",
+    "sweep_u_over_r",
+    "table1_experiment",
+    "time_ratio_bounds_r_below_u",
+    "time_ratio_r_above_u",
+    "units_r_above_u",
+]

@@ -1,0 +1,149 @@
+"""Persistent experiment campaigns.
+
+The paper's matrix (8 workloads x 4 settings x 4 charging units x 3-7
+repetitions) is hundreds of runs; on a laptop one wants to run it
+incrementally, survive interruptions, and never recompute a finished
+cell. A :class:`CampaignStore` persists one summary record per
+(workflow, policy, charging unit, seed) cell to a JSON file;
+:func:`run_campaign` fills in whatever is missing and saves after every
+run, so a killed campaign resumes exactly where it stopped.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from repro.cloud.site import CloudSite, exogeni_site
+from repro.engine.control import Autoscaler
+from repro.experiments.harness import run_setting
+from repro.workloads.base import StagedWorkflowSpec
+
+__all__ = ["CampaignStore", "CellKey", "CellRecord", "run_campaign"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CellKey:
+    """Identity of one run in the matrix."""
+
+    workflow: str
+    policy: str
+    charging_unit: float
+    seed: int
+
+
+@dataclass(frozen=True)
+class CellRecord:
+    """Persisted summary of one finished run."""
+
+    workflow: str
+    policy: str
+    charging_unit: float
+    seed: int
+    makespan: float
+    total_units: int
+    total_cost: float
+    utilization: float
+    peak_instances: int
+    restarts: int
+    completed: bool
+
+    @property
+    def key(self) -> CellKey:
+        return CellKey(self.workflow, self.policy, self.charging_unit, self.seed)
+
+
+class CampaignStore:
+    """A JSON-backed map of finished cells."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._records: dict[CellKey, CellRecord] = {}
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        payload = json.loads(self.path.read_text(encoding="utf-8"))
+        version = payload.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported campaign format version {version!r}")
+        for raw in payload["records"]:
+            record = CellRecord(**raw)
+            self._records[record.key] = record
+
+    def save(self) -> None:
+        """Write the store atomically (write-then-rename)."""
+        payload = {
+            "format_version": _FORMAT_VERSION,
+            "records": [asdict(r) for r in self.records()],
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True), "utf-8")
+        tmp.replace(self.path)
+
+    def has(self, key: CellKey) -> bool:
+        return key in self._records
+
+    def get(self, key: CellKey) -> CellRecord:
+        return self._records[key]
+
+    def put(self, record: CellRecord) -> None:
+        self._records[record.key] = record
+
+    def records(self) -> list[CellRecord]:
+        """All records, deterministically ordered."""
+        return sorted(
+            self._records.values(),
+            key=lambda r: (r.workflow, r.policy, r.charging_unit, r.seed),
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def run_campaign(
+    store: CampaignStore,
+    specs: Mapping[str, StagedWorkflowSpec],
+    policies: Mapping[str, Callable[[], Autoscaler]],
+    charging_units: Sequence[float],
+    seeds: Sequence[int],
+    *,
+    site: CloudSite | None = None,
+) -> tuple[list[CellRecord], int]:
+    """Fill in the matrix's missing cells; returns (all records, #new).
+
+    The store is saved after every completed run, so interrupting and
+    re-invoking never loses or repeats work.
+    """
+    the_site = site or exogeni_site()
+    executed = 0
+    for wf_name, spec in sorted(specs.items()):
+        for policy_name, factory in policies.items():
+            for u in charging_units:
+                for seed in seeds:
+                    key = CellKey(wf_name, policy_name, u, seed)
+                    if store.has(key):
+                        continue
+                    result = run_setting(spec, factory, u, seed=seed, site=the_site)
+                    store.put(
+                        CellRecord(
+                            workflow=wf_name,
+                            policy=policy_name,
+                            charging_unit=u,
+                            seed=seed,
+                            makespan=result.makespan,
+                            total_units=result.total_units,
+                            total_cost=result.total_cost,
+                            utilization=result.utilization,
+                            peak_instances=result.peak_instances,
+                            restarts=result.restarts,
+                            completed=result.completed,
+                        )
+                    )
+                    store.save()
+                    executed += 1
+    return store.records(), executed

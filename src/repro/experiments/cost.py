@@ -1,0 +1,116 @@
+"""Figures 5 and 6: resource cost and relative execution time (§IV-E).
+
+For each Table I run, each resource-management setting (full-site,
+pure-reactive, reactive-conserving, wire) and each charging unit
+(1/15/30/60 min), the experiment repeats the run with different seeds
+(cross-run variability) and reports:
+
+- Fig 5: mean ± std of resource cost in charging units;
+- Fig 6: mean ± std of execution time, normalized per workflow to the
+  best mean across all settings and charging units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.cloud.site import CloudSite, exogeni_site
+from repro.engine.control import Autoscaler
+from repro.engine.simulator import RunResult
+from repro.experiments.harness import (
+    CHARGING_UNITS,
+    policy_factories,
+    run_setting,
+)
+from repro.metrics.cost import CostSummary, summarize_costs
+from repro.workloads import table1_specs
+from repro.workloads.base import StagedWorkflowSpec
+
+__all__ = ["CostCell", "cost_experiment", "relative_execution_table"]
+
+
+@dataclass(frozen=True)
+class CostCell:
+    """One (workflow, policy, charging unit) cell of Figures 5/6."""
+
+    workflow: str
+    policy: str
+    charging_unit: float
+    summary: CostSummary
+    results: tuple[RunResult, ...]
+
+
+def cost_experiment(
+    specs: Mapping[str, StagedWorkflowSpec] | None = None,
+    *,
+    policies: Mapping[str, Callable[[], Autoscaler]] | None = None,
+    charging_units: Sequence[float] = CHARGING_UNITS,
+    repetitions: int = 3,
+    seed: int = 0,
+    site: CloudSite | None = None,
+    include_oracle: bool = False,
+) -> list[CostCell]:
+    """Run the §IV-C matrix and summarize each cell.
+
+    ``repetitions`` plays the paper's 3-7 repeats per setting; each
+    repetition regenerates the workflow with a different seed.
+    """
+    the_site = site or exogeni_site()
+    if specs is None:
+        specs = table1_specs()
+    if policies is None:
+        policies = policy_factories(the_site, include_oracle=include_oracle)
+    cells: list[CostCell] = []
+    for wf_name, spec in sorted(specs.items()):
+        for policy_name, factory in policies.items():
+            for u in charging_units:
+                results = tuple(
+                    run_setting(
+                        spec,
+                        factory,
+                        u,
+                        seed=seed + rep,
+                        site=the_site,
+                    )
+                    for rep in range(repetitions)
+                )
+                cells.append(
+                    CostCell(
+                        workflow=wf_name,
+                        policy=policy_name,
+                        charging_unit=u,
+                        summary=summarize_costs(results),
+                        results=results,
+                    )
+                )
+    return cells
+
+
+def relative_execution_table(
+    cells: Sequence[CostCell],
+) -> list[tuple[str, str, float, float, float]]:
+    """Fig 6 rows: ``(workflow, policy, u, relative_time, mean_units)``.
+
+    Execution times are normalized per workflow to the best mean makespan
+    across every (policy, u) cell of that workflow, exactly as §IV-E
+    describes ("normalize the times across settings and resource charging
+    units to the best performance").
+    """
+    best: dict[str, float] = {}
+    for cell in cells:
+        span = cell.summary.mean_makespan
+        if cell.workflow not in best or span < best[cell.workflow]:
+            best[cell.workflow] = span
+    rows = []
+    for cell in cells:
+        rows.append(
+            (
+                cell.workflow,
+                cell.policy,
+                cell.charging_unit,
+                cell.summary.mean_makespan / best[cell.workflow],
+                cell.summary.mean_units,
+            )
+        )
+    return rows

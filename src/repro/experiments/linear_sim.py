@@ -1,0 +1,357 @@
+"""Figures 2 and 3: the scaling algorithm on idealized linear stages.
+
+Paper §IV-A evaluates the resource-steering policy by simulation "for the
+class of simple linear workflows discussed in Section III-E": a single
+stage of N identical tasks of runtime R, one slot per instance, continuous
+monitoring, instantaneous control, initial pool P = 1, charging unit U.
+
+Reported metrics, as in the figures:
+
+- *resource-usage ratio*: charged units / optimal ``N*R/U`` (optimal =
+  one instance running the tasks back to back with zero waste);
+- *completion-time ratio*: stage makespan / optimal ``R`` (optimal = all
+  N tasks in parallel).
+
+The simulator below is a special-purpose continuous-control implementation
+that reuses the *real* Algorithm 3 (:func:`repro.core.steering.resize_pool`)
+and the real prediction semantics (Policy 2 before any completion, the
+exact post-completion estimate after), with event-driven boundaries and a
+fine control cadence of ``U/(2N)`` during the growth phase — the §III-E
+analysis shows pool growth happens on a ``U/N`` rhythm, so this cadence
+resolves every growth step. Tests cross-check it against the full
+discrete-event engine at small N.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from repro.core.steering import resize_pool
+from repro.util.validation import check_positive
+
+__all__ = [
+    "LinearSimResult",
+    "simulate_linear_stage",
+    "sweep_r_over_u",
+    "sweep_u_over_r",
+]
+
+
+@dataclass(frozen=True)
+class LinearSimResult:
+    """One (N, R, U) point of Figures 2/3."""
+
+    n_tasks: int
+    runtime: float
+    charging_unit: float
+    units: int
+    makespan: float
+    peak_instances: int
+    restarts: int
+
+    @property
+    def optimal_units(self) -> float:
+        """Best possible resource usage: N*R/U (§IV-A)."""
+        return self.n_tasks * self.runtime / self.charging_unit
+
+    @property
+    def cost_ratio(self) -> float:
+        """Resource usage relative to optimal (>= ~1)."""
+        return self.units / self.optimal_units
+
+    @property
+    def time_ratio(self) -> float:
+        """Completion time relative to optimal R (>= 1)."""
+        return self.makespan / self.runtime
+
+
+@dataclass
+class _Instance:
+    instance_id: int
+    charge_start: float
+    units: int = 1
+    #: start time of the running task, or None when idle
+    task_start: float | None = None
+    #: bumps on every task start; stale completion events carry old values
+    attempt: int = 0
+
+
+class _LinearStageSimulator:
+    """Continuous-control single-stage simulation (see module docstring)."""
+
+    def __init__(
+        self,
+        n_tasks: int,
+        runtime: float,
+        charging_unit: float,
+        *,
+        initial_pool: int = 1,
+        threshold_fraction: float = 0.2,
+    ) -> None:
+        if not isinstance(n_tasks, int) or n_tasks <= 0:
+            raise ValueError(f"n_tasks must be a positive int, got {n_tasks!r}")
+        check_positive("runtime", runtime)
+        check_positive("charging_unit", charging_unit)
+        if initial_pool < 1:
+            raise ValueError("initial_pool must be >= 1")
+        self.n = n_tasks
+        self.r = runtime
+        self.u = charging_unit
+        self.threshold = threshold_fraction
+        self.initial_pool = min(initial_pool, n_tasks)
+
+        self.now = 0.0
+        self.unstarted = n_tasks
+        self.requeued = 0
+        self.completed = 0
+        self.restarts = 0
+        self.instances: dict[int, _Instance] = {}
+        self.total_units = 0
+        self.peak = 0
+        self.makespan = 0.0
+        self._ids = itertools.count(1)
+        self._heap: list[tuple[float, int, str, tuple[int, int]]] = []
+        self._seq = itertools.count()
+        #: monotone control cadence during the pre-completion growth phase
+        self._growth_dt = charging_unit / (2.0 * n_tasks)
+        self._next_control = 0.0
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _push(
+        self, time: float, kind: str, instance_id: int = 0, attempt: int = 0
+    ) -> None:
+        heapq.heappush(
+            self._heap, (time, next(self._seq), kind, (instance_id, attempt))
+        )
+
+    def _launch(self) -> _Instance:
+        inst = _Instance(instance_id=next(self._ids), charge_start=self.now)
+        self.instances[inst.instance_id] = inst
+        self.total_units += 1
+        self._push_boundary(inst)
+        self.peak = max(self.peak, len(self.instances))
+        return inst
+
+    def _push_boundary(self, inst: _Instance) -> None:
+        """Schedule the instance's next charge boundary.
+
+        Computed multiplicatively from the charge start so a task of
+        runtime k*U completes *exactly at* (not one float ulp before or
+        after) its k-th boundary — completion events then win the tie by
+        insertion order and the instance is released without a spurious
+        renewal.
+        """
+        self._push(
+            inst.charge_start + inst.units * self.u, "boundary", inst.instance_id
+        )
+
+    def _start_task(self, inst: _Instance) -> None:
+        """Assign one queued task (requeued first) to an idle instance."""
+        if self.requeued > 0:
+            self.requeued -= 1
+        elif self.unstarted > 0:
+            self.unstarted -= 1
+        else:
+            raise RuntimeError("no task available to start")
+        inst.task_start = self.now
+        inst.attempt += 1
+        self._push(self.now + self.r, "complete", inst.instance_id, inst.attempt)
+
+    def _queued_tasks(self) -> int:
+        return self.unstarted + self.requeued
+
+    def _estimate(self) -> float:
+        """Execution-time estimate for the stage's tasks.
+
+        After a completion the median completed time is exactly R (all
+        tasks are identical). Before any completion, Policy 2 uses the
+        tasks' run time — in §III-E's idealization all tasks of the stage
+        fire simultaneously at t = 0, so the run time of every active
+        task is simply the current time. (Measuring from individual
+        dispatch instead would halve the growth rate via the median of
+        staggered starts and break §III-E's stated dynamics: "At time U
+        ... the pool has N instances".)
+        """
+        if self.completed > 0:
+            return self.r
+        if all(i.task_start is None for i in self.instances.values()):
+            return 0.0
+        return self.now
+
+    def _upcoming(self) -> list[float]:
+        """Q_task remaining times: running (soonest first), then queued."""
+        estimate = self._estimate()
+        remaining = []
+        for inst in self.instances.values():
+            if inst.task_start is None:
+                continue
+            elapsed = self.now - inst.task_start
+            if self.completed > 0:
+                remaining.append(max(self.r - elapsed, 0.0))
+            else:
+                # Pre-completion phase: every task contributes the full,
+                # still-growing median-elapsed estimate — §III-E's growth
+                # arithmetic (pool = N at time U) depends on running tasks
+                # counting at the estimate, not estimate-minus-elapsed.
+                remaining.append(estimate)
+        remaining.sort()
+        remaining.extend([max(estimate, 0.0)] * self._queued_tasks())
+        return remaining
+
+    def _target_pool(self) -> int:
+        upcoming = self._upcoming()
+        if not upcoming:
+            return 0
+        return resize_pool(
+            upcoming, self.u, 1, tail_threshold_fraction=self.threshold
+        )
+
+    # ------------------------------------------------------------------
+    # control actions
+    # ------------------------------------------------------------------
+    def _grow_if_needed(self) -> None:
+        p = self._target_pool()
+        m = len(self.instances)
+        while m < p and self._queued_tasks() > 0:
+            inst = self._launch()
+            self._start_task(inst)
+            m += 1
+        # Fill any idle paid instances with queued work (FIFO dispatch).
+        for inst in sorted(self.instances.values(), key=lambda i: i.instance_id):
+            if inst.task_start is None and self._queued_tasks() > 0:
+                self._start_task(inst)
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _on_complete(self, inst: _Instance) -> None:
+        inst.task_start = None
+        self.completed += 1
+        self.makespan = self.now
+        if self._queued_tasks() > 0:
+            self._start_task(inst)
+        self._grow_if_needed()
+
+    def _on_boundary(self, inst: _Instance) -> None:
+        if inst.task_start is not None:
+            sunk = self.now - inst.task_start
+            if sunk > self.threshold * self.u:
+                # Renewal is forced: restarting would forfeit too much.
+                inst.units += 1
+                self.total_units += 1
+                self._push_boundary(inst)
+                return
+        # Idle, or killable cheaply: release if the load no longer
+        # justifies this instance (Algorithm 2 at the charge boundary).
+        p = self._target_pool()
+        if p < len(self.instances):
+            if inst.task_start is not None:
+                self.requeued += 1
+                self.restarts += 1
+            del self.instances[inst.instance_id]
+            self._grow_if_needed()
+            return
+        inst.units += 1
+        self.total_units += 1
+        self._push_boundary(inst)
+        if inst.task_start is None and self._queued_tasks() > 0:
+            self._start_task(inst)
+
+    # ------------------------------------------------------------------
+    def run(self) -> LinearSimResult:
+        for _ in range(self.initial_pool):
+            inst = self._launch()
+            self._start_task(inst)
+        self._next_control = self._growth_dt
+        self._push(self._next_control, "control")
+
+        while self.completed < self.n:
+            if not self._heap:
+                raise RuntimeError("linear simulation stalled")
+            time, _, kind, (instance_id, attempt) = heapq.heappop(self._heap)
+            self.now = time
+            if kind == "complete":
+                inst = self.instances.get(instance_id)
+                # The instance may have been released (task killed) or be
+                # on a newer attempt — stale events are skipped.
+                if inst is None or inst.task_start is None:
+                    continue
+                if inst.attempt != attempt:
+                    continue
+                self._on_complete(inst)
+            elif kind == "boundary":
+                inst = self.instances.get(instance_id)
+                if inst is None:
+                    continue
+                self._on_boundary(inst)
+            else:  # growth-phase control tick
+                self._grow_if_needed()
+                if self.completed == 0 and self._queued_tasks() > 0:
+                    self._next_control += self._growth_dt
+                    self._push(self._next_control, "control")
+
+        return LinearSimResult(
+            n_tasks=self.n,
+            runtime=self.r,
+            charging_unit=self.u,
+            units=self.total_units,
+            makespan=self.makespan,
+            peak_instances=self.peak,
+            restarts=self.restarts,
+        )
+
+
+def simulate_linear_stage(
+    n_tasks: int,
+    runtime: float,
+    charging_unit: float,
+    *,
+    initial_pool: int = 1,
+    threshold_fraction: float = 0.2,
+) -> LinearSimResult:
+    """Simulate one single-stage point under continuous control."""
+    return _LinearStageSimulator(
+        n_tasks,
+        runtime,
+        charging_unit,
+        initial_pool=initial_pool,
+        threshold_fraction=threshold_fraction,
+    ).run()
+
+
+def sweep_r_over_u(
+    n_tasks: int,
+    ratios: list[float],
+    *,
+    charging_unit: float = 60.0,
+) -> list[LinearSimResult]:
+    """Figure 2's sweep: R > U, varying R/U (ratios must be >= 1)."""
+    results = []
+    for ratio in ratios:
+        if ratio < 1:
+            raise ValueError(f"Figure 2 covers R/U >= 1, got {ratio}")
+        results.append(
+            simulate_linear_stage(n_tasks, charging_unit * ratio, charging_unit)
+        )
+    return results
+
+
+def sweep_u_over_r(
+    n_tasks: int,
+    ratios: list[float],
+    *,
+    runtime: float = 60.0,
+) -> list[LinearSimResult]:
+    """Figure 3's sweep: R <= U, varying U/R (ratios must be >= 1)."""
+    results = []
+    for ratio in ratios:
+        if ratio < 1:
+            raise ValueError(f"Figure 3 covers U/R >= 1, got {ratio}")
+        results.append(
+            simulate_linear_stage(n_tasks, runtime, runtime * ratio)
+        )
+    return results

@@ -1,0 +1,111 @@
+"""Quantifying the paper's motivating observations (§I, §II-A, §II-B).
+
+Observation 1 (within a run): "the number of the tasks of a stage may
+differ by three orders of magnitude; the average task execution time of a
+stage may vary from several seconds to several minutes. Moreover ...
+tasks in the same stage may exhibit different performance" (load skew),
+and the workflow's available parallelism varies dramatically as it runs.
+
+Observation 2 (across runs): "for a given workflow, its task execution
+times are highly variable across runs."
+
+This experiment computes those statistics from the generated workloads so
+the motivation is checkable, not just assumed: per-workflow stage-size
+and stage-mean spreads, intra-stage skew (P90/P50 of task runtimes), the
+ideal-parallelism width profile, and cross-run runtime dispersion over
+reseeded generations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.dag.analysis import ideal_parallelism_profile
+from repro.workloads import table1_specs
+from repro.workloads.base import StagedWorkflowSpec
+
+__all__ = ["MotivationRow", "motivation_experiment"]
+
+
+@dataclass(frozen=True)
+class MotivationRow:
+    """Variability statistics for one workload."""
+
+    workflow: str
+    #: max/min stage task count (Obs. 1: "three orders of magnitude")
+    stage_size_spread: float
+    #: max/min per-stage mean execution time
+    stage_mean_spread: float
+    #: median across stages of the stage's P90/P50 task runtime (skew)
+    intra_stage_skew: float
+    #: peak / mean of the ideal parallelism profile (width variation)
+    width_peak_over_mean: float
+    #: median across tasks of (max/min runtime across reseeded runs)
+    cross_run_spread: float
+
+
+def _width_stats(workflow) -> float:
+    profile = ideal_parallelism_profile(workflow)
+    # Time-weighted mean width over the active span.
+    total_area = 0.0
+    span = 0.0
+    for (t0, w), (t1, _) in zip(
+        zip(profile.times, profile.widths),
+        zip(profile.times[1:], profile.widths[1:]),
+    ):
+        total_area += w * (t1 - t0)
+        span += t1 - t0
+    mean_width = total_area / span if span > 0 else 1.0
+    return profile.peak / max(mean_width, 1e-9)
+
+
+def motivation_experiment(
+    specs: Mapping[str, StagedWorkflowSpec] | None = None,
+    *,
+    runs: int = 5,
+    seed: int = 0,
+) -> list[MotivationRow]:
+    """Compute Observation 1/2 statistics for each workload."""
+    if runs < 2:
+        raise ValueError("cross-run statistics need runs >= 2")
+    if specs is None:
+        specs = table1_specs()
+    rows: list[MotivationRow] = []
+    for name, spec in sorted(specs.items()):
+        workflows = [spec.generate(seed + r) for r in range(runs)]
+        first = workflows[0]
+
+        sizes = [s.size for s in first.stages]
+        stage_means = [
+            float(np.mean([first.task(t).runtime for t in s.task_ids]))
+            for s in first.stages
+        ]
+        skews = []
+        for stage in first.stages:
+            if stage.size < 4:
+                continue
+            runtimes = np.array([first.task(t).runtime for t in stage.task_ids])
+            p50 = float(np.percentile(runtimes, 50))
+            if p50 > 0:
+                skews.append(float(np.percentile(runtimes, 90)) / p50)
+
+        per_task_spread = []
+        for tid in first.tasks:
+            runtimes = np.array([wf.task(tid).runtime for wf in workflows])
+            if runtimes.min() > 0:
+                per_task_spread.append(float(runtimes.max() / runtimes.min()))
+
+        rows.append(
+            MotivationRow(
+                workflow=name,
+                stage_size_spread=max(sizes) / min(sizes),
+                stage_mean_spread=max(stage_means) / min(stage_means),
+                intra_stage_skew=float(np.median(skews)) if skews else 1.0,
+                width_peak_over_mean=_width_stats(first),
+                cross_run_spread=float(np.median(per_task_spread)),
+            )
+        )
+    return rows

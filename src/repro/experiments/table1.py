@@ -1,0 +1,54 @@
+"""Table I: workflow characterization, paper targets vs generated.
+
+For every Table I run this experiment generates the workflow and computes
+the same columns the paper publishes — stage count, task totals, per-stage
+task-count range, per-stage mean-execution range, aggregate execution
+hours — next to the published targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads import PAPER_PROFILES, summarize_workflow, table1_specs
+from repro.workloads.base import WorkflowSummary
+from repro.workloads.profiles import PaperProfile
+
+__all__ = ["Table1Row", "table1_experiment"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One workflow's paper-vs-generated characterization."""
+
+    profile: PaperProfile
+    generated: WorkflowSummary
+
+    @property
+    def counts_match(self) -> bool:
+        """Structural columns (stages, totals, ranges) match exactly."""
+        p, g = self.profile, self.generated
+        return (
+            g.n_stages == p.n_stages
+            and g.total_tasks == p.total_tasks
+            and (g.min_stage_tasks, g.max_stage_tasks) == p.target_stage_tasks_range
+        )
+
+    @property
+    def aggregate_ratio(self) -> float:
+        """Generated / published aggregate execution hours."""
+        return self.generated.aggregate_exec_hours / self.profile.aggregate_exec_hours
+
+
+def table1_experiment(seed: int = 0) -> list[Table1Row]:
+    """Generate every Table I workflow and characterize it."""
+    rows = []
+    for name, spec in table1_specs().items():
+        workflow = spec.generate(seed)
+        rows.append(
+            Table1Row(
+                profile=PAPER_PROFILES[name],
+                generated=summarize_workflow(workflow),
+            )
+        )
+    return rows

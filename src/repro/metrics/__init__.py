@@ -1,0 +1,39 @@
+"""Metrics: order statistics, prediction errors, and cost summaries."""
+
+from repro.metrics.cost import (
+    CostSummary,
+    relative_execution_times,
+    summarize_costs,
+)
+from repro.metrics.errors import (
+    ErrorSummary,
+    StageClass,
+    classify_stage,
+    relative_true_errors,
+    summarize_errors,
+    true_errors,
+)
+from repro.metrics.stats import (
+    MovingMedian,
+    cdf_points,
+    mean,
+    median,
+    percentile_of,
+)
+
+__all__ = [
+    "CostSummary",
+    "ErrorSummary",
+    "MovingMedian",
+    "StageClass",
+    "cdf_points",
+    "classify_stage",
+    "mean",
+    "median",
+    "percentile_of",
+    "relative_execution_times",
+    "relative_true_errors",
+    "summarize_costs",
+    "summarize_errors",
+    "true_errors",
+]

@@ -1,0 +1,68 @@
+"""Cost and performance metrics for run comparisons (paper §IV-E).
+
+Figure 5 reports *resource cost* — the number of charging units used to
+complete a run. Figure 6 reports *relative execution time* — makespans
+"normalize[d] across settings and resource charging units to the best
+performance". These helpers compute both from collections of
+:class:`~repro.engine.simulator.RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine.simulator import RunResult
+
+__all__ = ["CostSummary", "relative_execution_times", "summarize_costs"]
+
+
+@dataclass(frozen=True)
+class CostSummary:
+    """Mean/std of resource cost and makespan over repeated runs."""
+
+    runs: int
+    mean_units: float
+    std_units: float
+    mean_makespan: float
+    std_makespan: float
+    mean_utilization: float
+
+    @classmethod
+    def empty(cls) -> "CostSummary":
+        return cls(0, float("nan"), float("nan"), float("nan"), float("nan"), float("nan"))
+
+
+def summarize_costs(results: Sequence[RunResult]) -> CostSummary:
+    """Aggregate repeated runs of one (workflow, policy, u) setting."""
+    if not results:
+        return CostSummary.empty()
+    units = np.array([r.total_units for r in results], dtype=float)
+    spans = np.array([r.makespan for r in results], dtype=float)
+    utils = np.array([r.utilization for r in results], dtype=float)
+    return CostSummary(
+        runs=len(results),
+        mean_units=float(units.mean()),
+        std_units=float(units.std()),
+        mean_makespan=float(spans.mean()),
+        std_makespan=float(spans.std()),
+        mean_utilization=float(utils.mean()),
+    )
+
+
+def relative_execution_times(
+    makespans: dict[str, float], *, best: float | None = None
+) -> dict[str, float]:
+    """Normalize per-setting makespans to the best (smallest) one.
+
+    ``best`` overrides the denominator (the paper normalizes to the
+    best performance across *all* settings of a workflow/dataset pair).
+    """
+    if not makespans:
+        return {}
+    denominator = best if best is not None else min(makespans.values())
+    if denominator <= 0:
+        raise ValueError(f"best makespan must be > 0, got {denominator}")
+    return {name: span / denominator for name, span in makespans.items()}

@@ -1,0 +1,111 @@
+"""Prediction-error metrics (paper §IV-D, Figure 4).
+
+For a task with actual execution time ``t`` and estimate ``t'``:
+
+- *true error* = ``t' - t`` (reported for short and medium stages, where
+  "an execution prediction error of even a few seconds can result in a
+  large difference in resource scheduling");
+- *relative true error* = ``(t' - t) / t`` (reported for long stages).
+
+Stages are classified by mean task execution time: short (<= 10 s),
+medium (<= 30 s), long (> 30 s).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.metrics.stats import cdf_points, percentile_of
+
+__all__ = [
+    "ErrorSummary",
+    "StageClass",
+    "classify_stage",
+    "relative_true_errors",
+    "summarize_errors",
+    "true_errors",
+]
+
+
+class StageClass(enum.Enum):
+    """Stage type by mean task execution time (paper §IV-D)."""
+
+    SHORT = "short"  # mean <= 10 s
+    MEDIUM = "medium"  # 10 s < mean <= 30 s
+    LONG = "long"  # mean > 30 s
+
+
+def classify_stage(mean_execution_time: float) -> StageClass:
+    """Classify a stage by its tasks' mean execution time."""
+    if mean_execution_time < 0:
+        raise ValueError(
+            f"mean execution time must be >= 0, got {mean_execution_time}"
+        )
+    if mean_execution_time <= 10.0:
+        return StageClass.SHORT
+    if mean_execution_time <= 30.0:
+        return StageClass.MEDIUM
+    return StageClass.LONG
+
+
+def true_errors(
+    estimates: Sequence[float], actuals: Sequence[float]
+) -> np.ndarray:
+    """Per-task true errors ``t' - t``."""
+    est = np.asarray(estimates, dtype=float)
+    act = np.asarray(actuals, dtype=float)
+    if est.shape != act.shape:
+        raise ValueError(
+            f"length mismatch: {est.shape[0]} estimates, {act.shape[0]} actuals"
+        )
+    return est - act
+
+
+def relative_true_errors(
+    estimates: Sequence[float], actuals: Sequence[float]
+) -> np.ndarray:
+    """Per-task relative true errors ``(t' - t) / t``.
+
+    Raises when any actual is zero — relative error is undefined there,
+    and long stages (the only consumers) never have zero runtimes.
+    """
+    act = np.asarray(actuals, dtype=float)
+    if np.any(act == 0):
+        raise ValueError("relative true error undefined for zero actual runtime")
+    return true_errors(estimates, actuals) / act
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Distribution summary of one stage's (or pool of stages') errors."""
+
+    count: int
+    mean_abs_error: float
+    median_error: float
+    #: fraction of tasks with |error| within the paper's headline
+    #: threshold (1 s for short/medium stages, 15% for long stages)
+    within_threshold: float
+    threshold: float
+    cdf_x: tuple[float, ...]
+    cdf_p: tuple[float, ...]
+
+
+def summarize_errors(errors: Sequence[float], threshold: float) -> ErrorSummary:
+    """Summarize an error sample against an accuracy ``threshold``."""
+    if len(errors) == 0:
+        raise ValueError("cannot summarize an empty error sample")
+    arr = np.asarray(errors, dtype=float)
+    xs, ps = cdf_points(arr)
+    return ErrorSummary(
+        count=int(arr.size),
+        mean_abs_error=float(np.mean(np.abs(arr))),
+        median_error=float(np.median(arr)),
+        within_threshold=percentile_of(arr, threshold),
+        threshold=threshold,
+        cdf_x=tuple(float(x) for x in xs),
+        cdf_p=tuple(float(p) for p in ps),
+    )

@@ -1,0 +1,6 @@
+"""Run visualization: ASCII and SVG pool/Gantt charts."""
+
+from repro.reporting.gantt import gantt_ascii, pool_ascii
+from repro.reporting.svg import gantt_svg, pool_svg, save_svg
+
+__all__ = ["gantt_ascii", "gantt_svg", "pool_ascii", "pool_svg", "save_svg"]

@@ -1,0 +1,125 @@
+"""Run visualization: pool charts and per-instance Gantt charts.
+
+Operators of the paper's system watch two things: how the pool breathes
+over time, and how tasks pack onto instances. These renderers produce
+both from a finished :class:`~repro.engine.simulator.RunResult`, as plain
+ASCII (terminal-friendly, used by the examples) — the SVG variants live
+in :mod:`repro.reporting.svg`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.engine.monitor import TaskAttempt
+from repro.engine.simulator import RunResult
+from repro.util.formatting import format_duration
+
+__all__ = ["gantt_ascii", "pool_ascii"]
+
+
+def pool_ascii(result: RunResult, *, width: int = 72) -> str:
+    """Render the pool-size step function as an ASCII area chart."""
+    timeline = result.pool_timeline
+    makespan = max(result.makespan, 1e-9)
+    if not timeline:
+        return "(no pool changes recorded)"
+    peak = max(count for _, count in timeline)
+    if peak == 0:
+        return "(pool never ran an instance)"
+
+    columns = []
+    for x in range(width):
+        t = makespan * x / max(width - 1, 1)
+        size = 0
+        for time, count in timeline:
+            if time <= t:
+                size = count
+            else:
+                break
+        columns.append(size)
+
+    lines = []
+    for level in range(peak, 0, -1):
+        row = "".join("#" if c >= level else " " for c in columns)
+        lines.append(f"{level:3d} |{row}")
+    lines.append("    +" + "-" * width)
+    lines.append(
+        f"    0{'time ->':^{max(width - 12, 8)}}{format_duration(makespan):>12}"
+    )
+    return "\n".join(lines)
+
+
+def _attempts_by_instance(result: RunResult) -> dict[str, list[TaskAttempt]]:
+    grouped: dict[str, list[TaskAttempt]] = defaultdict(list)
+    for attempt in result.monitor.all_attempts():
+        grouped[attempt.instance_id].append(attempt)
+    for attempts in grouped.values():
+        attempts.sort(key=lambda a: a.dispatch_time)
+    return dict(sorted(grouped.items()))
+
+
+def gantt_ascii(result: RunResult, *, width: int = 72) -> str:
+    """Per-instance occupancy Gantt chart.
+
+    Each instance gets one lane; a column is drawn ``#`` when any slot of
+    the instance is occupied at that instant, ``x`` when the occupying
+    attempt was later killed (wasted work), and ``.`` when the instance is
+    up but idle. Multi-slot detail is aggregated — the lane answers "was
+    this paid instance doing anything?", the utilization question WIRE
+    optimizes.
+    """
+    makespan = max(result.makespan, 1e-9)
+    grouped = _attempts_by_instance(result)
+    if not grouped:
+        return "(no task attempts recorded)"
+
+    # Instance up-intervals from the pool's instance records.
+    lines = [f"one lane per instance; '#' busy, 'x' wasted, '.' idle"]
+    for instance_id, attempts in grouped.items():
+        lane = []
+        for x in range(width):
+            t = makespan * x / max(width - 1, 1)
+            symbol = " "
+            for attempt in attempts:
+                end = (
+                    attempt.complete_time
+                    if attempt.complete_time is not None
+                    else attempt.killed_at
+                )
+                if end is None:
+                    end = makespan
+                if attempt.dispatch_time <= t < end:
+                    symbol = "x" if attempt.is_killed else "#"
+                    break
+            if symbol == " " and _instance_up(result, instance_id, t):
+                symbol = "."
+            lane.append(symbol)
+        lines.append(f"{instance_id:>8s} |{''.join(lane)}|")
+    lines.append(f"{'':8s}  0{'time ->':^{max(width - 14, 8)}}{format_duration(makespan):>12}")
+    return "\n".join(lines)
+
+
+def _instance_up(result: RunResult, instance_id: str, t: float) -> bool:
+    """Whether the instance was RUNNING at time ``t``.
+
+    Uses the attempts' instance ids against the pool timeline
+    indirectly: an instance is considered up between its first dispatch
+    and the later of its last attempt end and the run end — a
+    conservative view that suffices for idle-lane shading.
+    """
+    attempts = [
+        a for a in result.monitor.all_attempts() if a.instance_id == instance_id
+    ]
+    if not attempts:
+        return False
+    first = min(a.dispatch_time for a in attempts)
+    last = max(
+        (
+            a.complete_time
+            if a.complete_time is not None
+            else (a.killed_at if a.killed_at is not None else result.makespan)
+        )
+        for a in attempts
+    )
+    return first <= t <= last

@@ -1,0 +1,133 @@
+"""SVG renderers for run visualizations (no external dependencies).
+
+Produces small standalone SVG documents: a pool-size step chart and a
+per-instance Gantt chart with task phases color-coded (stage-in /
+execute / stage-out / killed). Useful for embedding run summaries in
+reports and notebooks.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.engine.simulator import RunResult
+
+__all__ = ["gantt_svg", "pool_svg", "save_svg"]
+
+_COLORS = {
+    "stage_in": "#8ecae6",
+    "execute": "#219ebc",
+    "stage_out": "#ffb703",
+    "killed": "#e63946",
+}
+
+
+def _header(width: int, height: int, title: str) -> list[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<title>{title}</title>',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+
+
+def pool_svg(result: RunResult, *, width: int = 640, height: int = 200) -> str:
+    """The pool-size step function as an SVG polyline."""
+    makespan = max(result.makespan, 1e-9)
+    peak = max((c for _, c in result.pool_timeline), default=1)
+    margin = 30
+    plot_w = width - 2 * margin
+    plot_h = height - 2 * margin
+
+    def x(t: float) -> float:
+        return margin + plot_w * min(t / makespan, 1.0)
+
+    def y(count: int) -> float:
+        return height - margin - plot_h * count / max(peak, 1)
+
+    points: list[str] = []
+    previous = 0
+    for time, count in result.pool_timeline:
+        points.append(f"{x(time):.1f},{y(previous):.1f}")
+        points.append(f"{x(time):.1f},{y(count):.1f}")
+        previous = count
+    points.append(f"{x(makespan):.1f},{y(previous):.1f}")
+
+    parts = _header(width, height, f"pool size — {result.workflow_name}")
+    parts.append(
+        f'<polyline points="{" ".join(points)}" fill="none" '
+        f'stroke="#219ebc" stroke-width="2"/>'
+    )
+    parts.append(
+        f'<line x1="{margin}" y1="{height - margin}" x2="{width - margin}" '
+        f'y2="{height - margin}" stroke="#555"/>'
+    )
+    parts.append(
+        f'<text x="{margin}" y="{margin - 10}" font-size="12" fill="#333">'
+        f"pool size (peak {peak}) over {makespan:.0f}s — "
+        f"{result.autoscaler_name}</text>"
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def gantt_svg(result: RunResult, *, width: int = 800, lane_height: int = 14) -> str:
+    """Per-instance Gantt chart with phase-colored attempt bars."""
+    makespan = max(result.makespan, 1e-9)
+    instances = sorted(
+        {a.instance_id for a in result.monitor.all_attempts()}
+    )
+    margin = 70
+    plot_w = width - margin - 10
+    height = 30 + lane_height * max(len(instances), 1) + 20
+
+    def x(t: float) -> float:
+        return margin + plot_w * min(max(t, 0.0) / makespan, 1.0)
+
+    parts = _header(width, height, f"gantt — {result.workflow_name}")
+    parts.append(
+        f'<text x="10" y="18" font-size="12" fill="#333">'
+        f"{result.workflow_name} under {result.autoscaler_name}: "
+        f"{makespan:.0f}s, {result.total_units} units</text>"
+    )
+    for lane, instance_id in enumerate(instances):
+        top = 30 + lane * lane_height
+        parts.append(
+            f'<text x="5" y="{top + lane_height - 4}" font-size="10" '
+            f'fill="#333">{instance_id}</text>'
+        )
+        for attempt in result.monitor.all_attempts():
+            if attempt.instance_id != instance_id:
+                continue
+            end = attempt.complete_time
+            if end is None:
+                end = attempt.killed_at if attempt.killed_at is not None else makespan
+            if attempt.is_killed:
+                segments = [(attempt.dispatch_time, end, "killed")]
+            else:
+                segments = []
+                if attempt.exec_start is not None:
+                    segments.append(
+                        (attempt.dispatch_time, attempt.exec_start, "stage_in")
+                    )
+                    exec_end = attempt.exec_end if attempt.exec_end is not None else end
+                    segments.append((attempt.exec_start, exec_end, "execute"))
+                    if attempt.exec_end is not None:
+                        segments.append((attempt.exec_end, end, "stage_out"))
+                else:
+                    segments.append((attempt.dispatch_time, end, "stage_in"))
+            for start, stop, phase in segments:
+                if stop <= start:
+                    continue
+                parts.append(
+                    f'<rect x="{x(start):.1f}" y="{top + 1}" '
+                    f'width="{max(x(stop) - x(start), 0.5):.1f}" '
+                    f'height="{lane_height - 2}" fill="{_COLORS[phase]}"/>'
+                )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(svg: str, path: str | Path) -> None:
+    """Write an SVG document to ``path``."""
+    Path(path).write_text(svg, encoding="utf-8")

@@ -1,0 +1,6 @@
+"""Trace record/replay — the paper's Hadoop task-emulator stand-in."""
+
+from repro.traces.record import RunTrace, TaskTraceRecord, record_run
+from repro.traces.replay import emulated_workflow
+
+__all__ = ["RunTrace", "TaskTraceRecord", "emulated_workflow", "record_run"]

@@ -1,0 +1,129 @@
+"""Run trace recording.
+
+The paper replays *recorded* Hadoop task profiles through a task emulator
+("It reads the performance records of Hadoop tasks and consumes the amount
+of resources according to the records", §IV-C2). This module is the
+recording half: it captures a completed run's per-task performance into a
+serializable :class:`RunTrace` that :mod:`repro.traces.replay` can turn
+back into an emulated workflow.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.dag.workflow import Workflow
+from repro.engine.monitor import Monitor
+
+__all__ = ["RunTrace", "TaskTraceRecord", "record_run"]
+
+_TRACE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TaskTraceRecord:
+    """One task's measured profile from a completed run."""
+
+    task_id: str
+    executable: str
+    stage_id: str
+    execution_time: float
+    stage_in_time: float
+    stage_out_time: float
+    input_size: float
+    output_size: float
+    parents: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class RunTrace:
+    """A complete run's task profiles plus the DAG structure."""
+
+    workflow_name: str
+    records: tuple[TaskTraceRecord, ...]
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise ValueError("a trace must contain at least one record")
+        ids = [r.task_id for r in self.records]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate task ids in trace")
+
+    @property
+    def total_execution_time(self) -> float:
+        """Aggregate measured execution seconds across tasks."""
+        return sum(r.execution_time for r in self.records)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize to a JSON document."""
+        payload = {
+            "format_version": _TRACE_FORMAT_VERSION,
+            "workflow_name": self.workflow_name,
+            "records": [asdict(r) for r in self.records],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunTrace":
+        """Parse a document produced by :meth:`to_json`."""
+        payload = json.loads(text)
+        version = payload.get("format_version")
+        if version != _TRACE_FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version {version!r}")
+        records = tuple(
+            TaskTraceRecord(
+                task_id=r["task_id"],
+                executable=r["executable"],
+                stage_id=r["stage_id"],
+                execution_time=float(r["execution_time"]),
+                stage_in_time=float(r["stage_in_time"]),
+                stage_out_time=float(r["stage_out_time"]),
+                input_size=float(r["input_size"]),
+                output_size=float(r["output_size"]),
+                parents=tuple(r["parents"]),
+            )
+            for r in payload["records"]
+        )
+        return cls(workflow_name=payload["workflow_name"], records=records)
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace to ``path`` as JSON."""
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunTrace":
+        """Read a trace previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def record_run(workflow: Workflow, monitor: Monitor) -> RunTrace:
+    """Capture the completed attempts of a finished run as a trace.
+
+    Raises if any task never completed — traces describe whole runs.
+    """
+    records: list[TaskTraceRecord] = []
+    for task_id in workflow.topological_order():
+        attempts = monitor.attempts(task_id)
+        final = next((a for a in reversed(attempts) if a.is_completed), None)
+        if final is None:
+            raise ValueError(f"task {task_id!r} has no completed attempt")
+        task = workflow.task(task_id)
+        records.append(
+            TaskTraceRecord(
+                task_id=task_id,
+                executable=task.executable,
+                stage_id=workflow.stage_of[task_id],
+                execution_time=final.execution_time or 0.0,
+                stage_in_time=final.stage_in_time or 0.0,
+                stage_out_time=final.stage_out_time or 0.0,
+                input_size=task.input_size,
+                output_size=task.output_size,
+                parents=tuple(sorted(workflow.parents(task_id))),
+            )
+        )
+    return RunTrace(workflow_name=workflow.name, records=tuple(records))

@@ -1,0 +1,31 @@
+"""Shared utilities: seeded randomness, validation, and text formatting.
+
+These helpers are deliberately dependency-light; every other subpackage may
+import from here, but :mod:`repro.util` imports nothing from the rest of the
+library.
+"""
+
+from repro.util.rng import RngStream, derive_seed, spawn_rng
+from repro.util.validation import (
+    ValidationError,
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+from repro.util.formatting import format_duration, render_table
+
+__all__ = [
+    "RngStream",
+    "ValidationError",
+    "check_finite",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_type",
+    "derive_seed",
+    "format_duration",
+    "render_table",
+    "spawn_rng",
+]

@@ -1,0 +1,75 @@
+"""Plain-text rendering helpers for experiment reports.
+
+The experiment harness (:mod:`repro.experiments`) prints the same rows the
+paper's tables and figures report. Rendering is deliberately plain
+monospaced text so benchmark output is readable in a terminal and diffs
+cleanly in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_duration", "render_table"]
+
+
+def format_duration(seconds: float) -> str:
+    """Format a duration in seconds as a compact human-readable string.
+
+    >>> format_duration(42.0)
+    '42.0s'
+    >>> format_duration(3900)
+    '1h05m'
+    """
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 120:
+        return f"{seconds:.1f}s"
+    minutes = seconds / 60.0
+    if minutes < 120:
+        return f"{int(minutes)}m{int(round(seconds - int(minutes) * 60)):02d}s"
+    hours = int(seconds // 3600)
+    rem_min = int(round((seconds - hours * 3600) / 60.0))
+    if rem_min == 60:  # rounding pushed us over the hour boundary
+        hours, rem_min = hours + 1, 0
+    return f"{hours}h{rem_min:02d}m"
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospaced table.
+
+    Floats are formatted with three decimals; all other values via ``str``.
+    Returns the table as a single string (no trailing newline).
+    """
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)

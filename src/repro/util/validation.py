@@ -1,0 +1,81 @@
+"""Small argument-validation helpers with uniform error messages.
+
+Simulation configuration errors (a negative lag, a zero-slot instance type)
+surface far from their cause if left unchecked, so constructors validate
+eagerly through these helpers and raise :class:`ValidationError` with the
+offending name and value.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = [
+    "ValidationError",
+    "check_finite",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_type",
+]
+
+
+class ValidationError(ValueError):
+    """Raised when a configuration or argument value is invalid."""
+
+
+def check_type(name: str, value: Any, expected: type | tuple[type, ...]) -> None:
+    """Raise unless ``value`` is an instance of ``expected``.
+
+    ``bool`` is rejected where a numeric type is expected, because
+    ``isinstance(True, int)`` holds and silently-accepted booleans are a
+    common source of confusing configs.
+    """
+    if isinstance(value, bool) and expected in (int, float, (int, float)):
+        raise ValidationError(f"{name} must be {expected}, got bool {value!r}")
+    if not isinstance(value, expected):
+        raise ValidationError(
+            f"{name} must be an instance of {expected}, got {type(value).__name__}"
+        )
+
+
+def check_finite(name: str, value: float) -> None:
+    """Raise unless ``value`` is a finite real number."""
+    check_type(name, value, (int, float))
+    if not math.isfinite(value):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise unless ``value`` is finite and strictly positive."""
+    check_finite(name, value)
+    if value <= 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+
+
+def check_non_negative(name: str, value: float) -> None:
+    """Raise unless ``value`` is finite and >= 0."""
+    check_finite(name, value)
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> None:
+    """Raise unless ``low <= value <= high`` (or strict, if not inclusive)."""
+    check_finite(name, value)
+    if inclusive:
+        ok = low <= value <= high
+        bounds = f"[{low}, {high}]"
+    else:
+        ok = low < value < high
+        bounds = f"({low}, {high})"
+    if not ok:
+        raise ValidationError(f"{name} must be in {bounds}, got {value!r}")

@@ -1,0 +1,72 @@
+"""Workload generators: the Table I workflows plus synthetic DAGs.
+
+:func:`table1_specs` returns all eight paper runs keyed by their Table I
+names; each value is a :class:`StagedWorkflowSpec` whose ``generate(seed)``
+realizes a concrete workflow (different seeds model cross-run
+variability, Observation 2).
+"""
+
+from repro.workloads.base import (
+    BlockSizes,
+    FixedSize,
+    SizeModel,
+    StagedWorkflowSpec,
+    StageTemplate,
+    UniformSizes,
+    WorkflowSummary,
+    ZipfSizes,
+    summarize_workflow,
+)
+from repro.workloads.epigenomics import epigenomics
+from repro.workloads.linear import linear_stage_workflow, single_stage_workflow
+from repro.workloads.montage import montage
+from repro.workloads.pagerank import pagerank
+from repro.workloads.profiles import PAPER_PROFILES, PaperProfile
+from repro.workloads.synthetic import (
+    chain_workflow,
+    diamond_workflow,
+    fork_join_workflow,
+    random_layered_workflow,
+)
+from repro.workloads.tpch import tpch1, tpch6, tpch_transfer_model
+
+__all__ = [
+    "BlockSizes",
+    "FixedSize",
+    "PAPER_PROFILES",
+    "PaperProfile",
+    "SizeModel",
+    "StageTemplate",
+    "StagedWorkflowSpec",
+    "UniformSizes",
+    "WorkflowSummary",
+    "ZipfSizes",
+    "chain_workflow",
+    "diamond_workflow",
+    "epigenomics",
+    "fork_join_workflow",
+    "linear_stage_workflow",
+    "montage",
+    "pagerank",
+    "random_layered_workflow",
+    "single_stage_workflow",
+    "summarize_workflow",
+    "table1_specs",
+    "tpch1",
+    "tpch6",
+    "tpch_transfer_model",
+]
+
+
+def table1_specs() -> dict[str, StagedWorkflowSpec]:
+    """All eight Table I runs, keyed by profile name."""
+    return {
+        "genome-S": epigenomics("S"),
+        "genome-L": epigenomics("L"),
+        "tpch1-S": tpch1("S"),
+        "tpch1-L": tpch1("L"),
+        "tpch6-S": tpch6("S"),
+        "tpch6-L": tpch6("L"),
+        "pagerank-S": pagerank("S"),
+        "pagerank-L": pagerank("L"),
+    }

@@ -1,0 +1,145 @@
+"""The Epigenomics scientific workflow (paper §IV-C, Table I).
+
+Epigenomics is the USC Epigenome Center's DNA methylation pipeline and a
+canonical Pegasus workflow [Juve et al., FGCS'13]. Its shape is a
+split/per-chunk-pipeline/merge pattern:
+
+    fastqSplit(1) -> filterContams(n) -> sol2sanger(n) -> fast2bfq(n)
+                  -> map(n) -> mapMerge(2) -> maqIndex(1) -> pileup(1)
+
+Eight stages; ``n`` = 100 for the small (Genome S) dataset and 1000 for
+the large (Genome L), giving 405 and 4005 tasks — Table I's counts
+exactly. Per-chunk stages are 1:1 pipelines, so all chunk pipelines can
+progress independently; the merges are stage barriers.
+
+Stage mean execution times are chosen so the stage-mean range matches
+Table I's (1 s ... 54.88 s for S, 1 s ... 57.57 s for L) and the ``map``
+stage's mean is solved so the expected aggregate execution time equals
+the published 1.433 h (S) / 13.895 h (L) — the Condor rows of Table I are
+arithmetically self-consistent, so an exact match is possible.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import (
+    BlockSizes,
+    FixedSize,
+    StagedWorkflowSpec,
+    StageTemplate,
+)
+
+__all__ = ["epigenomics"]
+
+# Table I: dataset sizes in GB.
+_DATA_BYTES = {"S": 0.002 * 1e9, "L": 0.013 * 1e9}
+_CHUNKS = {"S": 100, "L": 1000}
+_AGGREGATE_SECONDS = {"S": 1.433 * 3600.0, "L": 13.895 * 3600.0}
+_MERGE_MEAN = {"S": 54.88, "L": 57.57}
+
+# Fixed stage means (seconds); the map mean is solved per scale below.
+_SPLIT_MEAN = 30.0
+_FILTER_MEAN = 1.0  # Table I's per-stage minimum
+_SOL2SANGER_MEAN = 2.5
+_FAST2BFQ_MEAN = 3.0
+_MAQINDEX_MEAN = 20.0
+_PILEUP_MEAN = 25.0
+
+
+def _map_mean(scale: str) -> float:
+    """Solve the map-stage mean so expected aggregate matches Table I."""
+    n = _CHUNKS[scale]
+    fixed = (
+        _SPLIT_MEAN
+        + n * (_FILTER_MEAN + _SOL2SANGER_MEAN + _FAST2BFQ_MEAN)
+        + 2 * _MERGE_MEAN[scale]
+        + _MAQINDEX_MEAN
+        + _PILEUP_MEAN
+    )
+    return (_AGGREGATE_SECONDS[scale] - fixed) / n
+
+
+def epigenomics(scale: str = "S") -> StagedWorkflowSpec:
+    """Build the Genome S or Genome L workflow spec.
+
+    ``scale`` is ``"S"`` (405 tasks) or ``"L"`` (4005 tasks).
+    """
+    if scale not in _CHUNKS:
+        raise ValueError(f"scale must be 'S' or 'L', got {scale!r}")
+    n = _CHUNKS[scale]
+    data = _DATA_BYTES[scale]
+    chunk = data / n
+    merged = data * 0.8  # alignment output is slightly smaller than input
+    templates = (
+        StageTemplate(
+            executable="fastqSplit",
+            count=1,
+            mean_exec=_SPLIT_MEAN,
+            cv=0.1,
+            size_model=FixedSize(data),
+            output_fraction=1.0,
+        ),
+        StageTemplate(
+            executable="filterContams",
+            count=n,
+            mean_exec=_FILTER_MEAN,
+            cv=0.1,
+            size_model=BlockSizes(total_bytes=data, block_bytes=chunk),
+            output_fraction=0.9,
+            linkage="all",  # every chunk comes from the single split task
+        ),
+        StageTemplate(
+            executable="sol2sanger",
+            count=n,
+            mean_exec=_SOL2SANGER_MEAN,
+            cv=0.1,
+            size_model=BlockSizes(total_bytes=data * 0.9, block_bytes=chunk * 0.9),
+            output_fraction=1.0,
+            linkage="one_to_one",
+        ),
+        StageTemplate(
+            executable="fast2bfq",
+            count=n,
+            mean_exec=_FAST2BFQ_MEAN,
+            cv=0.1,
+            size_model=BlockSizes(total_bytes=data * 0.9, block_bytes=chunk * 0.9),
+            output_fraction=0.5,
+            linkage="one_to_one",
+        ),
+        StageTemplate(
+            executable="map",
+            count=n,
+            mean_exec=_map_mean(scale),
+            cv=0.08,
+            size_model=BlockSizes(total_bytes=data * 0.45, block_bytes=chunk * 0.45),
+            output_fraction=1.2,
+            linkage="one_to_one",
+        ),
+        StageTemplate(
+            executable="mapMerge",
+            count=2,
+            mean_exec=_MERGE_MEAN[scale],
+            cv=0.1,
+            size_model=FixedSize(merged / 2),
+            output_fraction=1.0,
+            linkage="block",  # each merge consumes half the map outputs
+        ),
+        StageTemplate(
+            executable="maqIndex",
+            count=1,
+            mean_exec=_MAQINDEX_MEAN,
+            cv=0.1,
+            size_model=FixedSize(merged),
+            output_fraction=0.6,
+            linkage="all",
+        ),
+        StageTemplate(
+            executable="pileup",
+            count=1,
+            mean_exec=_PILEUP_MEAN,
+            cv=0.1,
+            size_model=FixedSize(merged * 0.6),
+            output_fraction=0.3,
+            linkage="all",
+        ),
+    )
+    return StagedWorkflowSpec(name=f"genome-{scale}", templates=templates)

@@ -1,0 +1,53 @@
+"""Linear workflows for the §III-E analysis and §IV-A simulations.
+
+"Consider a simple workflow that executes a sequence of stages and every
+task is a predecessor of all tasks in the next stage ... all tasks in a
+stage have the same run time R."
+
+These builders produce exactly that: deterministic runtimes (no skew, no
+sizes, no transfers) so the scaling algorithm's behaviour can be studied
+in isolation and compared against the closed-form optimal costs
+(``N*R/U`` resource usage, ``R`` completion time per stage).
+"""
+
+from __future__ import annotations
+
+from repro.dag.builder import WorkflowBuilder
+from repro.dag.task import Task
+from repro.dag.workflow import Workflow
+from repro.util.validation import check_positive
+
+__all__ = ["linear_stage_workflow", "single_stage_workflow"]
+
+
+def single_stage_workflow(n_tasks: int, runtime: float) -> Workflow:
+    """One stage of ``n_tasks`` identical independent tasks."""
+    return linear_stage_workflow([(n_tasks, runtime)])
+
+
+def linear_stage_workflow(stages: list[tuple[int, float]]) -> Workflow:
+    """A chain of all-to-all stages: ``[(n_tasks, runtime), ...]``.
+
+    Every task of stage *k* depends on every task of stage *k-1*, so all
+    tasks of a stage fire simultaneously — §III-E's idealized workflow
+    class.
+    """
+    if not stages:
+        raise ValueError("at least one stage is required")
+    builder = WorkflowBuilder("linear")
+    previous: list[str] = []
+    for index, (count, runtime) in enumerate(stages):
+        if not isinstance(count, int) or count <= 0:
+            raise ValueError(f"stage {index}: count must be a positive int")
+        check_positive(f"stage {index} runtime", runtime)
+        width = max(4, len(str(count - 1)))
+        ids = []
+        for i in range(count):
+            task_id = f"stage{index:02d}-{i:0{width}d}"
+            builder.add_task(
+                Task(task_id=task_id, executable=f"stage{index:02d}", runtime=runtime),
+                parents=previous,
+            )
+            ids.append(task_id)
+        previous = ids
+    return builder.build()

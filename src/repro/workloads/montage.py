@@ -1,0 +1,138 @@
+"""Montage: a bonus Pegasus workflow (not part of the paper's Table I).
+
+Montage is the astronomy image-mosaic engine and, next to Epigenomics,
+the most common Pegasus benchmark workflow [Juve et al., FGCS'13]. It is
+included because a workflow-autoscaling library should ship the standard
+community workloads; its shape stresses WIRE differently from Table I —
+a wide projection stage feeding an even wider pairwise-overlap stage,
+a serial modelling bottleneck in the middle, then a second wide wave:
+
+    mProject(n) -> mDiffFit(~2n) -> mConcatFit(1) -> mBgModel(1)
+                -> mBackground(n) -> mImgtbl(1) -> mAdd(1)
+                -> mShrink(t) -> mJPEG(1)
+
+``mDiffFit`` compares overlapping image pairs; we link each diff task to
+two neighbouring ``mProject`` outputs (the real overlap graph is
+sky-geometry dependent; neighbour pairs preserve its local structure).
+"""
+
+from __future__ import annotations
+
+from repro.dag.builder import WorkflowBuilder
+from repro.dag.task import Task
+from repro.dag.workflow import Workflow
+from repro.util.rng import spawn_rng
+
+__all__ = ["montage"]
+
+_SCALES = {
+    # images, shrink tiles, input MB per image
+    "S": (25, 4, 4.0),
+    "L": (100, 9, 4.2),
+}
+
+
+def montage(scale: str = "S", *, seed: int = 0) -> Workflow:
+    """Build a Montage workflow (``"S"``: 25 images, ``"L"``: 100).
+
+    Unlike the Table I specs this returns a concrete workflow directly
+    (its structure depends on the overlap graph, which the builder owns);
+    pass ``seed`` for runtime/skew variation.
+    """
+    if scale not in _SCALES:
+        raise ValueError(f"scale must be 'S' or 'L', got {scale!r}")
+    n_images, n_tiles, image_mb = _SCALES[scale]
+    rng = spawn_rng(seed, f"montage-{scale}")
+    image_bytes = image_mb * 1e6
+
+    def jitter(mean: float) -> float:
+        return float(mean * rng.lognormal(mean=-0.005, sigma=0.1))
+
+    builder = WorkflowBuilder(f"montage-{scale}-seed{seed}")
+
+    projects = []
+    for i in range(n_images):
+        projects.append(
+            builder.add_task(
+                Task(
+                    f"mProject-{i:04d}",
+                    "mProject",
+                    runtime=jitter(12.0),
+                    input_size=image_bytes,
+                    output_size=image_bytes * 1.6,
+                )
+            )
+        )
+
+    # Pairwise overlaps between neighbouring images (ring topology).
+    diffs = []
+    for i in range(n_images):
+        left, right = projects[i], projects[(i + 1) % n_images]
+        diffs.append(
+            builder.add_task(
+                Task(
+                    f"mDiffFit-{i:04d}",
+                    "mDiffFit",
+                    runtime=jitter(4.0),
+                    input_size=image_bytes * 3.2,
+                    output_size=2e4,
+                ),
+                parents=[left, right],
+            )
+        )
+
+    concat = builder.add_task(
+        Task("mConcatFit", "mConcatFit", runtime=jitter(8.0), input_size=2e4 * n_images),
+        parents=diffs,
+    )
+    bgmodel = builder.add_task(
+        Task("mBgModel", "mBgModel", runtime=jitter(25.0), input_size=1e5),
+        parents=[concat],
+    )
+
+    backgrounds = []
+    for i in range(n_images):
+        backgrounds.append(
+            builder.add_task(
+                Task(
+                    f"mBackground-{i:04d}",
+                    "mBackground",
+                    runtime=jitter(6.0),
+                    input_size=image_bytes * 1.6,
+                    output_size=image_bytes * 1.6,
+                ),
+                parents=[projects[i], bgmodel],
+            )
+        )
+
+    imgtbl = builder.add_task(
+        Task("mImgtbl", "mImgtbl", runtime=jitter(5.0), input_size=1e5),
+        parents=backgrounds,
+    )
+    madd = builder.add_task(
+        Task(
+            "mAdd",
+            "mAdd",
+            runtime=jitter(40.0),
+            input_size=image_bytes * 1.6 * n_images,
+            output_size=image_bytes * n_images * 0.8,
+        ),
+        parents=[imgtbl],
+    )
+    shrinks = [
+        builder.add_task(
+            Task(
+                f"mShrink-{i:02d}",
+                "mShrink",
+                runtime=jitter(7.0),
+                input_size=image_bytes * n_images * 0.8 / n_tiles,
+            ),
+            parents=[madd],
+        )
+        for i in range(n_tiles)
+    ]
+    builder.add_task(
+        Task("mJPEG", "mJPEG", runtime=jitter(10.0), input_size=1e6),
+        parents=shrinks,
+    )
+    return builder.build()

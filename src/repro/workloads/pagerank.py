@@ -1,0 +1,169 @@
+"""Intel HiBench PageRank as a Hadoop-style workflow (paper §IV-C).
+
+HiBench's PageRank runs an initialization job, a parse job, a fixed
+number of power iterations, and final ranking job(s), each compiled to
+MapReduce stages — 12 stages in the paper's runs. Task counts and stage
+mean execution times reproduce Table I's published ranges exactly:
+
+- PageRank S: 115 tasks, 6-18 per stage, stage means 5.28-21.5 s;
+- PageRank L: 313 tasks, 6-60 per stage, stage means 26.61-166.18 s.
+
+PageRank L's aggregate (5.415 h) is matched exactly by solving the
+shared mean of the middle iteration stages; PageRank S's published
+aggregate is infeasible under its own published per-stage mean range
+(off by ~0.2%, see ``profiles.py``), so S matches the ranges and lands
+within a few percent of the aggregate.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import (
+    BlockSizes,
+    StagedWorkflowSpec,
+    StageTemplate,
+    UniformSizes,
+)
+
+__all__ = ["pagerank"]
+
+_GB = 1e9
+
+
+def _pagerank_s() -> StagedWorkflowSpec:
+    data = 0.26 * _GB
+    iter_means = (21.0, 19.0, 20.5, 18.0, 21.2, 19.5, 20.0, 18.5, 21.3)
+    templates = [
+        StageTemplate(
+            executable="pr-init",
+            count=18,
+            mean_exec=21.5,  # Table I's per-stage maximum
+            cv=0.05,
+            size_model=BlockSizes(total_bytes=data, block_bytes=data / 18),
+            output_fraction=1.5,
+        ),
+        StageTemplate(
+            executable="pr-parse",
+            count=6,
+            mean_exec=5.28,  # Table I's per-stage minimum
+            cv=0.05,
+            size_model=UniformSizes(data * 0.1 / 6, data * 0.3 / 6),
+            output_fraction=1.0,
+            linkage="all",
+        ),
+    ]
+    for i, mean in enumerate(iter_means):
+        templates.append(
+            StageTemplate(
+                executable=f"pr-iter{i + 1}",
+                count=9,
+                mean_exec=mean,
+                cv=0.05,
+                size_model=UniformSizes(data * 0.8 / 9, data * 1.2 / 9),
+                output_fraction=1.0,
+                linkage="all",
+            )
+        )
+    templates.append(
+        StageTemplate(
+            executable="pr-rank",
+            count=10,
+            mean_exec=15.0,
+            cv=0.05,
+            size_model=UniformSizes(data * 0.5 / 10, data * 0.9 / 10),
+            output_fraction=0.1,
+            linkage="all",
+        )
+    )
+    return StagedWorkflowSpec(name="pagerank-S", templates=tuple(templates))
+
+
+def _pagerank_l() -> StagedWorkflowSpec:
+    data = 2.88 * _GB
+    aggregate = 5.415 * 3600.0
+    # Fixed stages; the seven plain iteration means are solved so the
+    # expected aggregate matches Table I exactly.
+    init_mean, parse_mean = 90.0, 26.61  # parse is the per-stage minimum
+    heavy_iter_mean = 166.18  # the per-stage maximum
+    rank1_mean, rank2_mean = 40.0, 50.0
+    fixed = (
+        60 * init_mean
+        + 6 * parse_mean
+        + 24 * heavy_iter_mean
+        + 25 * rank1_mean
+        + 30 * rank2_mean
+    )
+    plain_iter_mean = (aggregate - fixed) / (7 * 24)
+    templates = [
+        StageTemplate(
+            executable="pr-init",
+            count=60,
+            mean_exec=init_mean,
+            cv=0.05,
+            size_model=BlockSizes(total_bytes=data, block_bytes=data / 60),
+            output_fraction=1.5,
+        ),
+        StageTemplate(
+            executable="pr-parse",
+            count=6,
+            mean_exec=parse_mean,
+            cv=0.05,
+            size_model=UniformSizes(data * 0.1 / 6, data * 0.3 / 6),
+            output_fraction=1.0,
+            linkage="all",
+        ),
+    ]
+    for i in range(7):
+        templates.append(
+            StageTemplate(
+                executable=f"pr-iter{i + 1}",
+                count=24,
+                mean_exec=plain_iter_mean,
+                cv=0.06,
+                size_model=UniformSizes(data * 0.8 / 24, data * 1.2 / 24),
+                output_fraction=1.0,
+                linkage="all",
+            )
+        )
+    templates.append(
+        StageTemplate(
+            executable="pr-iter8",
+            count=24,
+            mean_exec=heavy_iter_mean,
+            cv=0.06,
+            size_model=UniformSizes(data * 0.8 / 24, data * 1.2 / 24),
+            output_fraction=1.0,
+            linkage="all",
+        )
+    )
+    templates.extend(
+        (
+            StageTemplate(
+                executable="pr-rank1",
+                count=25,
+                mean_exec=rank1_mean,
+                cv=0.05,
+                size_model=UniformSizes(data * 0.5 / 25, data * 0.9 / 25),
+                output_fraction=0.5,
+                linkage="all",
+            ),
+            StageTemplate(
+                executable="pr-rank2",
+                count=30,
+                mean_exec=rank2_mean,
+                cv=0.05,
+                size_model=UniformSizes(data * 0.3 / 30, data * 0.6 / 30),
+                output_fraction=0.1,
+                linkage="all",
+            ),
+        )
+    )
+    return StagedWorkflowSpec(name="pagerank-L", templates=tuple(templates))
+
+
+def pagerank(scale: str = "S") -> StagedWorkflowSpec:
+    """Build the PageRank S or L workflow spec (12 stages)."""
+    if scale == "S":
+        return _pagerank_s()
+    if scale == "L":
+        return _pagerank_l()
+    raise ValueError(f"scale must be 'S' or 'L', got {scale!r}")

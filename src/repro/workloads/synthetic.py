@@ -1,0 +1,119 @@
+"""Synthetic DAG generators for tests and property-based exploration.
+
+These are not paper workloads; they exist to exercise the engine and the
+controller over a much wider structural space than Table I covers —
+random layered DAGs, fork-joins, chains, and diamonds — so property
+tests can assert invariants (completion, billing sanity, no lost tasks)
+on adversarial shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dag.builder import WorkflowBuilder
+from repro.dag.task import Task
+from repro.dag.workflow import Workflow
+from repro.util.rng import spawn_rng
+
+__all__ = ["chain_workflow", "diamond_workflow", "fork_join_workflow", "random_layered_workflow"]
+
+
+def chain_workflow(length: int, runtime: float = 10.0) -> Workflow:
+    """``length`` tasks in a strict sequence (zero parallelism)."""
+    if length <= 0:
+        raise ValueError(f"length must be > 0, got {length}")
+    builder = WorkflowBuilder("chain")
+    previous: list[str] = []
+    for i in range(length):
+        tid = f"link-{i:04d}"
+        builder.add_task(
+            Task(task_id=tid, executable=f"link{i}", runtime=runtime),
+            parents=previous,
+        )
+        previous = [tid]
+    return builder.build()
+
+
+def fork_join_workflow(
+    width: int, runtime: float = 10.0, *, levels: int = 1
+) -> Workflow:
+    """source -> width parallel tasks -> sink, repeated ``levels`` times."""
+    if width <= 0 or levels <= 0:
+        raise ValueError("width and levels must be > 0")
+    builder = WorkflowBuilder("fork-join")
+    previous = [
+        builder.add_task(Task("source", "source", runtime=runtime))
+    ]
+    for level in range(levels):
+        fan = builder.add_stage(
+            f"fan{level}", count=width, runtime=runtime, parents=previous
+        )
+        previous = [
+            builder.add_task(
+                Task(f"join-{level:02d}", f"join{level}", runtime=runtime),
+                parents=fan,
+            )
+        ]
+    return builder.build()
+
+
+def diamond_workflow(runtime: float = 10.0) -> Workflow:
+    """The four-task diamond: a -> (b, c) -> d."""
+    builder = WorkflowBuilder("diamond")
+    builder.add_task(Task("a", "a", runtime=runtime))
+    builder.add_task(Task("b", "b", runtime=runtime), parents=["a"])
+    builder.add_task(Task("c", "c", runtime=runtime), parents=["a"])
+    builder.add_task(Task("d", "d", runtime=runtime), parents=["b", "c"])
+    return builder.build()
+
+
+def random_layered_workflow(
+    seed: int,
+    *,
+    n_layers: int = 5,
+    max_width: int = 8,
+    max_runtime: float = 60.0,
+    edge_probability: float = 0.4,
+) -> Workflow:
+    """A random layered DAG with guaranteed connectivity.
+
+    Each layer has 1..max_width tasks; every task gets at least one
+    parent in the previous layer (so nothing floats free) plus extra
+    edges with ``edge_probability``. Runtimes and input sizes are drawn
+    uniformly. Deterministic in ``seed``.
+    """
+    if n_layers <= 0 or max_width <= 0:
+        raise ValueError("n_layers and max_width must be > 0")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must be in [0, 1]")
+    rng = spawn_rng(seed, "random-layered")
+    builder = WorkflowBuilder(f"random-{seed}")
+    previous: list[str] = []
+    for layer in range(n_layers):
+        width = int(rng.integers(1, max_width + 1))
+        current: list[str] = []
+        for i in range(width):
+            tid = f"l{layer:02d}-t{i:03d}"
+            runtime = float(rng.uniform(0.5, max_runtime))
+            input_size = float(rng.uniform(1e6, 5e8))
+            parents: list[str] = []
+            if previous:
+                anchor = previous[int(rng.integers(0, len(previous)))]
+                parents.append(anchor)
+                for candidate in previous:
+                    if candidate != anchor and rng.random() < edge_probability:
+                        parents.append(candidate)
+            builder.add_task(
+                Task(
+                    task_id=tid,
+                    executable=f"layer{layer}",
+                    runtime=runtime,
+                    input_size=input_size,
+                    output_size=input_size * 0.5,
+                ),
+                parents=parents,
+            )
+            current.append(tid)
+        previous = current
+    return builder.build()

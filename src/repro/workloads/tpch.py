@@ -1,0 +1,144 @@
+"""TPC-H queries 1 and 6 as Hadoop-style workflows (paper §IV-C, Table I).
+
+The paper transforms recorded Hadoop runs of TPC-H into Pegasus DAGs via a
+task emulator; we synthesize the equivalent DAG shapes directly:
+
+- **TPCH-1** (pricing summary report): a scan-heavy aggregation compiled
+  to two chained MapReduce jobs -> four stages
+  ``map1 -> reduce1 -> map2 -> reduce2``.
+- **TPCH-6** (forecasting revenue change): a single filter-and-sum job ->
+  two stages ``map -> reduce``.
+
+Stage task counts reproduce Table I exactly (including its min/max per
+stage); stage mean execution times span exactly the published per-stage
+ranges. The published *aggregate* for these Hadoop rows exceeds what the
+per-stage means can produce, which we attribute to transfer occupancy
+(see ``profiles.py``); the recommended transfer model below is calibrated
+so expected occupancy lands near the published aggregate.
+"""
+
+from __future__ import annotations
+
+from repro.engine.transfer import ExponentialTransferModel
+from repro.workloads.base import (
+    BlockSizes,
+    StagedWorkflowSpec,
+    StageTemplate,
+    ZipfSizes,
+)
+
+__all__ = ["tpch1", "tpch6", "tpch_transfer_model"]
+
+_GB = 1e9
+
+# (stage task counts, stage mean exec seconds) per scale, chosen so the
+# min/max across stages equal Table I's published ranges exactly.
+_TPCH1 = {
+    "S": {
+        "data": 7.27 * _GB,
+        "counts": (32, 21, 8, 1),
+        "means": (13.24, 6.0, 4.0, 2.0),
+    },
+    "L": {
+        "data": 29.53 * _GB,
+        "counts": (124, 62, 42, 1),
+        "means": (14.89, 10.0, 6.0, 1.05),
+    },
+}
+_TPCH6 = {
+    "S": {"data": 7.27 * _GB, "counts": (32, 1), "means": (7.3, 2.0)},
+    "L": {"data": 29.53 * _GB, "counts": (117, 1), "means": (8.43, 3.0)},
+}
+
+
+def tpch1(scale: str = "S") -> StagedWorkflowSpec:
+    """TPC-H query 1: two chained MapReduce jobs, four stages."""
+    if scale not in _TPCH1:
+        raise ValueError(f"scale must be 'S' or 'L', got {scale!r}")
+    cfg = _TPCH1[scale]
+    data = cfg["data"]
+    counts = cfg["counts"]
+    means = cfg["means"]
+    templates = (
+        StageTemplate(
+            executable="q1-map1",
+            count=counts[0],
+            mean_exec=means[0],
+            cv=0.05,
+            size_model=BlockSizes(total_bytes=data),
+            output_fraction=0.25,  # projection + local combine
+        ),
+        StageTemplate(
+            executable="q1-reduce1",
+            count=counts[1],
+            mean_exec=means[1],
+            cv=0.08,
+            # Shuffle partitions are skewed — the classic reducer-skew the
+            # paper's load-skew observation cites.
+            size_model=ZipfSizes(base_bytes=data * 0.25 / counts[1], alpha=2.5, cap_multiple=16.0),
+            output_fraction=0.4,
+            linkage="all",
+        ),
+        StageTemplate(
+            executable="q1-map2",
+            count=counts[2],
+            mean_exec=means[2],
+            cv=0.05,
+            size_model=BlockSizes(total_bytes=data * 0.1),
+            output_fraction=0.5,
+            linkage="all",
+        ),
+        StageTemplate(
+            executable="q1-reduce2",
+            count=counts[3],
+            mean_exec=means[3],
+            cv=0.1,
+            size_model=BlockSizes(total_bytes=data * 0.05),
+            output_fraction=0.01,
+            linkage="all",
+        ),
+    )
+    return StagedWorkflowSpec(name=f"tpch1-{scale}", templates=templates)
+
+
+def tpch6(scale: str = "S") -> StagedWorkflowSpec:
+    """TPC-H query 6: one filter-and-sum MapReduce job, two stages."""
+    if scale not in _TPCH6:
+        raise ValueError(f"scale must be 'S' or 'L', got {scale!r}")
+    cfg = _TPCH6[scale]
+    data = cfg["data"]
+    counts = cfg["counts"]
+    means = cfg["means"]
+    templates = (
+        StageTemplate(
+            executable="q6-map",
+            count=counts[0],
+            mean_exec=means[0],
+            cv=0.05,
+            size_model=BlockSizes(total_bytes=data),
+            output_fraction=0.001,  # a highly selective filter
+        ),
+        StageTemplate(
+            executable="q6-reduce",
+            count=counts[1],
+            mean_exec=means[1],
+            cv=0.1,
+            size_model=BlockSizes(total_bytes=data * 0.001),
+            output_fraction=0.01,
+            linkage="all",
+        ),
+    )
+    return StagedWorkflowSpec(name=f"tpch6-{scale}", templates=templates)
+
+
+def tpch_transfer_model(scale: str = "S") -> ExponentialTransferModel:
+    """Transfer model calibrated to the Table I aggregate interpretation.
+
+    With ~50 MB/s effective per-transfer bandwidth (in line with the
+    paper's observation that ExoGENI per-core bandwidth varies by type),
+    the expected transfer occupancy plus execution time approaches the
+    published aggregate for the Hadoop rows.
+    """
+    if scale not in ("S", "L"):
+        raise ValueError(f"scale must be 'S' or 'L', got {scale!r}")
+    return ExponentialTransferModel(bandwidth=5e7, latency=4.0)

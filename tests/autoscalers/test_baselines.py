@@ -1,0 +1,122 @@
+"""Tests for the baseline pool-sizing policies (§IV-C settings)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autoscalers import (
+    OracleAutoscaler,
+    PureReactiveAutoscaler,
+    ReactiveConservingAutoscaler,
+    StaticAutoscaler,
+    WireAutoscaler,
+    full_site,
+)
+from repro.engine import Simulation
+from repro.workloads import linear_stage_workflow, single_stage_workflow
+
+
+class TestStatic:
+    def test_full_site_uses_whole_site(self, site):
+        scaler = full_site(site)
+        assert scaler.name == "full-site"
+        assert scaler.initial_pool_size(site) == 12
+
+    def test_capped_by_site(self, small_site):
+        assert StaticAutoscaler(100).initial_pool_size(small_site) == 4
+
+    def test_never_changes_pool(self, small_site, two_stage):
+        result = Simulation(two_stage, small_site, StaticAutoscaler(3), 60.0).run()
+        counts = {c for _, c in result.pool_timeline if c > 0}
+        assert counts == {3}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StaticAutoscaler(0)
+
+
+class TestPureReactive:
+    def test_tracks_load_up(self, small_site):
+        wf = single_stage_workflow(8, runtime=200.0)
+        result = Simulation(wf, small_site, PureReactiveAutoscaler(), 600.0).run()
+        # 8 tasks / 2 slots = 4 instances.
+        assert result.peak_instances == 4
+
+    def test_releases_immediately_when_load_drops(self, small_site):
+        wf = linear_stage_workflow([(8, 100.0), (1, 200.0)])
+        result = Simulation(wf, small_site, PureReactiveAutoscaler(), 3600.0).run()
+        assert result.completed
+        # After the wide stage, the pool returns to 1 even though the
+        # charging unit (1h) has barely started: that is its waste.
+        assert result.pool_timeline[-1][1] <= 2
+        assert result.wasted_seconds > 0
+
+    def test_completes_diamond(self, small_site, diamond):
+        result = Simulation(diamond, small_site, PureReactiveAutoscaler(), 60.0).run()
+        assert result.completed
+
+
+class TestReactiveConserving:
+    def test_conserves_paid_time(self, small_site):
+        """Unlike pure-reactive it holds instances until their boundary."""
+        wf = linear_stage_workflow([(8, 100.0), (1, 200.0)])
+        pure = Simulation(
+            wf, small_site, PureReactiveAutoscaler(), 3600.0, seed=1
+        ).run()
+        conserving = Simulation(
+            wf, small_site, ReactiveConservingAutoscaler(), 3600.0, seed=1
+        ).run()
+        assert conserving.completed
+        # Conserving never does worse on makespan here (it keeps capacity)
+        assert conserving.makespan <= pure.makespan + 1e-6
+
+    def test_no_release_before_boundary_window(self, small_site):
+        # u=1h, lag=10s: r_j <= lag almost never holds right after start,
+        # so the pool should hold its size for a long time.
+        wf = linear_stage_workflow([(8, 50.0), (1, 100.0)])
+        result = Simulation(
+            wf, small_site, ReactiveConservingAutoscaler(), 3600.0
+        ).run()
+        sizes = [c for t, c in result.pool_timeline if t < 300.0]
+        assert max(sizes) == max(c for _, c in result.pool_timeline)
+
+
+class TestWireVsBaselines:
+    @pytest.mark.parametrize("u", [60.0, 600.0])
+    def test_wire_cheapest_on_bursty_workflow(self, small_site, u):
+        wf = linear_stage_workflow([(1, 60.0), (12, 150.0), (1, 60.0)])
+        results = {}
+        for factory in (
+            lambda: full_site(small_site),
+            PureReactiveAutoscaler,
+            ReactiveConservingAutoscaler,
+            WireAutoscaler,
+        ):
+            r = Simulation(wf, small_site, factory(), u, seed=3).run()
+            results[r.autoscaler_name] = r
+        wire_units = results["wire"].total_units
+        assert wire_units <= results["full-site"].total_units
+        assert wire_units <= results["reactive-conserving"].total_units + 1
+
+    def test_full_site_fastest(self, small_site):
+        wf = linear_stage_workflow([(1, 60.0), (12, 150.0), (1, 60.0)])
+        results = {}
+        for factory in (lambda: full_site(small_site), WireAutoscaler):
+            r = Simulation(wf, small_site, factory(), 60.0, seed=3).run()
+            results[r.autoscaler_name] = r
+        assert results["full-site"].makespan <= results["wire"].makespan
+
+
+class TestOracle:
+    def test_oracle_runs_and_is_wire_like(self, small_site):
+        wf = single_stage_workflow(8, runtime=300.0)
+        result = Simulation(wf, small_site, OracleAutoscaler(), 60.0).run()
+        assert result.completed
+        assert result.autoscaler_name == "oracle"
+
+    def test_oracle_no_worse_than_wire_on_makespan(self, small_site):
+        # Perfect prediction should not hurt on a clean deterministic load.
+        wf = linear_stage_workflow([(8, 120.0), (8, 120.0)])
+        wire = Simulation(wf, small_site, WireAutoscaler(), 60.0, seed=5).run()
+        oracle = Simulation(wf, small_site, OracleAutoscaler(), 60.0, seed=5).run()
+        assert oracle.makespan <= wire.makespan * 1.25

@@ -1,0 +1,80 @@
+"""Tests for the deadline-driven extension policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autoscalers import DeadlineAutoscaler, full_site
+from repro.engine import Simulation
+from repro.workloads import linear_stage_workflow, single_stage_workflow
+
+
+def run(wf, site, deadline, u=60.0, seed=0):
+    return Simulation(
+        wf, site, DeadlineAutoscaler(deadline), u, seed=seed
+    ).run()
+
+
+class TestDeadlineBehaviour:
+    def test_loose_deadline_is_cheap(self, small_site):
+        # 16 x 70s tasks (not unit-aligned, so the full site forfeits
+        # paid remainder time on every instance).
+        wf = single_stage_workflow(16, runtime=70.0)
+        loose = run(wf, small_site, deadline=3600.0)
+        static = Simulation(wf, small_site, full_site(small_site), 60.0).run()
+        assert loose.completed
+        assert loose.makespan <= 3600.0
+        assert loose.total_units < static.total_units
+
+    def test_tight_deadline_buys_speed(self, small_site):
+        wf = single_stage_workflow(16, runtime=60.0)
+        tight = run(wf, small_site, deadline=300.0)
+        loose = run(wf, small_site, deadline=3600.0)
+        assert tight.completed
+        assert tight.makespan < loose.makespan
+        assert tight.total_units >= loose.total_units
+
+    def test_blown_deadline_goes_full_throttle(self, small_site):
+        wf = single_stage_workflow(16, runtime=120.0)
+        result = run(wf, small_site, deadline=1.0)
+        assert result.completed
+        # Escalated to the full site as soon as the controller ran.
+        assert result.peak_instances == small_site.max_instances
+
+    def test_meets_feasible_deadlines(self, small_site):
+        # Multi-stage workflow; deadline with comfortable slack over the
+        # full-site makespan must be met.
+        wf = linear_stage_workflow([(8, 60.0), (8, 60.0)])
+        static = Simulation(wf, small_site, full_site(small_site), 60.0).run()
+        deadline = static.makespan * 3 + 10 * small_site.lag
+        result = run(wf, small_site, deadline=deadline)
+        assert result.completed
+        assert result.makespan <= deadline
+
+    def test_critical_path_escalates(self, small_site):
+        # A long serial chain: no pool size can beat the chain, so the
+        # policy escalates once C approaches B but still completes.
+        wf = linear_stage_workflow([(1, 100.0)] * 4)
+        result = run(wf, small_site, deadline=500.0)
+        assert result.completed
+
+    def test_single_run_guard(self, small_site, diamond, two_stage):
+        controller = DeadlineAutoscaler(1000.0)
+        Simulation(diamond, small_site, controller, 60.0).run()
+        with pytest.raises(RuntimeError, match="single run"):
+            Simulation(two_stage, small_site, controller, 60.0).run()
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            DeadlineAutoscaler(0.0)
+        with pytest.raises(Exception):
+            DeadlineAutoscaler(100.0, critical_path_margin=0.0)
+
+    def test_cost_monotone_in_deadline(self, small_site):
+        """The extension's selling point: slack converts to savings."""
+        wf = single_stage_workflow(24, runtime=90.0)
+        units = [
+            run(wf, small_site, deadline=d).total_units
+            for d in (400.0, 1200.0, 7200.0)
+        ]
+        assert units[0] >= units[1] >= units[2]

@@ -1,0 +1,116 @@
+"""Tests for charging-unit billing semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import BillingModel, Instance, InstanceType
+
+
+def running_instance(started_at=0.0, slots=1):
+    inst = Instance(
+        instance_id="vm-1",
+        itype=InstanceType(name="t", slots=slots),
+        requested_at=started_at,
+    )
+    inst.mark_running(started_at)
+    return inst
+
+
+class TestUnitsCharged:
+    def test_never_started_free(self):
+        inst = Instance(
+            instance_id="vm-1",
+            itype=InstanceType(name="t", slots=1),
+            requested_at=0.0,
+        )
+        assert BillingModel(60.0).units_charged(inst, 100.0) == 0
+
+    def test_minimum_one_unit(self):
+        inst = running_instance()
+        assert BillingModel(60.0).units_charged(inst, 0.0) == 1
+
+    def test_unit_boundaries(self):
+        billing = BillingModel(60.0)
+        inst = running_instance()
+        assert billing.units_charged(inst, 59.0) == 1
+        assert billing.units_charged(inst, 60.0) == 1  # exactly one unit
+        assert billing.units_charged(inst, 60.1) == 2
+        assert billing.units_charged(inst, 180.0) == 3
+
+    def test_float_noise_at_boundary_forgiven(self):
+        billing = BillingModel(60.0)
+        inst = running_instance()
+        # A termination a few ulps past the boundary must not add a unit.
+        assert billing.units_charged(inst, 120.0 + 1e-10) == 2
+
+    def test_termination_freezes_units(self):
+        billing = BillingModel(60.0)
+        inst = running_instance()
+        inst.mark_terminated(61.0)
+        assert billing.units_charged(inst, 10_000.0) == 2
+
+    def test_cost_scales_with_price(self):
+        itype = InstanceType(name="t", slots=1, price_per_unit=2.5)
+        inst = Instance(instance_id="v", itype=itype, requested_at=0.0)
+        inst.mark_running(0.0)
+        assert BillingModel(60.0).cost(inst, 100.0) == pytest.approx(5.0)
+
+
+class TestTimeToNextCharge:
+    def test_mid_unit(self):
+        billing = BillingModel(60.0)
+        inst = running_instance()
+        assert billing.time_to_next_charge(inst, 10.0) == pytest.approx(50.0)
+
+    def test_at_boundary_full_unit(self):
+        billing = BillingModel(60.0)
+        inst = running_instance()
+        assert billing.time_to_next_charge(inst, 60.0) == pytest.approx(60.0)
+        assert billing.time_to_next_charge(inst, 0.0) == pytest.approx(60.0)
+
+    def test_in_unit_range(self):
+        billing = BillingModel(60.0)
+        inst = running_instance(started_at=7.0)
+        for now in (7.0, 20.0, 66.9, 67.1, 200.0):
+            r = billing.time_to_next_charge(inst, now)
+            assert 0 < r <= 60.0
+
+    def test_pending_charges_immediately(self):
+        inst = Instance(
+            instance_id="v",
+            itype=InstanceType(name="t", slots=1),
+            requested_at=0.0,
+        )
+        assert BillingModel(60.0).time_to_next_charge(inst, 5.0) == 0.0
+
+    def test_next_charge_time(self):
+        billing = BillingModel(60.0)
+        inst = running_instance(started_at=10.0)
+        assert billing.next_charge_time(inst, 30.0) == pytest.approx(70.0)
+
+
+class TestWaste:
+    def test_no_waste_at_exact_boundary(self):
+        billing = BillingModel(60.0)
+        inst = running_instance()
+        inst.mark_terminated(120.0)
+        assert billing.wasted_time(inst, 120.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_mid_unit_termination_wastes_remainder(self):
+        billing = BillingModel(60.0)
+        inst = running_instance()
+        inst.mark_terminated(70.0)
+        assert billing.wasted_time(inst, 70.0) == pytest.approx(50.0)
+
+    def test_paid_until(self):
+        billing = BillingModel(60.0)
+        inst = running_instance(started_at=5.0)
+        assert billing.paid_until(inst, 10.0) == pytest.approx(65.0)
+        assert billing.paid_until(inst, 70.0) == pytest.approx(125.0)
+
+
+class TestValidation:
+    def test_rejects_bad_unit(self):
+        with pytest.raises(Exception):
+            BillingModel(0.0)

@@ -1,0 +1,74 @@
+"""Property-based tests on billing invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import BillingModel, Instance, InstanceType
+
+
+def make_running(started_at: float) -> Instance:
+    inst = Instance(
+        instance_id="v",
+        itype=InstanceType(name="t", slots=1),
+        requested_at=started_at,
+    )
+    inst.mark_running(started_at)
+    return inst
+
+
+units = st.floats(min_value=0.5, max_value=10_000, allow_nan=False)
+times = st.floats(min_value=0, max_value=1e6, allow_nan=False)
+
+
+@given(u=units, start=times, elapsed=times)
+@settings(max_examples=200)
+def test_units_cover_uptime(u, start, elapsed):
+    """You are always paid through at least your uptime."""
+    billing = BillingModel(u)
+    inst = make_running(start)
+    now = start + elapsed
+    paid_seconds = billing.units_charged(inst, now) * u
+    assert paid_seconds >= elapsed - 1e-6
+
+
+@given(u=units, start=times, elapsed=times)
+@settings(max_examples=200)
+def test_units_never_overcharge_by_more_than_one(u, start, elapsed):
+    """Charged units never exceed uptime/u by more than one unit."""
+    billing = BillingModel(u)
+    inst = make_running(start)
+    now = start + elapsed
+    assert billing.units_charged(inst, now) <= elapsed / u + 1 + 1e-9
+
+
+@given(u=units, start=times, elapsed=times)
+@settings(max_examples=200)
+def test_time_to_next_charge_in_range(u, start, elapsed):
+    billing = BillingModel(u)
+    inst = make_running(start)
+    r = billing.time_to_next_charge(inst, start + elapsed)
+    assert 0 < r <= u + 1e-9
+
+
+@given(u=units, start=times, e1=times, e2=times)
+@settings(max_examples=200)
+def test_units_monotone_in_time(u, start, e1, e2):
+    billing = BillingModel(u)
+    inst = make_running(start)
+    lo, hi = sorted((e1, e2))
+    assert billing.units_charged(inst, start + lo) <= billing.units_charged(
+        inst, start + hi
+    )
+
+
+@given(u=units, start=times, elapsed=times)
+@settings(max_examples=200)
+def test_waste_bounded_by_one_unit(u, start, elapsed):
+    """Terminating forfeits strictly less than one full unit."""
+    billing = BillingModel(u)
+    inst = make_running(start)
+    now = start + elapsed
+    inst.mark_terminated(now)
+    assert 0 <= billing.wasted_time(inst, now) <= u + 1e-6

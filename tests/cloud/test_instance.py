@@ -1,0 +1,128 @@
+"""Tests for instance lifecycle and slot management."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import Instance, InstanceState, InstanceType, XO_XLARGE
+
+
+def make_instance(slots=2, requested_at=0.0):
+    return Instance(
+        instance_id="vm-1",
+        itype=InstanceType(name="t", slots=slots),
+        requested_at=requested_at,
+    )
+
+
+class TestInstanceType:
+    def test_paper_flavor(self):
+        assert XO_XLARGE.slots == 4
+        assert XO_XLARGE.name == "XOXLarge"
+
+    def test_rejects_bad_slots(self):
+        with pytest.raises(ValueError):
+            InstanceType(name="t", slots=0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            InstanceType(name="", slots=1)
+
+
+class TestLifecycle:
+    def test_starts_pending(self):
+        inst = make_instance()
+        assert inst.state is InstanceState.PENDING
+        assert inst.free_slots == 0  # unusable until running
+
+    def test_mark_running(self):
+        inst = make_instance()
+        inst.mark_running(5.0)
+        assert inst.state is InstanceState.RUNNING
+        assert inst.started_at == 5.0
+        assert inst.free_slots == 2
+
+    def test_cannot_start_before_request(self):
+        inst = make_instance(requested_at=10.0)
+        with pytest.raises(ValueError):
+            inst.mark_running(5.0)
+
+    def test_cannot_start_twice(self):
+        inst = make_instance()
+        inst.mark_running(1.0)
+        with pytest.raises(RuntimeError):
+            inst.mark_running(2.0)
+
+    def test_terminate(self):
+        inst = make_instance()
+        inst.mark_running(0.0)
+        inst.mark_terminated(10.0)
+        assert inst.state is InstanceState.TERMINATED
+        assert inst.uptime(99.0) == 10.0
+
+    def test_terminate_with_occupants_rejected(self):
+        inst = make_instance()
+        inst.mark_running(0.0)
+        inst.assign("t1")
+        with pytest.raises(RuntimeError, match="occupants"):
+            inst.mark_terminated(5.0)
+
+    def test_double_terminate_rejected(self):
+        inst = make_instance()
+        inst.mark_running(0.0)
+        inst.mark_terminated(1.0)
+        with pytest.raises(RuntimeError):
+            inst.mark_terminated(2.0)
+
+
+class TestSlots:
+    def test_assign_release(self):
+        inst = make_instance(slots=2)
+        inst.mark_running(0.0)
+        inst.assign("a")
+        assert inst.free_slots == 1
+        inst.assign("b")
+        assert inst.free_slots == 0
+        inst.release("a")
+        assert inst.free_slots == 1
+
+    def test_overfill_rejected(self):
+        inst = make_instance(slots=1)
+        inst.mark_running(0.0)
+        inst.assign("a")
+        with pytest.raises(RuntimeError, match="no free slot"):
+            inst.assign("b")
+
+    def test_double_assign_rejected(self):
+        inst = make_instance(slots=2)
+        inst.mark_running(0.0)
+        inst.assign("a")
+        with pytest.raises(RuntimeError, match="already"):
+            inst.assign("a")
+
+    def test_release_unknown_rejected(self):
+        inst = make_instance()
+        inst.mark_running(0.0)
+        with pytest.raises(RuntimeError, match="does not occupy"):
+            inst.release("ghost")
+
+    def test_assign_to_pending_rejected(self):
+        inst = make_instance()
+        with pytest.raises(RuntimeError, match="pending"):
+            inst.assign("a")
+
+
+class TestUptime:
+    def test_never_started(self):
+        assert make_instance().uptime(100.0) == 0.0
+
+    def test_running_uses_now(self):
+        inst = make_instance()
+        inst.mark_running(10.0)
+        assert inst.uptime(25.0) == 15.0
+
+    def test_terminated_fixed(self):
+        inst = make_instance()
+        inst.mark_running(0.0)
+        inst.mark_terminated(30.0)
+        assert inst.uptime(1000.0) == 30.0

@@ -1,0 +1,129 @@
+"""Tests for the cloud-side messaging protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import (
+    BillingModel,
+    CloudSite,
+    InstancePool,
+    InstanceType,
+    Provisioner,
+)
+from repro.cloud.messaging import (
+    CloudBroker,
+    ErrorReply,
+    LeaseGrant,
+    LeaseRequest,
+    MessagingClient,
+    PoolStatus,
+    ProtocolError,
+    ReleaseRequest,
+    decode,
+    encode,
+)
+
+
+@pytest.fixture
+def stack():
+    itype = InstanceType(name="t", slots=2)
+    site = CloudSite(name="s", itype=itype, max_instances=3, lag=10.0)
+    pool = InstancePool(itype, BillingModel(60.0))
+    broker = CloudBroker(Provisioner(site, pool))
+    return pool, broker, MessagingClient(broker)
+
+
+class TestWireEncoding:
+    def test_round_trip(self):
+        msg = LeaseRequest(request_id=7, now=1.5, count=2)
+        assert decode(encode(msg)) == msg
+
+    def test_tuples_survive(self):
+        msg = LeaseGrant(request_id=1, instance_ids=("a", "b"), ready_at=2.0)
+        again = decode(encode(msg))
+        assert again.instance_ids == ("a", "b")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown message type"):
+            decode('{"type": "teleport", "request_id": 1}')
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(ValueError, match="without type"):
+            decode('{"request_id": 1}')
+
+
+class TestBroker:
+    def test_lease_grants_instances(self, stack):
+        pool, broker, client = stack
+        grant = client.lease(2, now=5.0)
+        assert len(grant.instance_ids) == 2
+        assert grant.ready_at == 15.0
+        assert pool.active_size() == 2
+
+    def test_lease_truncated_at_capacity(self, stack):
+        pool, _, client = stack
+        grant = client.lease(10, now=0.0)
+        assert len(grant.instance_ids) == 3  # site capacity
+
+    def test_release_flow(self, stack):
+        pool, _, client = stack
+        grant = client.lease(2, now=0.0)
+        for iid in grant.instance_ids:
+            pool.get(iid).mark_running(10.0)
+        ack = client.release(grant.instance_ids[0], at=30.0, now=10.0)
+        assert ack.at == 30.0
+
+    def test_release_unknown_instance_errors(self, stack):
+        _, _, client = stack
+        client.lease(2, now=0.0)
+        with pytest.raises(ProtocolError, match="unknown instance"):
+            client.release("vm-9999", at=5.0, now=0.0)
+
+    def test_release_below_floor_errors(self, stack):
+        pool, _, client = stack
+        grant = client.lease(1, now=0.0)
+        pool.get(grant.instance_ids[0]).mark_running(5.0)
+        with pytest.raises(ProtocolError, match="cannot be terminated"):
+            client.release(grant.instance_ids[0], at=10.0, now=5.0)
+
+    def test_pool_status(self, stack):
+        pool, _, client = stack
+        grant = client.lease(2, now=0.0)
+        pool.get(grant.instance_ids[0]).mark_running(5.0)
+        status = client.pool_status()
+        assert isinstance(status, PoolStatus)
+        assert status.running == (grant.instance_ids[0],)
+        assert status.pending == (grant.instance_ids[1],)
+        assert status.capacity == 3
+
+    def test_negative_lease_errors(self, stack):
+        _, broker, _ = stack
+        reply = decode(
+            broker.handle(encode(LeaseRequest(request_id=1, now=0.0, count=-1)))
+        )
+        assert isinstance(reply, ErrorReply)
+
+    def test_broker_logs_both_directions(self, stack):
+        _, broker, client = stack
+        client.lease(1, now=0.0)
+        assert len(broker.log) == 2
+        assert decode(broker.log[0]) == LeaseRequest(request_id=1, now=0.0, count=1)
+        assert isinstance(decode(broker.log[1]), LeaseGrant)
+
+
+class TestProtocolSufficiency:
+    def test_full_scaling_episode_over_the_wire(self, stack):
+        """Grow, observe, shrink — everything WIRE's Execute step needs,
+        expressed purely in protocol messages."""
+        pool, _, client = stack
+        grant = client.lease(3, now=0.0)
+        for iid in grant.instance_ids:
+            pool.get(iid).mark_running(10.0)
+        assert len(client.pool_status().running) == 3
+        # Release two at their charge boundary.
+        for iid in grant.instance_ids[:2]:
+            ack = client.release(iid, at=70.0, now=15.0)
+            pool.get(iid).mark_terminated(ack.at)
+        status = client.pool_status()
+        assert len(status.running) == 1

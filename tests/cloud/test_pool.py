@@ -1,0 +1,79 @@
+"""Tests for the instance pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import BillingModel, InstancePool, InstanceType
+
+
+@pytest.fixture
+def pool():
+    return InstancePool(InstanceType(name="t", slots=2), BillingModel(60.0))
+
+
+class TestMembership:
+    def test_create_assigns_unique_ids(self, pool):
+        a = pool.create(0.0)
+        b = pool.create(0.0)
+        assert a.instance_id != b.instance_id
+        assert len(pool) == 2
+
+    def test_get(self, pool):
+        a = pool.create(0.0)
+        assert pool.get(a.instance_id) is a
+
+    def test_views_by_state(self, pool):
+        a = pool.create(0.0)
+        b = pool.create(0.0)
+        a.mark_running(1.0)
+        assert [i.instance_id for i in pool.running()] == [a.instance_id]
+        assert [i.instance_id for i in pool.pending()] == [b.instance_id]
+        assert pool.active_size() == 2
+
+    def test_terminated_not_active(self, pool):
+        a = pool.create(0.0)
+        a.mark_running(0.0)
+        a.mark_terminated(10.0)
+        assert pool.active_size() == 0
+        assert len(pool) == 1  # still tracked for billing
+
+
+class TestSlots:
+    def test_free_and_total(self, pool):
+        a = pool.create(0.0)
+        a.mark_running(0.0)
+        assert pool.total_slots() == 2
+        assert pool.free_slots() == 2
+        a.assign("t1")
+        assert pool.free_slots() == 1
+
+    def test_instance_of_task(self, pool):
+        a = pool.create(0.0)
+        a.mark_running(0.0)
+        a.assign("t1")
+        assert pool.instance_of_task("t1") is a
+        assert pool.instance_of_task("ghost") is None
+
+
+class TestBillingAggregation:
+    def test_total_units_and_cost(self, pool):
+        a = pool.create(0.0)
+        a.mark_running(0.0)
+        b = pool.create(0.0)
+        b.mark_running(0.0)
+        assert pool.total_units(90.0) == 4  # 2 instances x 2 units
+        assert pool.total_cost(90.0) == pytest.approx(4.0)
+
+    def test_pending_costs_nothing(self, pool):
+        pool.create(0.0)
+        assert pool.total_units(1000.0) == 0
+
+    def test_wasted_time_aggregates(self, pool):
+        a = pool.create(0.0)
+        a.mark_running(0.0)
+        a.mark_terminated(30.0)  # wastes 30 of the 60s unit
+        b = pool.create(0.0)
+        b.mark_running(0.0)
+        b.mark_terminated(50.0)  # wastes 10
+        assert pool.total_wasted_time(100.0) == pytest.approx(40.0)

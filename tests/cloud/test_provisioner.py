@@ -1,0 +1,83 @@
+"""Tests for launch/terminate provisioning with lag and capacity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import (
+    BillingModel,
+    CloudSite,
+    InstancePool,
+    InstanceType,
+    Provisioner,
+)
+
+
+@pytest.fixture
+def setup():
+    itype = InstanceType(name="t", slots=2)
+    site = CloudSite(name="s", itype=itype, max_instances=3, lag=10.0)
+    pool = InstancePool(itype, BillingModel(60.0))
+    return site, pool, Provisioner(site, pool)
+
+
+class TestLaunches:
+    def test_orders_have_lagged_ready_time(self, setup):
+        _, _, prov = setup
+        orders = prov.order_launches(2, now=5.0)
+        assert len(orders) == 2
+        assert all(o.ready_at == 15.0 for o in orders)
+
+    def test_capacity_truncates(self, setup):
+        _, pool, prov = setup
+        assert len(prov.order_launches(5, now=0.0)) == 3
+        assert pool.active_size() == 3
+        assert prov.order_launches(1, now=0.0) == []
+
+    def test_pending_counts_against_capacity(self, setup):
+        _, _, prov = setup
+        prov.order_launches(2, now=0.0)
+        assert len(prov.order_launches(2, now=1.0)) == 1
+
+    def test_zero_is_noop(self, setup):
+        _, pool, prov = setup
+        assert prov.order_launches(0, now=0.0) == []
+        assert len(pool) == 0
+
+    def test_negative_rejected(self, setup):
+        _, _, prov = setup
+        with pytest.raises(ValueError):
+            prov.order_launches(-1, now=0.0)
+
+
+class TestTerminations:
+    def test_validate_running(self, setup):
+        _, pool, prov = setup
+        a = pool.create(0.0)
+        a.mark_running(0.0)
+        b = pool.create(0.0)
+        b.mark_running(0.0)
+        assert prov.validate_termination(a, at=20.0, now=10.0) == 20.0
+
+    def test_floor_protected(self, setup):
+        _, pool, prov = setup
+        a = pool.create(0.0)
+        a.mark_running(0.0)
+        # min_instances defaults to 1; the only instance is protected.
+        with pytest.raises(RuntimeError, match="cannot be terminated"):
+            prov.validate_termination(a, at=5.0, now=0.0)
+
+    def test_pending_not_terminable(self, setup):
+        _, pool, prov = setup
+        a = pool.create(0.0)
+        pool.create(0.0)
+        assert not prov.can_terminate(a)
+
+    def test_past_time_rejected(self, setup):
+        _, pool, prov = setup
+        a = pool.create(0.0)
+        a.mark_running(0.0)
+        b = pool.create(0.0)
+        b.mark_running(0.0)
+        with pytest.raises(ValueError, match="precedes"):
+            prov.validate_termination(a, at=5.0, now=10.0)

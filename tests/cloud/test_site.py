@@ -1,0 +1,45 @@
+"""Tests for the cloud site description."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import CloudSite, InstanceType, exogeni_site
+
+
+class TestExoGeniDefaults:
+    def test_paper_parameters(self):
+        site = exogeni_site()
+        assert site.max_instances == 12
+        assert site.lag == 180.0
+        assert site.itype.slots == 4
+        assert site.min_instances == 1
+
+    def test_overrides(self):
+        site = exogeni_site(max_instances=4, lag=30.0)
+        assert site.max_instances == 4
+        assert site.lag == 30.0
+
+
+class TestValidation:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            CloudSite("s", InstanceType("t", 1), max_instances=0, lag=1.0)
+
+    def test_rejects_bad_lag(self):
+        with pytest.raises(Exception):
+            CloudSite("s", InstanceType("t", 1), max_instances=1, lag=0.0)
+
+    def test_rejects_floor_above_capacity(self):
+        with pytest.raises(ValueError, match="min_instances"):
+            CloudSite(
+                "s",
+                InstanceType("t", 1),
+                max_instances=2,
+                lag=1.0,
+                min_instances=3,
+            )
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="name"):
+            CloudSite("", InstanceType("t", 1), max_instances=1, lag=1.0)

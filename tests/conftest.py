@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import CloudSite, InstanceType, exogeni_site
+from repro.dag import Task, Workflow, WorkflowBuilder
+from repro.engine import Autoscaler, ScalingDecision
+
+
+class FixedPoolAutoscaler(Autoscaler):
+    """Test helper: a static pool of a chosen size."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.name = f"fixed-{size}"
+
+    def initial_pool_size(self, site: CloudSite) -> int:
+        return min(self.size, site.max_instances)
+
+    def plan(self, obs) -> ScalingDecision:  # noqa: ANN001 - Observation
+        return ScalingDecision()
+
+
+@pytest.fixture
+def site() -> CloudSite:
+    """The paper's evaluation site (12 x 4-slot VMs, 3-minute lag)."""
+    return exogeni_site()
+
+
+@pytest.fixture
+def small_site() -> CloudSite:
+    """A snappy site for unit tests: 4 x 2-slot VMs, 10 s lag."""
+    return CloudSite(
+        name="mini",
+        itype=InstanceType(name="mini", slots=2),
+        max_instances=4,
+        lag=10.0,
+    )
+
+
+@pytest.fixture
+def diamond() -> Workflow:
+    """a -> (b, c) -> d with 10 s tasks."""
+    builder = WorkflowBuilder("diamond")
+    builder.add_task(Task("a", "a", runtime=10.0))
+    builder.add_task(Task("b", "b", runtime=10.0), parents=["a"])
+    builder.add_task(Task("c", "c", runtime=10.0), parents=["a"])
+    builder.add_task(Task("d", "d", runtime=10.0), parents=["b", "c"])
+    return builder.build()
+
+
+@pytest.fixture
+def two_stage() -> Workflow:
+    """split -> 6 maps -> merge, with size-correlated map runtimes."""
+    builder = WorkflowBuilder("two-stage")
+    builder.add_task(Task("split", "split", runtime=5.0, input_size=1e6))
+    sizes = [1e7, 1e7, 2e7, 2e7, 3e7, 3e7]
+    maps = builder.add_stage(
+        "map",
+        count=6,
+        runtime=[10 + s / 1e6 for s in sizes],
+        parents=["split"],
+        input_sizes=sizes,
+    )
+    builder.add_task(Task("merge", "merge", runtime=4.0), parents=maps)
+    return builder.build()
+
+
+@pytest.fixture
+def fixed_pool():
+    """Factory for static test autoscalers."""
+    return FixedPoolAutoscaler

@@ -1,0 +1,42 @@
+"""Tests for WIRE configuration validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import WireConfig
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        config = WireConfig()
+        assert config.restart_threshold_fraction == 0.2
+        assert config.learning_rate == 0.1
+        assert config.boost_k == 5
+        assert config.use_median is True
+        assert config.transfer_window == 1
+        assert config.lookahead is True
+        assert config.ogd_epochs_per_update == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"restart_threshold_fraction": -0.1},
+            {"restart_threshold_fraction": 1.5},
+            {"learning_rate": 0.0},
+            {"ogd_epochs_per_update": 0},
+            {"input_size_rtol": 2.0},
+            {"transfer_window": 0},
+            {"boost_k": -1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(Exception):
+            WireConfig(**kwargs)
+
+    def test_frozen(self):
+        config = WireConfig()
+        with pytest.raises(Exception):
+            config.learning_rate = 0.5

@@ -1,0 +1,202 @@
+"""Tests for WIRE's lookahead workflow simulator (§III-B2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    LookaheadSimulator,
+    PredictionPolicy,
+    RunState,
+    TaskEstimate,
+    VirtualInstance,
+)
+from repro.dag import Task, WorkflowBuilder
+from repro.engine import TaskExecState
+
+
+def estimate(
+    task_id,
+    stage_id,
+    phase,
+    remaining,
+    *,
+    exec_estimate=None,
+    sunk=0.0,
+    instance=None,
+):
+    return TaskEstimate(
+        task_id=task_id,
+        stage_id=stage_id,
+        phase=phase,
+        exec_estimate=exec_estimate if exec_estimate is not None else remaining,
+        policy=PredictionPolicy.MATCHED_GROUP,
+        remaining_occupancy=remaining,
+        sunk_occupancy=sunk,
+        instance_id=instance,
+    )
+
+
+@pytest.fixture
+def pipeline_workflow():
+    """a -> b -> c, plus an independent task x."""
+    builder = WorkflowBuilder("look")
+    builder.add_task(Task("a", "a", runtime=10.0))
+    builder.add_task(Task("b", "b", runtime=10.0), parents=["a"])
+    builder.add_task(Task("c", "c", runtime=10.0), parents=["b"])
+    builder.add_task(Task("x", "x", runtime=10.0))
+    return builder.build()
+
+
+def run_state(now, estimates, transfer=0.0):
+    state = RunState(now=now, transfer_estimate=transfer)
+    for e in estimates:
+        state.estimates[e.task_id] = e
+    return state
+
+
+class TestProjection:
+    def test_running_task_survives_horizon(self, pipeline_workflow):
+        sim = LookaheadSimulator(pipeline_workflow)
+        state = run_state(
+            0.0,
+            [
+                estimate("a", "a#0", TaskExecState.EXECUTING, 50.0, instance="vm-1"),
+                estimate("b", "b#0", TaskExecState.BLOCKED, 10.0),
+                estimate("c", "c#0", TaskExecState.BLOCKED, 10.0),
+                estimate("x", "x#0", TaskExecState.READY, 10.0),
+            ],
+        )
+        instances = [VirtualInstance("vm-1", slots=1, available_at=0.0, occupants=("a",))]
+        load = sim.project(state, instances, ("x",), horizon=30.0)
+        by_id = {t.task_id: t.remaining for t in load.tasks}
+        # a still has 20s left at the horizon.
+        assert by_id["a"] == pytest.approx(20.0)
+        # x was queued and never got a slot: full predicted occupancy.
+        assert by_id["x"] == pytest.approx(10.0)
+        # b and c are still blocked at the horizon: not in Q.
+        assert "b" not in by_id and "c" not in by_id
+        assert not load.workflow_done
+
+    def test_completion_cascade_fires_children(self, pipeline_workflow):
+        sim = LookaheadSimulator(pipeline_workflow)
+        state = run_state(
+            0.0,
+            [
+                estimate("a", "a#0", TaskExecState.EXECUTING, 5.0, instance="vm-1"),
+                estimate("b", "b#0", TaskExecState.BLOCKED, 40.0),
+                estimate("c", "c#0", TaskExecState.BLOCKED, 40.0),
+                estimate("x", "x#0", TaskExecState.READY, 3.0),
+            ],
+        )
+        instances = [VirtualInstance("vm-1", slots=1, available_at=0.0, occupants=("a",))]
+        load = sim.project(state, instances, ("x",), horizon=30.0)
+        by_id = {t.task_id: t.remaining for t in load.tasks}
+        # a completes at 5, b starts (after queued x: FIFO -> x at 5? x
+        # queued first, so x runs 5..8, then b 8.. with 40s: 18 left... but
+        # b fires at a's completion and joins the queue behind x.
+        assert "b" in by_id
+        assert by_id["b"] == pytest.approx(18.0)
+        # c is blocked on b at the horizon.
+        assert "c" not in by_id
+
+    def test_workflow_done_detected(self, pipeline_workflow):
+        sim = LookaheadSimulator(pipeline_workflow)
+        state = run_state(
+            0.0,
+            [
+                estimate("a", "a#0", TaskExecState.EXECUTING, 1.0, instance="vm-1"),
+                estimate("b", "b#0", TaskExecState.BLOCKED, 1.0),
+                estimate("c", "c#0", TaskExecState.BLOCKED, 1.0),
+                estimate("x", "x#0", TaskExecState.READY, 1.0),
+            ],
+        )
+        instances = [VirtualInstance("vm-1", slots=2, available_at=0.0, occupants=("a",))]
+        load = sim.project(state, instances, ("x",), horizon=100.0)
+        assert load.workflow_done
+        assert load.tasks == ()
+
+    def test_pending_instance_adds_capacity_later(self, pipeline_workflow):
+        sim = LookaheadSimulator(pipeline_workflow)
+        state = run_state(
+            0.0,
+            [
+                estimate("a", "a#0", TaskExecState.READY, 100.0),
+                estimate("b", "b#0", TaskExecState.BLOCKED, 100.0),
+                estimate("c", "c#0", TaskExecState.BLOCKED, 100.0),
+                estimate("x", "x#0", TaskExecState.READY, 100.0),
+            ],
+        )
+        instances = [
+            VirtualInstance("vm-1", slots=1, available_at=0.0),
+            VirtualInstance("vm-2", slots=1, available_at=20.0),  # pending
+        ]
+        load = sim.project(state, instances, ("a", "x"), horizon=30.0)
+        by_id = {t.task_id: t.remaining for t in load.tasks}
+        # a dispatched at 0 on vm-1 (100 -> 70 left), x at 20 on vm-2 (90).
+        assert by_id["a"] == pytest.approx(70.0)
+        assert by_id["x"] == pytest.approx(90.0)
+
+    def test_restart_costs_grow_to_horizon(self, pipeline_workflow):
+        sim = LookaheadSimulator(pipeline_workflow)
+        state = run_state(
+            100.0,
+            [
+                estimate(
+                    "a",
+                    "a#0",
+                    TaskExecState.EXECUTING,
+                    60.0,
+                    sunk=25.0,
+                    instance="vm-1",
+                ),
+                estimate("b", "b#0", TaskExecState.BLOCKED, 10.0),
+                estimate("c", "c#0", TaskExecState.BLOCKED, 10.0),
+                estimate("x", "x#0", TaskExecState.READY, 10.0),
+            ],
+        )
+        instances = [VirtualInstance("vm-1", slots=2, available_at=100.0, occupants=("a",))]
+        load = sim.project(state, instances, ("x",), horizon=30.0)
+        # a's sunk cost at the horizon: 25 already + 30 more.
+        assert load.restart_costs["vm-1"] == pytest.approx(55.0)
+
+    def test_draining_instance_tasks_requeued(self, pipeline_workflow):
+        sim = LookaheadSimulator(pipeline_workflow)
+        state = run_state(
+            0.0,
+            [
+                estimate(
+                    "a",
+                    "a#0",
+                    TaskExecState.EXECUTING,
+                    5.0,
+                    exec_estimate=50.0,
+                    instance="vm-gone",  # not in the instance list
+                ),
+                estimate("b", "b#0", TaskExecState.BLOCKED, 10.0),
+                estimate("c", "c#0", TaskExecState.BLOCKED, 10.0),
+                estimate("x", "x#0", TaskExecState.READY, 10.0),
+            ],
+        )
+        instances = [VirtualInstance("vm-1", slots=1, available_at=0.0)]
+        load = sim.project(state, instances, ("x",), horizon=20.0)
+        by_id = {t.task_id: t.remaining for t in load.tasks}
+        # a restarts with its full execution estimate (50), dispatched at 0
+        # on vm-1 -> 30 left at the horizon; x stays queued.
+        assert by_id["a"] == pytest.approx(30.0)
+        assert by_id["x"] == pytest.approx(10.0)
+
+    def test_q_order_running_first(self, pipeline_workflow):
+        sim = LookaheadSimulator(pipeline_workflow)
+        state = run_state(
+            0.0,
+            [
+                estimate("a", "a#0", TaskExecState.EXECUTING, 100.0, instance="vm-1"),
+                estimate("b", "b#0", TaskExecState.BLOCKED, 10.0),
+                estimate("c", "c#0", TaskExecState.BLOCKED, 10.0),
+                estimate("x", "x#0", TaskExecState.READY, 10.0),
+            ],
+        )
+        instances = [VirtualInstance("vm-1", slots=1, available_at=0.0, occupants=("a",))]
+        load = sim.project(state, instances, ("x",), horizon=10.0)
+        assert [t.task_id for t in load.tasks] == ["a", "x"]

@@ -1,0 +1,89 @@
+"""Integration tests for the WIRE MAPE controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autoscalers import WireAutoscaler
+from repro.core import MapeController, WireConfig
+from repro.engine import ExponentialTransferModel, Simulation
+from repro.workloads import linear_stage_workflow, single_stage_workflow
+
+
+class TestMapeIntegration:
+    def test_scales_up_for_wide_long_stage(self, small_site):
+        # 16 long tasks on a 4x2-slot site: wire should grow past 1.
+        wf = single_stage_workflow(16, runtime=400.0)
+        controller = MapeController()
+        result = Simulation(wf, small_site, controller, 60.0).run()
+        assert result.completed
+        assert result.peak_instances > 1
+        assert controller.diagnostics  # telemetry captured
+
+    def test_releases_idle_instances(self, small_site):
+        # A wide first stage then a single long tail task: the pool must
+        # shrink back rather than bill idle instances to the end.
+        wf = linear_stage_workflow([(8, 120.0), (1, 300.0)])
+        result = Simulation(wf, small_site, MapeController(), 60.0).run()
+        assert result.completed
+        final_pool = result.pool_timeline[-1][1]
+        assert final_pool <= 2
+
+    def test_cheaper_than_static_peak(self, small_site, fixed_pool):
+        wf = linear_stage_workflow([(8, 120.0), (1, 300.0)])
+        wire = Simulation(wf, small_site, MapeController(), 60.0).run()
+        static = Simulation(wf, small_site, fixed_pool(4), 60.0).run()
+        assert wire.total_units < static.total_units
+
+    def test_single_controller_per_run(self, small_site, diamond, two_stage):
+        controller = MapeController()
+        Simulation(diamond, small_site, controller, 60.0).run()
+        with pytest.raises(RuntimeError, match="single run"):
+            Simulation(two_stage, small_site, controller, 60.0).run()
+
+    def test_state_size_tracked(self, small_site, two_stage):
+        controller = MapeController()
+        Simulation(two_stage, small_site, controller, 60.0).run()
+        size = controller.state_size_bytes()
+        assert size is not None and 0 < size < 16 * 1024  # paper: <= 16KB
+
+    def test_predictor_property_guarded(self):
+        with pytest.raises(RuntimeError, match="not observed"):
+            MapeController().predictor
+
+
+class TestConfigVariants:
+    def test_lookahead_ablation_runs(self, small_site):
+        wf = single_stage_workflow(8, runtime=100.0)
+        controller = MapeController(WireConfig(lookahead=False))
+        result = Simulation(wf, small_site, controller, 60.0).run()
+        assert result.completed
+
+    def test_wire_autoscaler_alias(self):
+        assert WireAutoscaler().name == "wire"
+        assert isinstance(WireAutoscaler(), MapeController)
+
+    def test_custom_threshold_flows_through(self, small_site):
+        wf = single_stage_workflow(8, runtime=100.0)
+        controller = MapeController(WireConfig(restart_threshold_fraction=0.5))
+        result = Simulation(wf, small_site, controller, 60.0).run()
+        assert result.completed
+
+
+class TestDiagnostics:
+    def test_tick_telemetry_fields(self, small_site):
+        wf = single_stage_workflow(8, runtime=150.0, )
+        controller = MapeController()
+        Simulation(
+            wf,
+            small_site,
+            controller,
+            60.0,
+            transfer_model=ExponentialTransferModel(bandwidth=1e8),
+        ).run()
+        assert controller.diagnostics
+        first = controller.diagnostics[0]
+        assert first.now == pytest.approx(small_site.lag)
+        assert first.pool_before >= 1
+        assert first.upcoming_tasks >= 0
+        assert first.policy_counts

@@ -1,0 +1,80 @@
+"""Tests for the online gradient descent model (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OnlineGradientDescentModel
+
+
+class TestInitialState:
+    def test_zero_coefficients(self):
+        model = OnlineGradientDescentModel()
+        assert model.alpha0 == 0.0
+        assert model.alpha1 == 0.0
+        assert model.predict(100.0) == 0.0
+
+    def test_paper_learning_rate_default(self):
+        assert OnlineGradientDescentModel().learning_rate == 0.1
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(Exception):
+            OnlineGradientDescentModel(learning_rate=0.0)
+
+
+class TestSingleStep:
+    def test_one_update_moves_toward_target(self):
+        model = OnlineGradientDescentModel()
+        model.update([(1.0, 10.0)])
+        # grad0 = -2 * 10, step = 0.1 -> alpha0 = 2; grad1 likewise.
+        assert model.alpha0 == pytest.approx(2.0)
+        assert model.alpha1 == pytest.approx(2.0)
+        assert model.updates == 1
+
+    def test_empty_training_set_noop(self):
+        model = OnlineGradientDescentModel()
+        model.update([])
+        assert model.updates == 0
+        assert model.predict(5.0) == 0.0
+
+
+class TestConvergence:
+    def test_converges_to_linear_relation(self):
+        # t = 3 + 2*d on normalized sizes.
+        training = [(d, 3.0 + 2.0 * d) for d in (0.1, 0.3, 0.5, 0.8, 1.0)]
+        model = OnlineGradientDescentModel()
+        for _ in range(3000):
+            model.update(training)
+        for d, t in training:
+            assert model.predict(d) == pytest.approx(t, rel=0.02)
+
+    def test_handles_large_byte_sizes(self):
+        # Raw sizes in the hundreds of MB must not diverge (the scaling
+        # reparameterization keeps gradients bounded).
+        training = [(d * 1e8, 10.0 + d * 20.0) for d in (0.5, 1.0, 2.0, 4.0)]
+        model = OnlineGradientDescentModel()
+        for _ in range(3000):
+            model.update(training)
+        for size, t in training:
+            assert model.predict(size) == pytest.approx(t, rel=0.05)
+
+    def test_growing_scale_preserves_predictions(self):
+        model = OnlineGradientDescentModel()
+        for _ in range(500):
+            model.update([(10.0, 5.0), (20.0, 9.0)])
+        before = model.predict(15.0)
+        # A much larger size arrives; prior predictions must be unchanged.
+        model.update([(10.0, 5.0), (20.0, 9.0), (1000.0, 400.0)])
+        after_scale = model.scale
+        assert after_scale >= 1000.0
+        assert model.predict(15.0) == pytest.approx(before, rel=0.2)
+
+
+class TestPrediction:
+    def test_clamped_at_zero(self):
+        model = OnlineGradientDescentModel()
+        model.alpha0 = -5.0
+        assert model.predict(0.0) == 0.0
+
+    def test_state_size_small(self):
+        assert OnlineGradientDescentModel().state_size_bytes() <= 64

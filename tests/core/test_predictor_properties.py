@@ -1,0 +1,145 @@
+"""Property-based tests on the predictor's invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PredictionPolicy, TaskPredictor
+from repro.dag import Task, WorkflowBuilder
+from repro.engine import Monitor, TaskExecState
+from repro.util.rng import spawn_rng
+
+
+@st.composite
+def stage_scenario(draw):
+    """A single stage plus a random monitoring state for it."""
+    n = draw(st.integers(min_value=1, max_value=20))
+    sizes = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e9),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    runtimes = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=500.0),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    completed = draw(st.integers(min_value=0, max_value=n - 1))
+    running = draw(st.integers(min_value=0, max_value=n - 1 - completed))
+    return sizes, runtimes, completed, running
+
+
+def build_scenario(sizes, runtimes, n_completed, n_running):
+    builder = WorkflowBuilder("prop")
+    for i, (size, runtime) in enumerate(zip(sizes, runtimes)):
+        builder.add_task(
+            Task(f"t{i:03d}", "map", runtime=runtime, input_size=size)
+        )
+    workflow = builder.build()
+    monitor = Monitor()
+    stage_id = workflow.stage_of["t000"]
+    now = 1000.0
+    for i in range(n_completed):
+        tid = f"t{i:03d}"
+        monitor.record_dispatch(tid, stage_id, "vm", 0.0, sizes[i], 0.0)
+        monitor.record_exec_start(tid, 0.0)
+        monitor.record_exec_end(tid, runtimes[i])
+        monitor.record_complete(tid, runtimes[i])
+    for i in range(n_completed, n_completed + n_running):
+        tid = f"t{i:03d}"
+        monitor.record_dispatch(tid, stage_id, "vm", 500.0, sizes[i], 0.0)
+        monitor.record_exec_start(tid, 500.0)
+    return workflow, monitor, now
+
+
+@given(stage_scenario())
+@settings(max_examples=100, deadline=None)
+def test_estimates_are_finite_and_non_negative(scenario):
+    sizes, runtimes, n_completed, n_running = scenario
+    workflow, monitor, now = build_scenario(sizes, runtimes, n_completed, n_running)
+    predictor = TaskPredictor(workflow)
+    predictor.observe_interval(monitor, -1.0, now)
+    target = f"t{len(sizes) - 1:03d}"  # always unstarted by construction
+    for phase in (TaskExecState.READY, TaskExecState.BLOCKED):
+        estimate, policy = predictor.estimate_execution(
+            target, phase, monitor, now
+        )
+        assert estimate >= 0.0
+        assert estimate == estimate  # not NaN
+        assert isinstance(policy, PredictionPolicy)
+
+
+@given(stage_scenario())
+@settings(max_examples=100, deadline=None)
+def test_policy_selection_matches_data_availability(scenario):
+    sizes, runtimes, n_completed, n_running = scenario
+    workflow, monitor, now = build_scenario(sizes, runtimes, n_completed, n_running)
+    predictor = TaskPredictor(workflow)
+    target = f"t{len(sizes) - 1:03d}"
+    _, policy = predictor.estimate_execution(
+        target, TaskExecState.READY, monitor, now
+    )
+    if n_completed == 0 and n_running == 0:
+        assert policy is PredictionPolicy.NO_TASK_STARTED
+    elif n_completed == 0:
+        assert policy is PredictionPolicy.RUNNING_ONLY
+    else:
+        assert policy in (
+            PredictionPolicy.MATCHED_GROUP,
+            PredictionPolicy.OGD,
+        )
+
+
+@given(stage_scenario())
+@settings(max_examples=60, deadline=None)
+def test_run_state_annotates_everything(scenario):
+    from repro.engine import FrameworkMaster
+
+    sizes, runtimes, n_completed, n_running = scenario
+    workflow, monitor, now = build_scenario(sizes, runtimes, n_completed, n_running)
+    master = FrameworkMaster(workflow)
+    for i in range(n_completed):
+        tid = f"t{i:03d}"
+        master.mark_dispatched(tid)
+        master.mark_executing(tid)
+        master.mark_staging_out(tid)
+        master.mark_completed(tid)
+    for i in range(n_completed, n_completed + n_running):
+        tid = f"t{i:03d}"
+        master.mark_dispatched(tid)
+        master.mark_executing(tid)
+    predictor = TaskPredictor(workflow)
+    state = predictor.build_run_state(master, monitor, now)
+    assert set(state.estimates) == set(workflow.tasks)
+    for estimate in state.estimates.values():
+        assert estimate.remaining_occupancy >= 0.0
+        assert estimate.sunk_occupancy >= 0.0
+        if estimate.phase is TaskExecState.COMPLETED:
+            assert estimate.policy is PredictionPolicy.OBSERVED
+            assert estimate.remaining_occupancy == 0.0
+
+
+@given(
+    seeds=st.integers(min_value=0, max_value=1000),
+    lr=st.floats(min_value=0.01, max_value=0.5),
+)
+@settings(max_examples=50, deadline=None)
+def test_ogd_never_diverges_on_bounded_data(seeds, lr):
+    from repro.core import OnlineGradientDescentModel
+
+    rng = spawn_rng(seeds, "ogd-prop")
+    model = OnlineGradientDescentModel(learning_rate=lr)
+    training = [
+        (float(rng.uniform(0, 1e9)), float(rng.uniform(0, 500)))
+        for _ in range(8)
+    ]
+    for _ in range(200):
+        model.update(training)
+    prediction = model.predict(training[0][0])
+    assert prediction == prediction  # not NaN
+    assert 0.0 <= prediction < 1e7  # bounded, no blow-up

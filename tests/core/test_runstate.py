@@ -1,0 +1,62 @@
+"""Tests for the run-state belief structure."""
+
+from __future__ import annotations
+
+from repro.core import PredictionPolicy, RunState, TaskEstimate
+from repro.engine import TaskExecState
+
+
+def make_estimate(task_id, phase, policy=PredictionPolicy.OGD):
+    return TaskEstimate(
+        task_id=task_id,
+        stage_id="s",
+        phase=phase,
+        exec_estimate=10.0,
+        policy=policy,
+        remaining_occupancy=10.0,
+    )
+
+
+class TestRunState:
+    def test_wavefront_excludes_completed(self):
+        state = RunState(now=0.0, transfer_estimate=0.0)
+        state.estimates["a"] = make_estimate("a", TaskExecState.COMPLETED,
+                                             PredictionPolicy.OBSERVED)
+        state.estimates["b"] = make_estimate("b", TaskExecState.READY)
+        assert [e.task_id for e in state.wavefront()] == ["b"]
+
+    def test_wavefront_sorted(self):
+        state = RunState(now=0.0, transfer_estimate=0.0)
+        for tid in ("z", "a", "m"):
+            state.estimates[tid] = make_estimate(tid, TaskExecState.READY)
+        assert [e.task_id for e in state.wavefront()] == ["a", "m", "z"]
+
+    def test_policy_counts(self):
+        state = RunState(now=0.0, transfer_estimate=0.0)
+        state.estimates["a"] = make_estimate("a", TaskExecState.READY)
+        state.estimates["b"] = make_estimate("b", TaskExecState.READY)
+        state.estimates["c"] = make_estimate(
+            "c", TaskExecState.READY, PredictionPolicy.MATCHED_GROUP
+        )
+        counts = state.policy_counts()
+        assert counts[PredictionPolicy.OGD] == 2
+        assert counts[PredictionPolicy.MATCHED_GROUP] == 1
+
+    def test_estimate_lookup(self):
+        state = RunState(now=0.0, transfer_estimate=0.0)
+        state.estimates["a"] = make_estimate("a", TaskExecState.READY)
+        assert state.estimate("a").task_id == "a"
+
+    def test_state_size_scales_with_annotations(self):
+        small = RunState(now=0.0, transfer_estimate=0.0)
+        big = RunState(now=0.0, transfer_estimate=0.0)
+        for i in range(100):
+            big.estimates[str(i)] = make_estimate(str(i), TaskExecState.READY)
+        assert big.state_size_bytes() > small.state_size_bytes()
+
+    def test_policy_enum_matches_paper_numbering(self):
+        assert PredictionPolicy.NO_TASK_STARTED == 1
+        assert PredictionPolicy.RUNNING_ONLY == 2
+        assert PredictionPolicy.COMPLETED_UNREADY == 3
+        assert PredictionPolicy.MATCHED_GROUP == 4
+        assert PredictionPolicy.OGD == 5

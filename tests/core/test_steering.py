@@ -1,0 +1,160 @@
+"""Tests for Algorithms 2 and 3 (the resource-steering policy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SteerableInstance, SteeringPolicy, resize_pool
+
+
+class TestResizePoolAlgorithm3:
+    def test_empty_load(self):
+        assert resize_pool([], 60.0, 4) == 0
+
+    def test_single_short_task_still_one_instance(self):
+        # p == 0 -> line 28 guarantees one instance while work remains.
+        assert resize_pool([5.0], 60.0, 4) == 1
+
+    def test_task_longer_than_unit_per_slot(self):
+        # Tasks >= u: each group of l tasks fills an instance's first unit,
+        # so p = N / l — maximal parallelism (§III-A's goal).
+        assert resize_pool([100.0] * 8, 60.0, 4) == 2
+        assert resize_pool([100.0] * 12, 60.0, 4) == 3
+
+    def test_short_tasks_pack_many_per_instance(self):
+        # 30s tasks on 1 slot, u=60: two tasks per instance-unit.
+        assert resize_pool([30.0] * 10, 60.0, 1) == 5
+
+    def test_paper_growth_arithmetic(self):
+        # §III-E: N tasks at estimate tau with 1 slot -> p ~= N*tau/U while
+        # tau << U (many tasks per unit).
+        n, u = 100, 60.0
+        for tau in (6.0, 12.0, 30.0):
+            expected = int(n // (u // tau + (0 if u % tau == 0 else 1)))
+            p = resize_pool([tau] * n, u, 1)
+            assert abs(p - expected) <= 1
+
+    def test_tail_threshold_adds_instance(self):
+        # Leftover task above 0.2u forces one more instance...
+        assert resize_pool([100.0] * 4 + [13.0], 60.0, 4) == 2
+        # ...but a trivial leftover does not.
+        assert resize_pool([100.0] * 4 + [5.0], 60.0, 4) == 1
+
+    def test_zero_remaining_tasks_pack_free(self):
+        # Tasks about to complete consume no capacity.
+        assert resize_pool([0.0] * 100 + [100.0] * 4, 60.0, 4) == 1
+
+    def test_custom_threshold(self):
+        # With threshold 0.5, a 13s leftover (<30s) no longer triggers.
+        assert (
+            resize_pool([100.0] * 4 + [13.0], 60.0, 4, tail_threshold_fraction=0.5)
+            == 1
+        )
+
+    def test_partial_fill_below_unit(self):
+        # Total work far below one charging unit -> single instance.
+        assert resize_pool([5.0] * 4, 900.0, 4) == 1
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            resize_pool([1.0], 0.0, 4)
+        with pytest.raises(ValueError):
+            resize_pool([1.0], 60.0, 0)
+        with pytest.raises(Exception):
+            resize_pool([1.0], 60.0, 4, tail_threshold_fraction=2.0)
+
+
+def make_instances(specs):
+    return [
+        SteerableInstance(instance_id=f"vm-{i}", time_to_next_charge=r, restart_cost=c)
+        for i, (r, c) in enumerate(specs)
+    ]
+
+
+def decide(policy, upcoming, instances, *, pending=0, u=60.0, lag=180.0,
+           lo=1, hi=12, slots=4, now=1000.0):
+    return policy.decide(
+        now=now,
+        upcoming_remaining=upcoming,
+        instances=instances,
+        pending_count=pending,
+        charging_unit=u,
+        lag=lag,
+        slots_per_instance=slots,
+        min_instances=lo,
+        max_instances=hi,
+    )
+
+
+class TestSteeringAlgorithm2:
+    def test_grow_when_target_exceeds_pool(self):
+        policy = SteeringPolicy()
+        instances = make_instances([(30.0, 0.0)])
+        d = decide(policy, [100.0] * 12, instances)
+        assert d.launch == 2  # target 3, have 1
+
+    def test_pending_counts_toward_pool(self):
+        policy = SteeringPolicy()
+        instances = make_instances([(30.0, 0.0)])
+        d = decide(policy, [100.0] * 12, instances, pending=2)
+        assert d.is_noop
+
+    def test_shrink_releases_at_charge_boundary(self):
+        policy = SteeringPolicy()
+        instances = make_instances([(30.0, 0.0), (50.0, 0.0), (40.0, 0.0)])
+        d = decide(policy, [10.0], instances)
+        assert d.launch == 0
+        assert len(d.terminations) == 2
+        by_id = {o.instance_id: o.at for o in d.terminations}
+        # Released exactly at now + r_j.
+        assert by_id["vm-0"] == pytest.approx(1030.0)
+
+    def test_shrink_skips_expensive_restarts(self):
+        policy = SteeringPolicy()
+        # restart cost above 0.2*60=12 protects the instance.
+        instances = make_instances([(30.0, 20.0), (30.0, 5.0)])
+        d = decide(policy, [10.0], instances)
+        assert len(d.terminations) == 1
+        assert d.terminations[0].instance_id == "vm-1"
+
+    def test_shrink_skips_distant_boundaries(self):
+        policy = SteeringPolicy()
+        # r_j > lag: the unit does not expire before the next interval.
+        instances = make_instances([(500.0, 0.0), (30.0, 0.0)])
+        d = decide(policy, [10.0], instances, lag=180.0)
+        assert len(d.terminations) == 1
+        assert d.terminations[0].instance_id == "vm-1"
+
+    def test_release_order_minimizes_restart_cost(self):
+        policy = SteeringPolicy()
+        instances = make_instances([(30.0, 10.0), (30.0, 0.0), (30.0, 5.0)])
+        d = decide(policy, [10.0], instances, lo=1)
+        # Shrinking 3 -> 1 releases the two cheapest.
+        released = [o.instance_id for o in d.terminations]
+        assert released == ["vm-1", "vm-2"]
+
+    def test_min_instances_floor(self):
+        policy = SteeringPolicy()
+        instances = make_instances([(30.0, 0.0), (30.0, 0.0)])
+        d = decide(policy, [], instances, lo=2)
+        assert d.is_noop
+
+    def test_max_instances_cap(self):
+        policy = SteeringPolicy()
+        instances = make_instances([(30.0, 0.0)])
+        d = decide(policy, [1000.0] * 400, instances, hi=12, slots=4)
+        assert d.launch == 11
+
+    def test_empty_load_retains_minimal_pool(self):
+        policy = SteeringPolicy()
+        instances = make_instances([(30.0, 0.0), (30.0, 0.0), (30.0, 0.0)])
+        d = decide(policy, [], instances, lo=1)
+        assert len(d.terminations) == 2
+
+    def test_threshold_configurable(self):
+        strict = SteeringPolicy(restart_threshold_fraction=0.0)
+        instances = make_instances([(30.0, 1.0)])
+        d = decide(strict, [1.0], instances + make_instances([(30.0, 0.0)]))
+        # With threshold 0, any sunk cost protects an instance.
+        released = {o.instance_id for o in d.terminations}
+        assert released == {"vm-0"}  # the zero-cost one (ids renumbered)

@@ -1,0 +1,81 @@
+"""Tests for DAG structural analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag import (
+    Task,
+    Workflow,
+    WorkflowBuilder,
+    critical_path_length,
+    critical_path_tasks,
+    depth,
+    ideal_parallelism_profile,
+    level_widths,
+    max_width,
+)
+from repro.workloads import chain_workflow, fork_join_workflow
+
+
+class TestLevels:
+    def test_diamond(self, diamond):
+        assert depth(diamond) == 3
+        assert level_widths(diamond) == [1, 2, 1]
+        assert max_width(diamond) == 2
+
+    def test_chain(self):
+        wf = chain_workflow(5)
+        assert depth(wf) == 5
+        assert max_width(wf) == 1
+
+    def test_fork_join(self):
+        wf = fork_join_workflow(width=7)
+        assert level_widths(wf) == [1, 7, 1]
+
+
+class TestCriticalPath:
+    def test_diamond_length(self, diamond):
+        # a(10) -> b or c(10) -> d(10)
+        assert critical_path_length(diamond) == pytest.approx(30.0)
+
+    def test_heavier_branch_wins(self):
+        b = WorkflowBuilder("t")
+        b.add_task(Task("a", "a", runtime=1.0))
+        b.add_task(Task("fast", "f", runtime=1.0), parents=["a"])
+        b.add_task(Task("slow", "s", runtime=100.0), parents=["a"])
+        b.add_task(Task("z", "z", runtime=1.0), parents=["fast", "slow"])
+        wf = b.build()
+        assert critical_path_length(wf) == pytest.approx(102.0)
+        assert critical_path_tasks(wf) == ["a", "slow", "z"]
+
+    def test_path_is_connected(self, diamond):
+        path = critical_path_tasks(diamond)
+        for parent, child in zip(path, path[1:]):
+            assert parent in diamond.parents(child)
+
+    def test_single_task(self):
+        wf = Workflow("t", [Task("only", "x", runtime=3.0)])
+        assert critical_path_length(wf) == pytest.approx(3.0)
+        assert critical_path_tasks(wf) == ["only"]
+
+
+class TestParallelismProfile:
+    def test_diamond_profile(self, diamond):
+        profile = ideal_parallelism_profile(diamond)
+        assert profile.peak == 2
+        assert profile.width_at(5.0) == 1  # a running
+        assert profile.width_at(15.0) == 2  # b and c
+        assert profile.width_at(25.0) == 1  # d
+
+    def test_before_start_width_zero(self, diamond):
+        profile = ideal_parallelism_profile(diamond)
+        assert profile.width_at(-1.0) == 0
+
+    def test_ends_at_zero(self, diamond):
+        profile = ideal_parallelism_profile(diamond)
+        assert profile.widths[-1] == 0
+
+    def test_peak_bounded_by_task_count(self):
+        wf = fork_join_workflow(width=5)
+        assert ideal_parallelism_profile(wf).peak == 5

@@ -1,0 +1,93 @@
+"""Tests for the workflow builder DSL."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag import Task, WorkflowBuilder
+
+
+class TestAddTask:
+    def test_returns_id(self):
+        b = WorkflowBuilder("t")
+        assert b.add_task(Task("a", "a", runtime=1.0)) == "a"
+
+    def test_rejects_duplicate(self):
+        b = WorkflowBuilder("t")
+        b.add_task(Task("a", "a", runtime=1.0))
+        with pytest.raises(ValueError, match="duplicate"):
+            b.add_task(Task("a", "a", runtime=1.0))
+
+    def test_rejects_unknown_parent(self):
+        b = WorkflowBuilder("t")
+        with pytest.raises(ValueError, match="unknown parent"):
+            b.add_task(Task("a", "a", runtime=1.0), parents=["ghost"])
+
+
+class TestAddEdge:
+    def test_adds_dependency(self):
+        b = WorkflowBuilder("t")
+        b.add_task(Task("a", "a", runtime=1.0))
+        b.add_task(Task("b", "b", runtime=1.0))
+        b.add_edge("a", "b")
+        wf = b.build()
+        assert wf.parents("b") == frozenset({"a"})
+
+    def test_rejects_unknown(self):
+        b = WorkflowBuilder("t")
+        b.add_task(Task("a", "a", runtime=1.0))
+        with pytest.raises(ValueError, match="unknown task"):
+            b.add_edge("a", "nope")
+
+
+class TestAddStage:
+    def test_scalar_broadcast(self):
+        b = WorkflowBuilder("t")
+        ids = b.add_stage("map", count=3, runtime=7.0)
+        wf = b.build()
+        assert len(ids) == 3
+        assert all(wf.task(i).runtime == 7.0 for i in ids)
+
+    def test_per_task_lists(self):
+        b = WorkflowBuilder("t")
+        ids = b.add_stage(
+            "map", count=2, runtime=[1.0, 2.0], input_sizes=[10.0, 20.0]
+        )
+        wf = b.build()
+        assert wf.task(ids[0]).runtime == 1.0
+        assert wf.task(ids[1]).input_size == 20.0
+
+    def test_rejects_bad_list_length(self):
+        b = WorkflowBuilder("t")
+        with pytest.raises(ValueError, match="entries"):
+            b.add_stage("map", count=3, runtime=[1.0, 2.0])
+
+    def test_rejects_zero_count(self):
+        b = WorkflowBuilder("t")
+        with pytest.raises(ValueError, match="count"):
+            b.add_stage("map", count=0, runtime=1.0)
+
+    def test_all_to_all_parents(self):
+        b = WorkflowBuilder("t")
+        roots = b.add_stage("a", count=2, runtime=1.0)
+        children = b.add_stage("b", count=2, runtime=1.0, parents=roots)
+        wf = b.build()
+        for child in children:
+            assert wf.parents(child) == frozenset(roots)
+
+    def test_ids_sorted_matches_creation_order(self):
+        b = WorkflowBuilder("t")
+        ids = b.add_stage("map", count=12, runtime=1.0)
+        assert ids == sorted(ids)
+
+    def test_prefix_override(self):
+        b = WorkflowBuilder("t")
+        ids = b.add_stage("map", count=1, runtime=1.0, prefix="custom")
+        assert ids[0].startswith("custom-")
+
+    def test_single_stage_inference(self):
+        b = WorkflowBuilder("t")
+        b.add_stage("map", count=5, runtime=1.0)
+        wf = b.build()
+        assert len(wf.stages) == 1
+        assert wf.stages[0].size == 5

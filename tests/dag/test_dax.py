@@ -1,0 +1,103 @@
+"""Tests for Pegasus DAX import/export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag import Task, Workflow, WorkflowBuilder
+from repro.dag.dax import read_dax, read_dax_file, write_dax, write_dax_file
+from repro.workloads import epigenomics
+
+SAMPLE_DAX = """<?xml version="1.0" encoding="UTF-8"?>
+<adag xmlns="http://pegasus.isi.edu/schema/DAX" version="3.6" name="sample">
+  <job id="ID0000001" name="fastqSplit" runtime="32.5">
+    <uses file="chr21.fastq" link="input" size="2000000"/>
+    <uses file="split.0" link="output" size="500000"/>
+  </job>
+  <job id="ID0000002" name="filterContams">
+    <profile namespace="pegasus" key="runtime">1.5</profile>
+    <uses file="split.0" link="input" size="500000"/>
+  </job>
+  <job id="ID0000003" name="filterContams">
+    <profile namespace="pegasus" key="runtime">2.0</profile>
+  </job>
+  <child ref="ID0000002">
+    <parent ref="ID0000001"/>
+  </child>
+  <child ref="ID0000003">
+    <parent ref="ID0000001"/>
+  </child>
+</adag>
+"""
+
+
+class TestRead:
+    def test_parses_jobs_and_edges(self):
+        wf = read_dax(SAMPLE_DAX)
+        assert wf.name == "sample"
+        assert len(wf) == 3
+        assert wf.parents("ID0000002") == frozenset({"ID0000001"})
+        assert wf.roots == ("ID0000001",)
+
+    def test_runtime_sources(self):
+        wf = read_dax(SAMPLE_DAX)
+        assert wf.task("ID0000001").runtime == 32.5  # attribute
+        assert wf.task("ID0000002").runtime == 1.5  # pegasus profile
+
+    def test_default_runtime(self):
+        text = SAMPLE_DAX.replace(' runtime="32.5"', "")
+        wf = read_dax(text, default_runtime=7.0)
+        assert wf.task("ID0000001").runtime == 7.0
+
+    def test_uses_sizes_summed(self):
+        wf = read_dax(SAMPLE_DAX)
+        task = wf.task("ID0000001")
+        assert task.input_size == 2_000_000.0
+        assert task.output_size == 500_000.0
+
+    def test_stage_inference_from_dax(self):
+        wf = read_dax(SAMPLE_DAX)
+        # The two filterContams jobs share executable + predecessors.
+        assert wf.stage_of["ID0000002"] == wf.stage_of["ID0000003"]
+
+    def test_rejects_non_dax(self):
+        with pytest.raises(ValueError, match="not a DAX"):
+            read_dax("<workflow/>")
+
+    def test_rejects_missing_refs(self):
+        bad = SAMPLE_DAX.replace('<child ref="ID0000002">', "<child>")
+        with pytest.raises(ValueError, match="without ref"):
+            read_dax(bad)
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self, two_stage):
+        wf = read_dax(write_dax(two_stage))
+        assert wf.name == two_stage.name
+        assert set(wf.tasks) == set(two_stage.tasks)
+        for tid, task in two_stage.tasks.items():
+            again = wf.task(tid)
+            assert again.runtime == task.runtime
+            assert again.executable == task.executable
+            assert again.input_size == task.input_size
+            assert wf.parents(tid) == two_stage.parents(tid)
+
+    def test_table1_workflow_round_trip(self):
+        original = epigenomics("S").generate(seed=0)
+        wf = read_dax(write_dax(original))
+        assert len(wf) == len(original)
+        assert len(wf.stages) == len(original.stages)
+        assert wf.total_work == pytest.approx(original.total_work)
+
+    def test_file_round_trip(self, tmp_path, diamond):
+        path = tmp_path / "wf.dax"
+        write_dax_file(diamond, path)
+        wf = read_dax_file(path)
+        assert set(wf.tasks) == set(diamond.tasks)
+
+    def test_round_tripped_workflow_runs(self, two_stage, small_site, fixed_pool):
+        from repro.engine import Simulation
+
+        wf = read_dax(write_dax(two_stage))
+        result = Simulation(wf, small_site, fixed_pool(2), 60.0).run()
+        assert result.completed

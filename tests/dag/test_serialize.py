@@ -1,0 +1,48 @@
+"""Tests for native JSON workflow serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.serialize import (
+    load_workflow,
+    save_workflow,
+    workflow_from_json,
+    workflow_to_json,
+)
+from repro.workloads import pagerank
+
+
+class TestRoundTrip:
+    def test_exact_field_round_trip(self, two_stage):
+        again = workflow_from_json(workflow_to_json(two_stage))
+        assert again.name == two_stage.name
+        for tid, task in two_stage.tasks.items():
+            t2 = again.task(tid)
+            assert t2 == task  # frozen dataclass equality: every field
+        for tid in two_stage.tasks:
+            assert again.parents(tid) == two_stage.parents(tid)
+
+    def test_stages_preserved(self):
+        wf = pagerank("S").generate(0)
+        again = workflow_from_json(workflow_to_json(wf))
+        assert len(again.stages) == len(wf.stages)
+        assert again.total_work == pytest.approx(wf.total_work)
+
+    def test_file_round_trip(self, tmp_path, diamond):
+        path = tmp_path / "wf.json"
+        save_workflow(diamond, path)
+        assert load_workflow(path).topological_order() == diamond.topological_order()
+
+    def test_version_check(self):
+        with pytest.raises(ValueError, match="format version"):
+            workflow_from_json('{"format_version": 42}')
+
+    def test_defaults_for_missing_sizes(self):
+        text = (
+            '{"format_version": 1, "name": "t", '
+            '"tasks": [{"id": "a", "executable": "x", "runtime": 1.0}], '
+            '"edges": []}'
+        )
+        wf = workflow_from_json(text)
+        assert wf.task("a").input_size == 0.0

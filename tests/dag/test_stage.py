@@ -1,0 +1,26 @@
+"""Tests for the stage model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag import Stage
+
+
+class TestStage:
+    def test_valid(self):
+        s = Stage("map#0", "map", ("t1", "t2"))
+        assert s.size == 2
+        assert s.predecessor_stage_ids == frozenset()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no tasks"):
+            Stage("map#0", "map", ())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Stage("map#0", "map", ("t1", "t1"))
+
+    def test_predecessors(self):
+        s = Stage("r#0", "r", ("x",), predecessor_stage_ids=frozenset({"m#0"}))
+        assert "m#0" in s.predecessor_stage_ids

@@ -1,0 +1,44 @@
+"""Tests for the static task model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag import Task
+from repro.util.validation import ValidationError
+
+
+class TestTask:
+    def test_valid_task(self):
+        t = Task("t1", "prog", runtime=5.0, input_size=100.0, output_size=50.0)
+        assert t.task_id == "t1"
+        assert t.runtime == 5.0
+
+    def test_defaults(self):
+        t = Task("t1", "prog", runtime=1.0)
+        assert t.input_size == 0.0
+        assert t.output_size == 0.0
+
+    def test_zero_runtime_allowed(self):
+        # Zero-cost tasks exist (e.g. no-op barriers).
+        Task("t1", "prog", runtime=0.0)
+
+    def test_rejects_empty_id(self):
+        with pytest.raises(ValueError, match="task_id"):
+            Task("", "prog", runtime=1.0)
+
+    def test_rejects_empty_executable(self):
+        with pytest.raises(ValueError, match="executable"):
+            Task("t1", "", runtime=1.0)
+
+    @pytest.mark.parametrize("field", ["runtime", "input_size", "output_size"])
+    def test_rejects_negative(self, field):
+        kwargs = {"runtime": 1.0, "input_size": 0.0, "output_size": 0.0}
+        kwargs[field] = -1.0
+        with pytest.raises(ValidationError):
+            Task("t1", "prog", **kwargs)
+
+    def test_frozen(self):
+        t = Task("t1", "prog", runtime=1.0)
+        with pytest.raises(AttributeError):
+            t.runtime = 2.0

@@ -1,0 +1,122 @@
+"""Tests for the workflow DAG model: validation, order, stage inference."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag import CycleError, Task, Workflow
+
+
+def make(tasks, edges=()):
+    return Workflow("t", tasks, edges)
+
+
+def simple_tasks(*ids, runtime=1.0):
+    return [Task(i, i, runtime=runtime) for i in ids]
+
+
+class TestConstruction:
+    def test_requires_name(self):
+        with pytest.raises(ValueError, match="name"):
+            Workflow("", simple_tasks("a"))
+
+    def test_requires_tasks(self):
+        with pytest.raises(ValueError, match="at least one task"):
+            Workflow("t", [])
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            make(simple_tasks("a") + simple_tasks("a"))
+
+    def test_rejects_unknown_edge_endpoints(self):
+        with pytest.raises(ValueError, match="not a task"):
+            make(simple_tasks("a"), [("a", "ghost")])
+        with pytest.raises(ValueError, match="not a task"):
+            make(simple_tasks("a"), [("ghost", "a")])
+
+    def test_rejects_self_edge(self):
+        with pytest.raises(ValueError, match="self-edge"):
+            make(simple_tasks("a"), [("a", "a")])
+
+    def test_rejects_cycle(self):
+        with pytest.raises(CycleError):
+            make(simple_tasks("a", "b"), [("a", "b"), ("b", "a")])
+
+    def test_duplicate_edges_coalesce(self):
+        wf = make(simple_tasks("a", "b"), [("a", "b"), ("a", "b")])
+        assert wf.parents("b") == frozenset({"a"})
+
+
+class TestStructure:
+    def test_roots_and_leaves(self, diamond):
+        assert diamond.roots == ("a",)
+        assert diamond.leaves == ("d",)
+
+    def test_parents_children(self, diamond):
+        assert diamond.parents("d") == frozenset({"b", "c"})
+        assert diamond.children("a") == frozenset({"b", "c"})
+
+    def test_topological_order_valid(self, diamond):
+        order = diamond.topological_order()
+        position = {tid: i for i, tid in enumerate(order)}
+        for tid in order:
+            for parent in diamond.parents(tid):
+                assert position[parent] < position[tid]
+
+    def test_topological_order_deterministic(self, diamond):
+        assert diamond.topological_order() == ("a", "b", "c", "d")
+
+    def test_iteration_topological(self, diamond):
+        assert [t.task_id for t in diamond] == list(diamond.topological_order())
+
+    def test_len_contains(self, diamond):
+        assert len(diamond) == 4
+        assert "a" in diamond
+        assert "zzz" not in diamond
+
+    def test_total_work(self, diamond):
+        assert diamond.total_work == pytest.approx(40.0)
+
+
+class TestStageInference:
+    def test_same_executable_same_parents_grouped(self, two_stage):
+        by_id = {s.stage_id: s for s in two_stage.stages}
+        assert len(two_stage.stages) == 3
+        map_stage = next(s for s in two_stage.stages if s.executable == "map")
+        assert map_stage.size == 6
+
+    def test_stage_of_covers_all_tasks(self, two_stage):
+        assert set(two_stage.stage_of) == set(two_stage.tasks)
+
+    def test_same_executable_different_parents_split(self):
+        # Two "work" groups with different predecessor stages must be
+        # distinct stages.
+        tasks = simple_tasks("r1", "r2") + [
+            Task("w1", "work", runtime=1.0),
+            Task("w2", "work", runtime=1.0),
+        ]
+        wf = Workflow("t", tasks, [("r1", "w1"), ("r2", "w2")])
+        stages = {s.stage_id for s in wf.stages}
+        assert wf.stage_of["w1"] != wf.stage_of["w2"]
+        assert len(stages) == 4
+
+    def test_one_to_one_chains_share_stage(self):
+        # A per-chunk pipeline: b_i depends only on a_i, but all b share
+        # the a-stage as predecessor, so they form one stage.
+        tasks = [Task(f"a{i}", "a", runtime=1.0) for i in range(3)]
+        tasks += [Task(f"b{i}", "b", runtime=1.0) for i in range(3)]
+        wf = Workflow("t", tasks, [(f"a{i}", f"b{i}") for i in range(3)])
+        b_stages = {wf.stage_of[f"b{i}"] for i in range(3)}
+        assert len(b_stages) == 1
+
+    def test_predecessor_stage_ids(self, two_stage):
+        map_stage = next(s for s in two_stage.stages if s.executable == "map")
+        assert map_stage.predecessor_stage_ids == frozenset(
+            {two_stage.stage_of["split"]}
+        )
+
+    def test_stage_lookup(self, two_stage):
+        sid = two_stage.stage_of["merge"]
+        assert two_stage.stage(sid).executable == "merge"
+        with pytest.raises(KeyError):
+            two_stage.stage("nope")

@@ -1,0 +1,82 @@
+"""Property-based tests on DAG invariants over random layered workflows."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag import (
+    critical_path_length,
+    ideal_parallelism_profile,
+    level_widths,
+    max_width,
+)
+from repro.workloads import random_layered_workflow
+
+
+wf_params = st.builds(
+    lambda seed, layers, width: random_layered_workflow(
+        seed, n_layers=layers, max_width=width
+    ),
+    seed=st.integers(min_value=0, max_value=10_000),
+    layers=st.integers(min_value=1, max_value=6),
+    width=st.integers(min_value=1, max_value=6),
+)
+
+
+@given(wf_params)
+@settings(max_examples=50, deadline=None)
+def test_topological_order_respects_edges(wf):
+    position = {tid: i for i, tid in enumerate(wf.topological_order())}
+    for tid in wf.tasks:
+        for parent in wf.parents(tid):
+            assert position[parent] < position[tid]
+
+
+@given(wf_params)
+@settings(max_examples=50, deadline=None)
+def test_stages_partition_tasks(wf):
+    seen: set[str] = set()
+    for stage in wf.stages:
+        for tid in stage.task_ids:
+            assert tid not in seen
+            seen.add(tid)
+    assert seen == set(wf.tasks)
+
+
+@given(wf_params)
+@settings(max_examples=50, deadline=None)
+def test_stage_members_share_executable(wf):
+    for stage in wf.stages:
+        executables = {wf.task(t).executable for t in stage.task_ids}
+        assert len(executables) == 1
+
+
+@given(wf_params)
+@settings(max_examples=50, deadline=None)
+def test_critical_path_bounds(wf):
+    cp = critical_path_length(wf)
+    longest_task = max(t.runtime for t in wf.tasks.values())
+    assert cp >= longest_task - 1e-9
+    assert cp <= wf.total_work + 1e-9
+
+
+@given(wf_params)
+@settings(max_examples=50, deadline=None)
+def test_parallelism_profile_consistent(wf):
+    profile = ideal_parallelism_profile(wf)
+    assert profile.peak <= len(wf)
+    assert profile.peak <= max_width(wf) or profile.peak <= len(wf)
+    # Total area under the profile equals total work.
+    area = 0.0
+    for (t0, w), (t1, _) in zip(
+        zip(profile.times, profile.widths), zip(profile.times[1:], profile.widths[1:])
+    ):
+        area += w * (t1 - t0)
+    assert abs(area - wf.total_work) < 1e-6 * max(1.0, wf.total_work)
+
+
+@given(wf_params)
+@settings(max_examples=50, deadline=None)
+def test_level_widths_sum_to_task_count(wf):
+    assert sum(level_widths(wf)) == len(wf)

@@ -1,0 +1,90 @@
+"""Tests for the engine <-> autoscaler contract types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import ScalingDecision, Simulation, TerminationOrder
+from repro.engine.control import Autoscaler, Observation
+
+
+class TestScalingDecision:
+    def test_noop(self):
+        assert ScalingDecision().is_noop
+
+    def test_launch_only(self):
+        d = ScalingDecision(launch=2)
+        assert not d.is_noop
+
+    def test_rejects_negative_launch(self):
+        with pytest.raises(ValueError):
+            ScalingDecision(launch=-1)
+
+    def test_rejects_launch_and_terminate(self):
+        with pytest.raises(ValueError, match="both"):
+            ScalingDecision(
+                launch=1, terminations=(TerminationOrder("vm-1", 0.0),)
+            )
+
+
+class Capture(Autoscaler):
+    """Snapshots derived observation values at tick time.
+
+    The Observation holds live references to the master and pool, so its
+    derived quantities must be read during ``plan`` — which is also the
+    only time a real policy reads them.
+    """
+
+    name = "capture"
+
+    def __init__(self):
+        self.snapshots: list[dict] = []
+
+    def initial_pool_size(self, site):
+        return 2
+
+    def plan(self, obs: Observation):
+        self.snapshots.append(
+            {
+                "now": obs.now,
+                "window": obs.now - obs.window_start,
+                "charging_unit": obs.charging_unit,
+                "lag": obs.lag,
+                "pool": obs.effective_pool_size(),
+                "runnable": obs.runnable_task_count(),
+                "restart_costs": [
+                    obs.restart_cost(i) for i in obs.steerable_instances()
+                ],
+                "queued": obs.queued_task_ids,
+            }
+        )
+        return ScalingDecision()
+
+
+class TestObservation:
+    @pytest.fixture
+    def snapshot(self, two_stage, small_site):
+        capture = Capture()
+        Simulation(two_stage, small_site, capture, 60.0).run()
+        assert capture.snapshots
+        return capture.snapshots[0]
+
+    def test_window_covers_previous_interval(self, snapshot, small_site):
+        assert snapshot["window"] == pytest.approx(small_site.lag)
+
+    def test_charging_unit_and_lag(self, snapshot, small_site):
+        assert snapshot["charging_unit"] == 60.0
+        assert snapshot["lag"] == small_site.lag
+
+    def test_effective_pool_size(self, snapshot):
+        assert snapshot["pool"] == 2
+
+    def test_runnable_task_count_positive_midrun(self, snapshot):
+        assert snapshot["runnable"] >= 1
+
+    def test_restart_cost_nonnegative(self, snapshot):
+        assert snapshot["restart_costs"]
+        assert all(c >= 0.0 for c in snapshot["restart_costs"])
+
+    def test_queue_snapshot_is_tuple(self, snapshot):
+        assert isinstance(snapshot["queued"], tuple)

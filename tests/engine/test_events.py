@@ -1,0 +1,68 @@
+"""Tests for the discrete-event queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import EventKind, EventQueue
+
+
+class TestOrdering:
+    def test_pops_by_time(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.EXEC_DONE, "b")
+        q.push(1.0, EventKind.EXEC_DONE, "a")
+        assert q.pop().payload == "a"
+        assert q.pop().payload == "b"
+
+    def test_ties_broken_by_insertion_order(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.EXEC_DONE, "first")
+        q.push(1.0, EventKind.EXEC_DONE, "second")
+        assert q.pop().payload == "first"
+        assert q.pop().payload == "second"
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(3.0, EventKind.CONTROLLER_TICK)
+        assert q.peek_time() == 3.0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(-1.0, EventKind.EXEC_DONE, "x")
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        keep = q.push(1.0, EventKind.EXEC_DONE, "keep")
+        drop = q.push(0.5, EventKind.EXEC_DONE, "drop")
+        q.cancel(drop)
+        assert q.pop().payload == "keep"
+
+    def test_len_accounts_for_cancellation(self):
+        q = EventQueue()
+        e = q.push(1.0, EventKind.EXEC_DONE)
+        assert len(q) == 1
+        q.cancel(e)
+        assert len(q) == 0
+        assert not q
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        e = q.push(1.0, EventKind.EXEC_DONE)
+        q.push(2.0, EventKind.EXEC_DONE)
+        q.cancel(e)
+        assert q.peek_time() == 2.0
+
+    def test_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, EventKind.EXEC_DONE)
+        assert q

@@ -1,0 +1,142 @@
+"""Tests for fault injection and WIRE's robustness to it."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autoscalers import WireAutoscaler
+from repro.cloud import Instance, InstanceType
+from repro.dag import Task
+from repro.engine import NoFaults, RandomFaults, Simulation
+from repro.workloads import fork_join_workflow, single_stage_workflow
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def make_instance():
+    inst = Instance(
+        instance_id="v", itype=InstanceType(name="t", slots=1), requested_at=0.0
+    )
+    inst.mark_running(0.0)
+    return inst
+
+
+class TestFaultModels:
+    def test_no_faults(self, rng):
+        task = Task("t", "x", runtime=10.0)
+        assert NoFaults().failure_offset(task, make_instance(), 1, 10.0, rng) is None
+
+    def test_probability_zero_never_fails(self, rng):
+        model = RandomFaults(probability=0.0)
+        task = Task("t", "x", runtime=10.0)
+        assert all(
+            model.failure_offset(task, make_instance(), 1, 10.0, rng) is None
+            for _ in range(100)
+        )
+
+    def test_probability_one_always_fails_within_execution(self, rng):
+        model = RandomFaults(probability=1.0)
+        task = Task("t", "x", runtime=10.0)
+        offsets = [
+            model.failure_offset(task, make_instance(), 1, 10.0, rng)
+            for _ in range(50)
+        ]
+        assert all(o is not None and 0.0 <= o < 10.0 for o in offsets)
+
+    def test_max_attempt_caps_injection(self, rng):
+        model = RandomFaults(probability=1.0, max_attempt=2)
+        task = Task("t", "x", runtime=10.0)
+        assert model.failure_offset(task, make_instance(), 3, 10.0, rng) is None
+
+    def test_zero_duration_never_fails(self, rng):
+        model = RandomFaults(probability=1.0)
+        task = Task("t", "x", runtime=0.0)
+        assert model.failure_offset(task, make_instance(), 1, 0.0, rng) is None
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            RandomFaults(probability=1.5)
+        with pytest.raises(ValueError):
+            RandomFaults(max_attempt=0)
+
+
+class TestEngineIntegration:
+    def test_faulty_run_completes_with_retries(self, small_site, fixed_pool):
+        wf = single_stage_workflow(12, runtime=20.0)
+        result = Simulation(
+            wf,
+            small_site,
+            fixed_pool(3),
+            60.0,
+            fault_model=RandomFaults(probability=0.4, max_attempt=3),
+            seed=1,
+        ).run()
+        assert result.completed
+        assert result.monitor.total_failures() > 0
+        # Failures count as restarts too (wasted work events).
+        assert result.restarts >= result.monitor.total_failures()
+        for tid in wf.tasks:
+            assert result.monitor.attempts(tid)[-1].is_completed
+
+    def test_failures_extend_makespan(self, small_site, fixed_pool):
+        wf = single_stage_workflow(8, runtime=30.0)
+
+        def run(model):
+            return Simulation(
+                wf, small_site, fixed_pool(4), 600.0, fault_model=model, seed=2
+            ).run()
+
+        clean = run(NoFaults())
+        faulty = run(RandomFaults(probability=0.8, max_attempt=2))
+        assert faulty.makespan > clean.makespan
+        # Retried work shows up as extra (wasted) slot occupancy.
+        assert faulty.monitor.wasted_occupancy() > 0.0
+
+    def test_failed_attempts_marked_distinctly(self, small_site, fixed_pool):
+        wf = single_stage_workflow(6, runtime=15.0)
+        result = Simulation(
+            wf,
+            small_site,
+            fixed_pool(3),
+            60.0,
+            fault_model=RandomFaults(probability=0.9, max_attempt=1),
+            seed=3,
+        ).run()
+        failed = [a for a in result.monitor.all_attempts() if a.failed]
+        assert failed
+        assert all(a.is_killed for a in failed)
+
+    def test_wire_survives_faults(self, small_site):
+        """WIRE's predictor must tolerate killed attempts in its stages."""
+        wf = fork_join_workflow(width=10, runtime=60.0, levels=2)
+        result = Simulation(
+            wf,
+            small_site,
+            WireAutoscaler(),
+            60.0,
+            fault_model=RandomFaults(probability=0.3, max_attempt=3),
+            seed=4,
+        ).run()
+        assert result.completed
+        assert result.monitor.total_failures() > 0
+
+    def test_deterministic_given_seed(self, small_site, fixed_pool):
+        wf = single_stage_workflow(10, runtime=10.0)
+
+        def run():
+            return Simulation(
+                wf,
+                small_site,
+                fixed_pool(2),
+                60.0,
+                fault_model=RandomFaults(probability=0.5),
+                seed=9,
+            ).run()
+
+        a, b = run(), run()
+        assert a.makespan == b.makespan
+        assert a.monitor.total_failures() == b.monitor.total_failures()

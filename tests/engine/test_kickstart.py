@@ -1,0 +1,147 @@
+"""Tests for kickstart records and HTCondor-style log round-tripping."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import Simulation
+from repro.engine.kickstart import (
+    CondorEvent,
+    kickstart_json,
+    kickstart_records,
+    parse_condor_log,
+    rebuild_monitor,
+    write_condor_log,
+)
+
+
+@pytest.fixture
+def finished_run(two_stage, small_site, fixed_pool):
+    result = Simulation(two_stage, small_site, fixed_pool(2), 60.0).run()
+    return two_stage, result
+
+
+class TestKickstartRecords:
+    def test_one_record_per_attempt(self, finished_run):
+        wf, result = finished_run
+        records = kickstart_records(result.monitor)
+        assert len(records) == len(wf)  # no restarts in this run
+        assert all(r["status"] == 0 for r in records)
+
+    def test_record_fields(self, finished_run):
+        wf, result = finished_run
+        record = kickstart_records(result.monitor)[0]
+        for field in (
+            "transformation",
+            "derivation",
+            "resource",
+            "dispatch",
+            "exec_duration",
+            "input_bytes",
+            "status",
+        ):
+            assert field in record
+
+    def test_durations_match_monitor(self, finished_run):
+        wf, result = finished_run
+        for record in kickstart_records(result.monitor):
+            attempt = result.monitor.current_attempt(record["transformation"])
+            assert record["exec_duration"] == pytest.approx(
+                attempt.execution_time
+            )
+
+    def test_json_serializable(self, finished_run):
+        _, result = finished_run
+        parsed = json.loads(kickstart_json(result.monitor))
+        assert isinstance(parsed, list) and parsed
+
+    def test_killed_attempt_status(self):
+        from repro.engine import Monitor
+
+        monitor = Monitor()
+        monitor.record_dispatch("t", "s", "vm", 0.0, 1.0, 1.0)
+        monitor.record_kill("t", 5.0)
+        record = kickstart_records(monitor)[0]
+        assert record["status"] == -9
+
+
+class TestCondorLog:
+    def test_log_round_trip(self, finished_run):
+        _, result = finished_run
+        text = write_condor_log(result.monitor)
+        events = parse_condor_log(text)
+        assert events
+        kinds = {e.kind for e in events}
+        assert kinds == {"SUBMIT", "EXECUTE", "TERMINATED"}
+        # Time-ordered.
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_rebuild_monitor_preserves_exec_times(self, finished_run):
+        wf, result = finished_run
+        events = parse_condor_log(write_condor_log(result.monitor))
+        rebuilt = rebuild_monitor(events, stage_of=dict(wf.stage_of))
+        for tid in wf.tasks:
+            original = result.monitor.current_attempt(tid)
+            again = rebuilt.current_attempt(tid)
+            # Stage-out folds into completion in the log (documented), so
+            # compare exec start and completion directly.
+            assert again.exec_start == pytest.approx(original.exec_start)
+            assert again.complete_time == pytest.approx(original.complete_time)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_condor_log("this is not a log line at all")
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            CondorEvent(0.0, "DANCE", "t", 1, "vm")
+
+    def test_blank_lines_skipped(self):
+        assert parse_condor_log("\n\n") == []
+
+
+class TestLogsOnlyPrediction:
+    """§II-C's premise, end to end: WIRE's inputs are derivable from the
+    framework's logs alone — a predictor fed a monitor rebuilt purely
+    from the Condor-style event log produces usable estimates."""
+
+    def test_predictor_works_on_rebuilt_monitor(self, finished_run):
+        from repro.core import PredictionPolicy, TaskPredictor
+        from repro.engine import TaskExecState
+
+        wf, result = finished_run
+        events = parse_condor_log(write_condor_log(result.monitor))
+        rebuilt = rebuild_monitor(events, stage_of=dict(wf.stage_of))
+
+        predictor = TaskPredictor(wf)
+        # Several MAPE iterations' worth of gradient steps on the rebuilt
+        # records (the log is replayed once; the model trains repeatedly).
+        for _ in range(200):
+            predictor.observe_interval(rebuilt, -1.0, result.makespan + 1)
+        # Pretend one more map task were still pending: its estimate must
+        # come from the completed peers in the rebuilt records.
+        estimate, policy = predictor.estimate_execution(
+            "map-0000", TaskExecState.READY, rebuilt, result.makespan + 1
+        )
+        assert policy in (
+            PredictionPolicy.MATCHED_GROUP,
+            PredictionPolicy.OGD,
+        )
+        # The Condor log carries no input sizes, so the best logs-only
+        # estimate is the *stage median* (the OGD intercept), not the
+        # size-specific value the full kickstart records would enable.
+        import numpy as np
+
+        map_stage = wf.stage_of["map-0000"]
+        stage_median = float(
+            np.median(
+                [
+                    wf.task(t).runtime
+                    for t in wf.stage(map_stage).task_ids
+                ]
+            )
+        )
+        assert estimate == pytest.approx(stage_median, rel=0.15)

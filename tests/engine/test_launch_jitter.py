@@ -1,0 +1,70 @@
+"""Tests for stochastic launch times (lag as a *maximum* delay)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autoscalers import WireAutoscaler
+from repro.engine import Simulation
+from repro.workloads import single_stage_workflow
+
+
+class TestLaunchJitter:
+    def test_jitter_never_exceeds_lag(self, small_site):
+        wf = single_stage_workflow(16, runtime=200.0)
+        sim = Simulation(
+            wf, small_site, WireAutoscaler(), 60.0, launch_jitter=1.0, seed=3
+        )
+        result = sim.run()
+        assert result.completed
+        for instance in sim.pool:
+            if instance.started_at is None or instance.requested_at == 0.0:
+                continue
+            delay = instance.started_at - instance.requested_at
+            assert 0.0 <= delay <= small_site.lag + 1e-9
+
+    def test_jitter_speeds_up_or_matches(self, small_site):
+        """Earlier arrivals can only help a growth-bound run."""
+        wf = single_stage_workflow(16, runtime=200.0)
+
+        def run(jitter):
+            return Simulation(
+                wf, small_site, WireAutoscaler(), 60.0,
+                launch_jitter=jitter, seed=3,
+            ).run()
+
+        worst_case = run(0.0)
+        jittered = run(0.9)
+        assert jittered.makespan <= worst_case.makespan + 1e-6
+
+    def test_zero_jitter_is_exact_lag(self, small_site):
+        wf = single_stage_workflow(8, runtime=200.0)
+        sim = Simulation(
+            wf, small_site, WireAutoscaler(), 60.0, launch_jitter=0.0, seed=1
+        )
+        sim.run()
+        launched = [
+            i for i in sim.pool if i.requested_at > 0 and i.started_at is not None
+        ]
+        assert launched
+        for instance in launched:
+            assert instance.started_at - instance.requested_at == pytest.approx(
+                small_site.lag
+            )
+
+    def test_validation(self, small_site, diamond, fixed_pool):
+        with pytest.raises(ValueError, match="launch_jitter"):
+            Simulation(
+                diamond, small_site, fixed_pool(1), 60.0, launch_jitter=1.5
+            )
+
+    def test_deterministic(self, small_site):
+        wf = single_stage_workflow(12, runtime=150.0)
+
+        def run():
+            return Simulation(
+                wf, small_site, WireAutoscaler(), 60.0,
+                launch_jitter=0.5, seed=7,
+            ).run()
+
+        assert run().makespan == run().makespan

@@ -1,0 +1,96 @@
+"""Tests for the placement-aware transfer model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dag import Task, WorkflowBuilder
+from repro.engine import LocalityTransferModel, Simulation
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestModel:
+    def test_fully_local_is_faster_on_average(self, rng):
+        model = LocalityTransferModel(bandwidth=1e7, latency=0.0, local_speedup=10.0)
+        task = Task("t", "x", runtime=1.0, input_size=1e8)
+        remote = np.mean(
+            [model.stage_in_time_placed(task, 0.0, rng) for _ in range(2000)]
+        )
+        local = np.mean(
+            [model.stage_in_time_placed(task, 1.0, rng) for _ in range(2000)]
+        )
+        assert remote == pytest.approx(10.0, rel=0.15)
+        assert local == pytest.approx(1.0, rel=0.15)
+
+    def test_fraction_interpolates(self, rng):
+        model = LocalityTransferModel(bandwidth=1e7, latency=0.0, local_speedup=10.0)
+        task = Task("t", "x", runtime=1.0, input_size=1e8)
+        half = np.mean(
+            [model.stage_in_time_placed(task, 0.5, rng) for _ in range(3000)]
+        )
+        assert half == pytest.approx(5.5, rel=0.15)
+
+    def test_blind_fallback_is_remote(self, rng):
+        model = LocalityTransferModel(bandwidth=1e7, latency=0.0)
+        task = Task("t", "x", runtime=1.0, input_size=1e8)
+        samples = [model.stage_in_time(task, rng) for _ in range(2000)]
+        assert np.mean(samples) == pytest.approx(10.0, rel=0.15)
+
+    def test_fraction_validated(self, rng):
+        model = LocalityTransferModel(bandwidth=1e7)
+        task = Task("t", "x", runtime=1.0, input_size=1.0)
+        with pytest.raises(ValueError, match="local_fraction"):
+            model.stage_in_time_placed(task, 1.5, rng)
+
+
+class TestEngineIntegration:
+    def _chain(self):
+        builder = WorkflowBuilder("chain")
+        builder.add_task(
+            Task("a", "a", runtime=1.0, input_size=0.0, output_size=1e9)
+        )
+        builder.add_task(
+            Task("b", "b", runtime=1.0, input_size=1e9, output_size=0.0),
+            parents=["a"],
+        )
+        return builder.build()
+
+    def test_single_instance_chain_reads_locally(self, small_site, fixed_pool):
+        """b's input was produced on the same instance -> local read."""
+        wf = self._chain()
+        model = LocalityTransferModel(
+            bandwidth=1e7, latency=0.0, local_speedup=100.0
+        )
+        durations = []
+        for seed in range(8):
+            result = Simulation(
+                wf, small_site, fixed_pool(1), 600.0,
+                transfer_model=model, seed=seed,
+            ).run()
+            attempt = result.monitor.current_attempt("b")
+            durations.append(attempt.stage_in_time)
+        # Remote mean would be 100s; local mean is 1s. Even the max of 8
+        # exponential draws around 1s stays far below the remote regime.
+        assert float(np.mean(durations)) < 20.0
+
+    def test_roots_always_remote(self, small_site, fixed_pool):
+        """Initial inputs come from shared storage (no producing parent)."""
+        builder = WorkflowBuilder("root")
+        builder.add_task(Task("only", "x", runtime=1.0, input_size=1e9))
+        wf = builder.build()
+        model = LocalityTransferModel(
+            bandwidth=1e8, latency=0.0, local_speedup=100.0
+        )
+        samples = []
+        for seed in range(12):
+            result = Simulation(
+                wf, small_site, fixed_pool(1), 600.0,
+                transfer_model=model, seed=seed,
+            ).run()
+            samples.append(result.monitor.current_attempt("only").stage_in_time)
+        assert float(np.mean(samples)) == pytest.approx(10.0, rel=0.6)

@@ -1,0 +1,111 @@
+"""Tests for the framework master's task lifecycle tracking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import FrameworkMaster, TaskExecState
+
+
+@pytest.fixture
+def master(diamond):
+    return FrameworkMaster(diamond)
+
+
+def drive_to_completion(master, task_id):
+    master.mark_dispatched(task_id)
+    master.mark_executing(task_id)
+    master.mark_staging_out(task_id)
+    return master.mark_completed(task_id)
+
+
+class TestInitialState:
+    def test_roots_ready_rest_blocked(self, master):
+        assert master.state("a") is TaskExecState.READY
+        for tid in ("b", "c", "d"):
+            assert master.state(tid) is TaskExecState.BLOCKED
+
+    def test_initially_ready(self, master):
+        assert master.initially_ready() == ("a",)
+
+    def test_counts(self, master):
+        assert master.count(TaskExecState.READY) == 1
+        assert master.count(TaskExecState.BLOCKED) == 3
+
+
+class TestLifecycle:
+    def test_full_path(self, master):
+        newly = drive_to_completion(master, "a")
+        assert newly == ["b", "c"]
+        assert master.state("a") is TaskExecState.COMPLETED
+
+    def test_join_waits_for_all_parents(self, master):
+        drive_to_completion(master, "a")
+        assert drive_to_completion(master, "b") == []
+        assert master.state("d") is TaskExecState.BLOCKED
+        assert drive_to_completion(master, "c") == ["d"]
+
+    def test_is_done(self, master):
+        for tid in ("a", "b", "c", "d"):
+            assert not master.is_done()
+            drive_to_completion(master, tid)
+        assert master.is_done()
+
+    def test_attempts_counted(self, master):
+        assert master.attempts("a") == 0
+        master.mark_dispatched("a")
+        assert master.attempts("a") == 1
+
+    def test_invalid_transition_rejected(self, master):
+        with pytest.raises(RuntimeError, match="expected"):
+            master.mark_executing("a")  # never dispatched
+        with pytest.raises(RuntimeError):
+            master.mark_completed("a")
+
+    def test_dispatch_blocked_rejected(self, master):
+        with pytest.raises(RuntimeError):
+            master.mark_dispatched("d")
+
+
+class TestKill:
+    def test_kill_requeues(self, master):
+        master.mark_dispatched("a")
+        master.mark_executing("a")
+        master.mark_killed("a")
+        assert master.state("a") is TaskExecState.READY
+        # A second attempt is allowed.
+        master.mark_dispatched("a")
+        assert master.attempts("a") == 2
+
+    def test_kill_during_staging(self, master):
+        master.mark_dispatched("a")
+        master.mark_killed("a")
+        assert master.state("a") is TaskExecState.READY
+
+    def test_kill_ready_rejected(self, master):
+        with pytest.raises(RuntimeError):
+            master.mark_killed("a")
+
+
+class TestQueries:
+    def test_in_flight(self, master):
+        master.mark_dispatched("a")
+        assert master.in_flight_tasks() == ["a"]
+
+    def test_unstarted_in_stage(self, master, diamond):
+        stage = diamond.stage_of["a"]
+        assert master.unstarted_in_stage(stage) == ["a"]
+        master.mark_dispatched("a")
+        assert master.unstarted_in_stage(stage) == []
+
+    def test_stage_completed(self, master, diamond):
+        stage = diamond.stage_of["a"]
+        assert not master.stage_completed(stage)
+        drive_to_completion(master, "a")
+        assert master.stage_completed(stage)
+
+    def test_occupies_slot_property(self):
+        assert TaskExecState.EXECUTING.occupies_slot
+        assert TaskExecState.STAGING_IN.occupies_slot
+        assert not TaskExecState.READY.occupies_slot
+        assert not TaskExecState.COMPLETED.occupies_slot

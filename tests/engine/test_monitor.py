@@ -1,0 +1,104 @@
+"""Tests for kickstart-style monitoring records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Monitor
+
+
+@pytest.fixture
+def monitor():
+    return Monitor()
+
+
+def complete_attempt(monitor, task_id, stage, t0, stage_in, execute, stage_out,
+                     input_size=100.0):
+    monitor.record_dispatch(task_id, stage, "vm-1", t0, input_size, 10.0)
+    monitor.record_exec_start(task_id, t0 + stage_in)
+    monitor.record_exec_end(task_id, t0 + stage_in + execute)
+    monitor.record_complete(task_id, t0 + stage_in + execute + stage_out)
+
+
+class TestAttemptTimings:
+    def test_derived_durations(self, monitor):
+        complete_attempt(monitor, "t1", "s", 10.0, 2.0, 30.0, 3.0)
+        a = monitor.current_attempt("t1")
+        assert a.stage_in_time == pytest.approx(2.0)
+        assert a.execution_time == pytest.approx(30.0)
+        assert a.stage_out_time == pytest.approx(3.0)
+        assert a.is_completed and not a.in_flight
+
+    def test_elapsed_execution_mid_run(self, monitor):
+        monitor.record_dispatch("t1", "s", "vm-1", 0.0, 1.0, 1.0)
+        monitor.record_exec_start("t1", 5.0)
+        a = monitor.current_attempt("t1")
+        assert a.elapsed_execution(12.0) == pytest.approx(7.0)
+
+    def test_elapsed_zero_while_staging(self, monitor):
+        monitor.record_dispatch("t1", "s", "vm-1", 0.0, 1.0, 1.0)
+        assert monitor.current_attempt("t1").elapsed_execution(3.0) == 0.0
+
+    def test_occupancy_elapsed(self, monitor):
+        monitor.record_dispatch("t1", "s", "vm-1", 10.0, 1.0, 1.0)
+        a = monitor.current_attempt("t1")
+        assert a.occupancy_elapsed(25.0) == pytest.approx(15.0)
+
+    def test_occupancy_frozen_after_kill(self, monitor):
+        monitor.record_dispatch("t1", "s", "vm-1", 0.0, 1.0, 1.0)
+        monitor.record_kill("t1", 8.0)
+        assert monitor.current_attempt("t1").occupancy_elapsed(99.0) == 8.0
+
+    def test_unknown_task_raises(self, monitor):
+        with pytest.raises(KeyError):
+            monitor.current_attempt("ghost")
+
+
+class TestAttemptHistory:
+    def test_restart_creates_new_attempt(self, monitor):
+        monitor.record_dispatch("t1", "s", "vm-1", 0.0, 1.0, 1.0)
+        monitor.record_kill("t1", 5.0)
+        monitor.record_dispatch("t1", "s", "vm-2", 10.0, 1.0, 1.0)
+        attempts = monitor.attempts("t1")
+        assert len(attempts) == 2
+        assert attempts[0].is_killed
+        assert monitor.current_attempt("t1").attempt == 2
+        assert monitor.total_restarts() == 1
+
+    def test_wasted_occupancy(self, monitor):
+        monitor.record_dispatch("t1", "s", "vm-1", 0.0, 1.0, 1.0)
+        monitor.record_kill("t1", 7.0)
+        assert monitor.wasted_occupancy() == pytest.approx(7.0)
+
+
+class TestStageQueries:
+    def test_completed_and_running_split(self, monitor):
+        complete_attempt(monitor, "t1", "map", 0.0, 1.0, 10.0, 1.0)
+        monitor.record_dispatch("t2", "map", "vm-1", 5.0, 1.0, 1.0)
+        assert [a.task_id for a in monitor.completed_in_stage("map")] == ["t1"]
+        assert [a.task_id for a in monitor.running_in_stage("map")] == ["t2"]
+
+    def test_stage_has_dispatches(self, monitor):
+        assert not monitor.stage_has_dispatches("map")
+        monitor.record_dispatch("t1", "map", "vm-1", 0.0, 1.0, 1.0)
+        assert monitor.stage_has_dispatches("map")
+
+    def test_killed_not_in_running(self, monitor):
+        monitor.record_dispatch("t1", "map", "vm-1", 0.0, 1.0, 1.0)
+        monitor.record_kill("t1", 3.0)
+        assert monitor.running_in_stage("map") == []
+        assert monitor.completed_in_stage("map") == []
+
+
+class TestTransferWindow:
+    def test_window_captures_finished_transfers(self, monitor):
+        complete_attempt(monitor, "t1", "s", 0.0, 2.0, 10.0, 3.0)
+        # stage-in finished at t=2, stage-out at t=15
+        assert monitor.transfer_times_between(0.0, 2.0) == [2.0]
+        assert sorted(monitor.transfer_times_between(0.0, 20.0)) == [2.0, 3.0]
+        assert monitor.transfer_times_between(2.0, 14.0) == []
+
+    def test_window_is_half_open(self, monitor):
+        complete_attempt(monitor, "t1", "s", 0.0, 2.0, 10.0, 3.0)
+        # (t0, t1]: the boundary observation at exactly t0 is excluded.
+        assert monitor.transfer_times_between(2.0, 3.0) == []

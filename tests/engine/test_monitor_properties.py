@@ -1,0 +1,87 @@
+"""Property-based tests: monitoring records are internally consistent
+for any engine run over random DAGs, policies, noise, and faults."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autoscalers import PureReactiveAutoscaler, WireAutoscaler
+from repro.cloud import CloudSite, InstanceType
+from repro.engine import (
+    ExponentialTransferModel,
+    PerturbedRuntimeModel,
+    RandomFaults,
+    Simulation,
+)
+from repro.workloads import random_layered_workflow
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=400),
+    policy=st.sampled_from([PureReactiveAutoscaler, WireAutoscaler]),
+    fault_p=st.sampled_from([0.0, 0.3]),
+)
+@settings(max_examples=25, deadline=None)
+def test_monitoring_consistency(seed, policy, fault_p):
+    wf = random_layered_workflow(seed, n_layers=3, max_width=4, max_runtime=50.0)
+    site = CloudSite(
+        name="mon", itype=InstanceType("m", slots=2), max_instances=3, lag=20.0
+    )
+    result = Simulation(
+        wf,
+        site,
+        policy(),
+        120.0,
+        transfer_model=ExponentialTransferModel(bandwidth=1e8),
+        runtime_model=PerturbedRuntimeModel(cv=0.2),
+        fault_model=RandomFaults(probability=fault_p, max_attempt=3),
+        seed=seed,
+    ).run()
+    assert result.completed
+    monitor = result.monitor
+
+    for tid in wf.tasks:
+        attempts = monitor.attempts(tid)
+        assert attempts, f"{tid} never dispatched"
+
+        # Attempt numbering is dense and ordered.
+        assert [a.attempt for a in attempts] == list(range(1, len(attempts) + 1))
+
+        # Exactly the final attempt completes; earlier ones were killed.
+        assert attempts[-1].is_completed
+        for earlier in attempts[:-1]:
+            assert earlier.is_killed and not earlier.is_completed
+
+        # Phase timestamps are monotone within every attempt.
+        for a in attempts:
+            timeline = [a.dispatch_time]
+            for value in (a.exec_start, a.exec_end, a.complete_time, a.killed_at):
+                if value is not None:
+                    timeline.append(value)
+            assert timeline == sorted(timeline)
+
+        # Derived durations are non-negative.
+        final = attempts[-1]
+        assert final.stage_in_time >= 0.0
+        assert final.execution_time >= 0.0
+        assert final.stage_out_time >= 0.0
+
+        # Attempts don't overlap in time.
+        for a, b in zip(attempts, attempts[1:]):
+            a_end = a.killed_at if a.killed_at is not None else a.complete_time
+            assert a_end is not None and a_end <= b.dispatch_time + 1e-9
+
+    # Aggregates agree with per-attempt facts.
+    assert result.restarts == sum(
+        len(monitor.attempts(t)) - 1 for t in wf.tasks
+    )
+    assert monitor.total_failures() <= result.restarts
+
+    # Transfer-window queries over the whole run see every finished
+    # transfer: 2 per completed attempt (stage-in + stage-out).
+    completed_attempts = sum(
+        1 for a in monitor.all_attempts() if a.is_completed
+    )
+    in_flight_transfers = monitor.transfer_times_between(-1.0, result.makespan + 1)
+    assert len(in_flight_transfers) >= completed_attempts  # >= stage-ins

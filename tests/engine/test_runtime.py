@@ -1,0 +1,70 @@
+"""Tests for runtime realization models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud import Instance, InstanceType
+from repro.dag import Task
+from repro.engine import NominalRuntimeModel, PerturbedRuntimeModel
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1)
+
+
+def make_instance(speed=1.0):
+    inst = Instance(
+        instance_id="v",
+        itype=InstanceType(name="t", slots=1, speed_factor=speed),
+        requested_at=0.0,
+    )
+    inst.mark_running(0.0)
+    return inst
+
+
+class TestNominal:
+    def test_returns_nominal(self, rng):
+        task = Task("t", "x", runtime=42.0)
+        model = NominalRuntimeModel()
+        assert model.execution_time(task, make_instance(), 1, rng) == 42.0
+
+    def test_speed_factor_scales(self, rng):
+        task = Task("t", "x", runtime=42.0)
+        model = NominalRuntimeModel()
+        assert model.execution_time(task, make_instance(2.0), 1, rng) == 21.0
+
+
+class TestPerturbed:
+    def test_mean_preserved(self, rng):
+        task = Task("t", "x", runtime=100.0)
+        model = PerturbedRuntimeModel(cv=0.3)
+        samples = [
+            model.execution_time(task, make_instance(), 1, rng)
+            for _ in range(5000)
+        ]
+        assert np.mean(samples) == pytest.approx(100.0, rel=0.05)
+        assert np.std(samples) / np.mean(samples) == pytest.approx(0.3, rel=0.15)
+
+    def test_cv_zero_is_nominal(self, rng):
+        task = Task("t", "x", runtime=10.0)
+        model = PerturbedRuntimeModel(cv=0.0)
+        assert model.execution_time(task, make_instance(), 1, rng) == 10.0
+
+    def test_zero_runtime_stays_zero(self, rng):
+        task = Task("t", "x", runtime=0.0)
+        model = PerturbedRuntimeModel(cv=0.5)
+        assert model.execution_time(task, make_instance(), 1, rng) == 0.0
+
+    def test_attempts_resample(self, rng):
+        task = Task("t", "x", runtime=10.0)
+        model = PerturbedRuntimeModel(cv=0.5)
+        a = model.execution_time(task, make_instance(), 1, rng)
+        b = model.execution_time(task, make_instance(), 2, rng)
+        assert a != b
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            PerturbedRuntimeModel(cv=-0.1)

@@ -1,0 +1,88 @@
+"""Tests for the FIFO scheduler with the first-k stage boost."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import FifoScheduler
+
+
+class TestFifo:
+    def test_pop_in_push_order_same_stage_after_boost(self):
+        s = FifoScheduler(boost_k=0)
+        for i in range(3):
+            s.push(f"t{i}", "stage")
+        assert [s.pop() for _ in range(3)] == ["t0", "t1", "t2"]
+
+    def test_empty_pop_returns_none(self):
+        assert FifoScheduler().pop() is None
+
+    def test_len_and_contains(self):
+        s = FifoScheduler()
+        s.push("a", "x")
+        assert len(s) == 1 and "a" in s
+        s.pop()
+        assert len(s) == 0 and "a" not in s
+
+    def test_duplicate_push_rejected(self):
+        s = FifoScheduler()
+        s.push("a", "x")
+        with pytest.raises(RuntimeError, match="already queued"):
+            s.push("a", "x")
+
+
+class TestBoost:
+    def test_first_k_of_each_stage_jump_queue(self):
+        s = FifoScheduler(boost_k=2)
+        # Stage A floods the queue first.
+        for i in range(5):
+            s.push(f"a{i}", "A")
+        # Stage B's first two should still jump ahead of a2..a4.
+        s.push("b0", "B")
+        s.push("b1", "B")
+        s.push("b2", "B")
+        order = [s.pop() for _ in range(8)]
+        # Boosted: a0, a1 (A's first two), b0, b1 — in insertion order.
+        assert order[:4] == ["a0", "a1", "b0", "b1"]
+        assert order[4:] == ["a2", "a3", "a4", "b2"]
+
+    def test_paper_default_is_five(self):
+        assert FifoScheduler().boost_k == 5
+
+    def test_requeue_is_boosted_without_budget(self):
+        s = FifoScheduler(boost_k=1)
+        s.push("a0", "A")  # consumes A's only boost slot
+        s.push("a1", "A")
+        s.push("a2", "A", requeue=True)  # killed task: boosted anyway
+        assert s.pop() == "a0"
+        assert s.pop() == "a2"
+        assert s.pop() == "a1"
+
+    def test_boost_budget_not_restored_on_pop(self):
+        s = FifoScheduler(boost_k=1)
+        s.push("a0", "A")
+        s.pop()
+        s.push("a1", "A")  # budget used; normal priority
+        s.push("b0", "B")  # fresh stage boost
+        assert s.pop() == "b0"
+
+
+class TestSnapshot:
+    def test_snapshot_is_pop_order(self):
+        s = FifoScheduler(boost_k=1)
+        s.push("a0", "A")
+        s.push("a1", "A")
+        s.push("b0", "B")
+        snap = s.snapshot()
+        popped = [s.pop() for _ in range(3)]
+        assert list(snap) == popped
+
+    def test_snapshot_does_not_mutate(self):
+        s = FifoScheduler()
+        s.push("a", "A")
+        s.snapshot()
+        assert len(s) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FifoScheduler(boost_k=-1)

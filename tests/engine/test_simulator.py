@@ -1,0 +1,253 @@
+"""Integration tests for the discrete-event workflow engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag import Task, WorkflowBuilder, critical_path_length
+from repro.engine import (
+    LinearTransferModel,
+    ScalingDecision,
+    Simulation,
+    TerminationOrder,
+)
+from repro.engine.control import Autoscaler
+from repro.workloads import chain_workflow, fork_join_workflow, single_stage_workflow
+
+
+class TestBasicExecution:
+    def test_diamond_completes(self, diamond, small_site, fixed_pool):
+        result = Simulation(diamond, small_site, fixed_pool(2), 60.0).run()
+        assert result.completed
+        # a(10) -> b,c in parallel(10) -> d(10)
+        assert result.makespan == pytest.approx(30.0)
+
+    def test_serial_when_one_slot(self, diamond, small_site, fixed_pool):
+        site = small_site
+        # one instance with 2 slots: b and c still run in parallel
+        result = Simulation(diamond, site, fixed_pool(1), 60.0).run()
+        assert result.makespan == pytest.approx(30.0)
+
+    def test_chain_makespan_is_total_work(self, small_site, fixed_pool):
+        wf = chain_workflow(5, runtime=7.0)
+        result = Simulation(wf, small_site, fixed_pool(4), 60.0).run()
+        assert result.makespan == pytest.approx(35.0)
+
+    def test_parallel_stage_packs_slots(self, small_site, fixed_pool):
+        wf = single_stage_workflow(8, runtime=10.0)
+        # 4 instances x 2 slots = 8 slots: everything in one wave.
+        result = Simulation(wf, small_site, fixed_pool(4), 60.0).run()
+        assert result.makespan == pytest.approx(10.0)
+
+    def test_limited_slots_serialize_waves(self, small_site, fixed_pool):
+        wf = single_stage_workflow(8, runtime=10.0)
+        result = Simulation(wf, small_site, fixed_pool(2), 60.0).run()
+        # 4 slots -> two waves of 4
+        assert result.makespan == pytest.approx(20.0)
+
+    def test_makespan_never_beats_critical_path(self, two_stage, small_site, fixed_pool):
+        result = Simulation(two_stage, small_site, fixed_pool(4), 60.0).run()
+        assert result.makespan >= critical_path_length(two_stage) - 1e-9
+
+
+class TestTransfersInOccupancy:
+    def test_transfer_times_extend_makespan(self, small_site, fixed_pool):
+        builder = WorkflowBuilder("t")
+        builder.add_task(
+            Task("only", "x", runtime=10.0, input_size=1e7, output_size=1e7)
+        )
+        wf = builder.build()
+        model = LinearTransferModel(bandwidth=1e6, latency=0.0)  # 10s each way
+        result = Simulation(
+            wf, small_site, fixed_pool(1), 60.0, transfer_model=model
+        ).run()
+        assert result.makespan == pytest.approx(30.0)
+
+    def test_monitor_records_transfer_phases(self, small_site, fixed_pool):
+        builder = WorkflowBuilder("t")
+        builder.add_task(Task("only", "x", runtime=5.0, input_size=2e6))
+        wf = builder.build()
+        model = LinearTransferModel(bandwidth=1e6)
+        sim = Simulation(wf, small_site, fixed_pool(1), 60.0, transfer_model=model)
+        result = sim.run()
+        attempt = result.monitor.current_attempt("only")
+        assert attempt.stage_in_time == pytest.approx(2.0)
+        assert attempt.execution_time == pytest.approx(5.0)
+        assert attempt.stage_out_time == pytest.approx(0.0)
+
+
+class TestBillingIntegration:
+    def test_static_pool_units(self, small_site, fixed_pool):
+        wf = single_stage_workflow(4, runtime=70.0)
+        result = Simulation(wf, small_site, fixed_pool(2), 60.0).run()
+        # 2 instances x ceil(70/60)=2 units
+        assert result.total_units == 4
+
+    def test_utilization_bounds(self, two_stage, small_site, fixed_pool):
+        result = Simulation(two_stage, small_site, fixed_pool(2), 60.0).run()
+        assert 0.0 < result.utilization <= 1.0
+
+    def test_peak_instances(self, small_site, fixed_pool):
+        wf = single_stage_workflow(4, runtime=5.0)
+        result = Simulation(wf, small_site, fixed_pool(3), 60.0).run()
+        assert result.peak_instances == 3
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, two_stage, small_site, fixed_pool):
+        from repro.engine import ExponentialTransferModel
+
+        def run(seed):
+            return Simulation(
+                two_stage,
+                small_site,
+                fixed_pool(2),
+                60.0,
+                transfer_model=ExponentialTransferModel(bandwidth=1e7),
+                seed=seed,
+            ).run()
+
+        a, b = run(7), run(7)
+        assert a.makespan == b.makespan
+        assert a.total_units == b.total_units
+
+    def test_different_seed_differs(self, two_stage, small_site, fixed_pool):
+        from repro.engine import ExponentialTransferModel
+
+        def run(seed):
+            return Simulation(
+                two_stage,
+                small_site,
+                fixed_pool(2),
+                60.0,
+                transfer_model=ExponentialTransferModel(bandwidth=1e7),
+                seed=seed,
+            ).run()
+
+        assert run(1).makespan != run(2).makespan
+
+
+class ScaleUpOnce(Autoscaler):
+    """Launches `extra` instances at the first tick, then rests."""
+
+    name = "scale-up-once"
+
+    def __init__(self, extra: int) -> None:
+        self.extra = extra
+        self.fired = False
+
+    def plan(self, obs):
+        if self.fired:
+            return ScalingDecision()
+        self.fired = True
+        return ScalingDecision(launch=self.extra)
+
+
+class KillOneAt(Autoscaler):
+    """Terminates the busiest instance at the first tick."""
+
+    name = "kill-one"
+
+    def plan(self, obs):
+        instances = obs.steerable_instances()
+        if len(instances) < 2 or obs.pool.pending():
+            return ScalingDecision()
+        victim = max(instances, key=lambda i: len(i.occupants))
+        if not victim.occupants:
+            return ScalingDecision()
+        return ScalingDecision(
+            terminations=(TerminationOrder(victim.instance_id, obs.now),)
+        )
+
+
+class TestElasticity:
+    def test_launch_respects_lag(self, small_site):
+        wf = single_stage_workflow(8, runtime=30.0)
+        sim = Simulation(wf, small_site, ScaleUpOnce(3), 60.0)
+        result = sim.run()
+        # First tick at lag=10; instances usable at 20.
+        ready_times = [
+            i.started_at for i in sim.pool if i.started_at and i.started_at > 0
+        ]
+        assert ready_times and all(t == pytest.approx(20.0) for t in ready_times)
+        assert result.peak_instances == 4
+
+    def test_kill_restarts_task(self, small_site):
+        wf = single_stage_workflow(6, runtime=100.0)
+
+        class Boot(ScaleUpOnce):
+            def initial_pool_size(self, site):
+                return 2
+
+        controller = KillOneAt()
+        controller.initial_pool_size = lambda site: 2  # type: ignore[assignment]
+        result = Simulation(wf, small_site, controller, 600.0).run()
+        assert result.completed
+        assert result.restarts >= 1
+        # Killed tasks reran: every task has a completed final attempt.
+        for tid in wf.tasks:
+            assert result.monitor.attempts(tid)[-1].is_completed
+
+    def test_draining_instance_gets_no_new_tasks(self, small_site):
+        wf = single_stage_workflow(12, runtime=15.0)
+
+        class DrainOne(Autoscaler):
+            name = "drain"
+
+            def initial_pool_size(self, site):
+                return 2
+
+            def __init__(self):
+                self.done = False
+
+            def plan(self, obs):
+                if self.done:
+                    return ScalingDecision()
+                self.done = True
+                victim = obs.steerable_instances()[0]
+                # Terminate 5 seconds in the future; dispatches in between
+                # must avoid the draining instance.
+                return ScalingDecision(
+                    terminations=(
+                        TerminationOrder(victim.instance_id, obs.now + 5.0),
+                    )
+                )
+
+        sim = Simulation(wf, small_site, DrainOne(), 600.0)
+        result = sim.run()
+        assert result.completed
+
+    def test_min_instances_floor_enforced(self, small_site):
+        wf = single_stage_workflow(4, runtime=30.0)
+
+        class KillEverything(Autoscaler):
+            name = "killer"
+
+            def initial_pool_size(self, site):
+                return 2
+
+            def plan(self, obs):
+                return ScalingDecision(
+                    terminations=tuple(
+                        TerminationOrder(i.instance_id, obs.now)
+                        for i in obs.steerable_instances()
+                    )
+                )
+
+        result = Simulation(wf, small_site, KillEverything(), 600.0).run()
+        assert result.completed  # one instance always survives
+
+
+class TestSafety:
+    def test_max_time_marks_incomplete(self, small_site, fixed_pool):
+        wf = single_stage_workflow(4, runtime=1000.0)
+        result = Simulation(
+            wf, small_site, fixed_pool(1), 60.0, max_time=100.0
+        ).run()
+        assert not result.completed
+
+    def test_controller_tick_count(self, small_site, fixed_pool):
+        wf = single_stage_workflow(2, runtime=25.0)
+        result = Simulation(wf, small_site, fixed_pool(1), 60.0).run()
+        # lag 10s, makespan 25s -> ticks at 10 and 20.
+        assert result.ticks == 2

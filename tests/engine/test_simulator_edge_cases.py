@@ -1,0 +1,151 @@
+"""Edge-case tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag import Task, Workflow, WorkflowBuilder
+from repro.engine import ScalingDecision, Simulation
+from repro.engine.control import Autoscaler
+from repro.autoscalers import WireAutoscaler
+from repro.workloads import single_stage_workflow
+
+
+class TestDegenerateWorkflows:
+    def test_single_task(self, small_site, fixed_pool):
+        wf = Workflow("one", [Task("only", "x", runtime=5.0)])
+        result = Simulation(wf, small_site, fixed_pool(1), 60.0).run()
+        assert result.completed
+        assert result.makespan == pytest.approx(5.0)
+        assert result.total_units == 1
+
+    def test_zero_runtime_task(self, small_site, fixed_pool):
+        wf = Workflow("zero", [Task("noop", "x", runtime=0.0)])
+        result = Simulation(wf, small_site, fixed_pool(1), 60.0).run()
+        assert result.completed
+        assert result.makespan == 0.0
+        assert result.total_units == 1  # starting an instance costs a unit
+
+    def test_chain_of_zero_runtime_tasks(self, small_site, fixed_pool):
+        builder = WorkflowBuilder("zeros")
+        previous: list[str] = []
+        for i in range(10):
+            tid = builder.add_task(
+                Task(f"z{i}", f"z{i}", runtime=0.0), parents=previous
+            )
+            previous = [tid]
+        result = Simulation(builder.build(), small_site, fixed_pool(1), 60.0).run()
+        assert result.completed
+        assert result.makespan == 0.0
+
+    def test_single_task_under_wire(self, small_site):
+        wf = Workflow("one", [Task("only", "x", runtime=500.0)])
+        result = Simulation(wf, small_site, WireAutoscaler(), 60.0).run()
+        assert result.completed
+        assert result.peak_instances == 1
+
+
+class TestBillingEdges:
+    def test_charging_unit_longer_than_run(self, small_site, fixed_pool):
+        wf = single_stage_workflow(4, runtime=10.0)
+        result = Simulation(wf, small_site, fixed_pool(2), 86_400.0).run()
+        assert result.total_units == 2  # one giant unit per instance
+
+    def test_makespan_exactly_at_boundary(self, small_site, fixed_pool):
+        wf = single_stage_workflow(2, runtime=60.0)
+        result = Simulation(wf, small_site, fixed_pool(1), 60.0).run()
+        # Two tasks in parallel on a 2-slot instance: exactly one unit.
+        assert result.makespan == pytest.approx(60.0)
+        assert result.total_units == 1
+
+
+class TestControllerEdges:
+    def test_pending_instance_at_run_end_costs_nothing(self, small_site):
+        class LateLauncher(Autoscaler):
+            name = "late"
+
+            def plan(self, obs):
+                # Order an instance that can never arrive before the end.
+                if obs.now < 15.0:
+                    return ScalingDecision(launch=1)
+                return ScalingDecision()
+
+        wf = single_stage_workflow(2, runtime=12.0)
+        result = Simulation(wf, small_site, LateLauncher(), 60.0).run()
+        assert result.completed
+        # The pending instance never started: only the initial one billed.
+        assert result.total_units == 1
+
+    def test_duplicate_termination_orders_ignored(self, small_site):
+        from repro.engine import TerminationOrder
+
+        class DoubleKiller(Autoscaler):
+            name = "double"
+
+            def initial_pool_size(self, site):
+                return 2
+
+            def plan(self, obs):
+                victims = obs.steerable_instances()
+                if len(victims) < 2:
+                    return ScalingDecision()
+                target = victims[-1].instance_id
+                return ScalingDecision(
+                    terminations=(
+                        TerminationOrder(target, obs.now + 1.0),
+                        TerminationOrder(target, obs.now + 2.0),
+                    )
+                )
+
+        wf = single_stage_workflow(6, runtime=40.0)
+        result = Simulation(wf, small_site, DoubleKiller(), 600.0).run()
+        assert result.completed
+
+    def test_termination_time_in_past_clamped(self, small_site):
+        from repro.engine import TerminationOrder
+
+        class PastKiller(Autoscaler):
+            name = "past"
+
+            def initial_pool_size(self, site):
+                return 2
+
+            def __init__(self):
+                self.fired = False
+
+            def plan(self, obs):
+                if self.fired:
+                    return ScalingDecision()
+                self.fired = True
+                victim = obs.steerable_instances()[-1].instance_id
+                return ScalingDecision(
+                    terminations=(TerminationOrder(victim, obs.now - 50.0),)
+                )
+
+        wf = single_stage_workflow(6, runtime=40.0)
+        result = Simulation(wf, small_site, PastKiller(), 600.0).run()
+        assert result.completed
+
+    def test_launch_beyond_capacity_truncated(self, small_site):
+        class Greedy(Autoscaler):
+            name = "greedy"
+
+            def plan(self, obs):
+                return ScalingDecision(launch=100)
+
+        wf = single_stage_workflow(20, runtime=60.0)
+        result = Simulation(wf, small_site, Greedy(), 600.0).run()
+        assert result.completed
+        assert result.peak_instances <= small_site.max_instances
+
+
+class TestValidation:
+    def test_bad_charging_unit(self, diamond, small_site, fixed_pool):
+        with pytest.raises(Exception):
+            Simulation(diamond, small_site, fixed_pool(1), 0.0)
+
+    def test_bad_period(self, diamond, small_site, fixed_pool):
+        with pytest.raises(Exception):
+            Simulation(
+                diamond, small_site, fixed_pool(1), 60.0, controller_period=0.0
+            )

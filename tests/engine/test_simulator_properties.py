@@ -1,0 +1,104 @@
+"""Property-based tests: engine invariants over random DAGs and policies."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import CloudSite, InstanceType
+from repro.engine import (
+    ExponentialTransferModel,
+    PerturbedRuntimeModel,
+    Simulation,
+)
+from repro.autoscalers import (
+    PureReactiveAutoscaler,
+    ReactiveConservingAutoscaler,
+    WireAutoscaler,
+)
+from repro.dag import critical_path_length
+from repro.workloads import random_layered_workflow
+
+
+def small_site(slots: int, max_instances: int) -> CloudSite:
+    return CloudSite(
+        name="prop",
+        itype=InstanceType(name="p", slots=slots),
+        max_instances=max_instances,
+        lag=15.0,
+    )
+
+
+policy_strategy = st.sampled_from(
+    [PureReactiveAutoscaler, ReactiveConservingAutoscaler, WireAutoscaler]
+)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    slots=st.integers(min_value=1, max_value=4),
+    max_instances=st.integers(min_value=1, max_value=6),
+    policy=policy_strategy,
+    charging_unit=st.sampled_from([30.0, 60.0, 300.0]),
+)
+@settings(max_examples=30, deadline=None)
+def test_every_run_completes_and_obeys_invariants(
+    seed, slots, max_instances, policy, charging_unit
+):
+    wf = random_layered_workflow(seed, n_layers=4, max_width=5, max_runtime=40.0)
+    site = small_site(slots, max_instances)
+    result = Simulation(
+        wf,
+        site,
+        policy(),
+        charging_unit,
+        transfer_model=ExponentialTransferModel(bandwidth=1e8),
+        runtime_model=PerturbedRuntimeModel(cv=0.1),
+        seed=seed,
+    ).run()
+
+    # Completion: every task ran to completion exactly once at the end.
+    assert result.completed
+    for tid in wf.tasks:
+        attempts = result.monitor.attempts(tid)
+        assert attempts, f"task {tid} never dispatched"
+        assert attempts[-1].is_completed
+        assert all(a.is_killed for a in attempts[:-1])
+
+    # Physics: makespan can't beat the critical path (transfers only add).
+    assert result.makespan >= critical_path_length(wf) * 0.9 / 1.0 - 1e-6
+
+    # Capacity: never more instances than the site allows.
+    assert result.peak_instances <= max_instances
+
+    # Billing: cost is positive and utilization is a valid fraction.
+    assert result.total_units >= 1
+    assert 0.0 <= result.utilization <= 1.0
+
+    # Dependencies: children never start before all parents complete.
+    completion = {
+        tid: result.monitor.attempts(tid)[-1].complete_time for tid in wf.tasks
+    }
+    for tid in wf.tasks:
+        final = result.monitor.attempts(tid)[-1]
+        for parent in wf.parents(tid):
+            assert completion[parent] is not None
+            assert final.dispatch_time >= completion[parent] - 1e-9
+
+
+@given(seed=st.integers(min_value=0, max_value=200))
+@settings(max_examples=15, deadline=None)
+def test_wire_cost_never_exceeds_full_site(seed):
+    """WIRE's whole point: it should not cost more than static-peak."""
+    from repro.autoscalers import full_site
+
+    wf = random_layered_workflow(seed, n_layers=4, max_width=6, max_runtime=60.0)
+    site = small_site(slots=2, max_instances=4)
+    results = {}
+    for factory in (lambda: full_site(site), WireAutoscaler):
+        results[factory().name if callable(factory) else "x"] = Simulation(
+            wf, site, factory(), 300.0, seed=seed
+        ).run()
+    wire = results["wire"]
+    static = results["full-site"]
+    assert wire.total_units <= static.total_units

@@ -1,0 +1,73 @@
+"""Tests for data transfer models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dag import Task
+from repro.engine import (
+    ExponentialTransferModel,
+    LinearTransferModel,
+    NoTransferModel,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def task():
+    return Task("t", "x", runtime=1.0, input_size=1e8, output_size=5e7)
+
+
+class TestNoTransfer:
+    def test_zero(self, task, rng):
+        model = NoTransferModel()
+        assert model.stage_in_time(task, rng) == 0.0
+        assert model.stage_out_time(task, rng) == 0.0
+
+
+class TestLinear:
+    def test_deterministic_times(self, task, rng):
+        model = LinearTransferModel(bandwidth=1e7, latency=2.0)
+        assert model.stage_in_time(task, rng) == pytest.approx(12.0)
+        assert model.stage_out_time(task, rng) == pytest.approx(7.0)
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            LinearTransferModel(bandwidth=0.0)
+        with pytest.raises(Exception):
+            LinearTransferModel(bandwidth=1.0, latency=-1.0)
+
+
+class TestExponential:
+    def test_mean_matches_size_over_bandwidth(self, rng):
+        task = Task("t", "x", runtime=1.0, input_size=1e8)
+        model = ExponentialTransferModel(bandwidth=1e7, latency=0.0)
+        samples = [model.stage_in_time(task, rng) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(10.0, rel=0.1)
+
+    def test_memoryless_variability(self, task, rng):
+        model = ExponentialTransferModel(bandwidth=1e7)
+        samples = {model.stage_in_time(task, rng) for _ in range(10)}
+        assert len(samples) == 10  # continuous draws all differ
+
+    def test_zero_size_zero_latency(self, rng):
+        task = Task("t", "x", runtime=1.0)
+        model = ExponentialTransferModel(bandwidth=1e7, latency=0.0)
+        assert model.stage_in_time(task, rng) == 0.0
+
+    def test_latency_floor_applies_to_empty_transfers(self, rng):
+        task = Task("t", "x", runtime=1.0)
+        model = ExponentialTransferModel(bandwidth=1e7, latency=3.0)
+        samples = [model.stage_out_time(task, rng) for _ in range(2000)]
+        assert np.mean(samples) == pytest.approx(3.0, rel=0.15)
+
+    def test_non_negative(self, task, rng):
+        model = ExponentialTransferModel(bandwidth=1e7)
+        assert all(
+            model.stage_in_time(task, rng) >= 0.0 for _ in range(100)
+        )

@@ -1,0 +1,74 @@
+"""The §III-E closed forms vs the simulator — Figure 2 as a theorem."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import simulate_linear_stage
+from repro.experiments.analytic import (
+    cost_ratio_r_above_u,
+    makespan_r_above_u,
+    time_ratio_bounds_r_below_u,
+    time_ratio_r_above_u,
+    units_r_above_u,
+)
+
+
+class TestClosedForms:
+    def test_paper_bound_values(self):
+        # The paper's 1.33x / 1.67x bounds fall out at R/U = 1.5.
+        assert cost_ratio_r_above_u(90.0, 60.0) == pytest.approx(4 / 3)
+        assert time_ratio_r_above_u(90.0, 60.0) == pytest.approx(5 / 3)
+
+    def test_integer_multiples_are_cost_optimal(self):
+        for k in (1, 2, 5, 10):
+            assert cost_ratio_r_above_u(60.0 * k, 60.0) == pytest.approx(1.0)
+
+    def test_converges_to_one(self):
+        assert cost_ratio_r_above_u(60.0 * 400, 60.0) == pytest.approx(1.0)
+        assert time_ratio_r_above_u(60.0 * 400, 60.0) == pytest.approx(1.0025)
+
+    def test_regime_guards(self):
+        with pytest.raises(ValueError, match="R >= U"):
+            cost_ratio_r_above_u(30.0, 60.0)
+        with pytest.raises(ValueError, match="R <= U"):
+            time_ratio_bounds_r_below_u(10, 90.0, 60.0)
+
+
+class TestSimulatorMatchesTheory:
+    @pytest.mark.parametrize("ratio", [1.2, 1.5, 2.0, 3.7, 10.0])
+    @pytest.mark.parametrize("n", [10, 50])
+    def test_r_above_u_exact(self, ratio, n):
+        u = 60.0
+        r = u * ratio
+        sim = simulate_linear_stage(n, r, u)
+        assert sim.units == units_r_above_u(n, r, u)
+        assert sim.makespan == pytest.approx(makespan_r_above_u(r, u), rel=0.02)
+        assert sim.cost_ratio == pytest.approx(cost_ratio_r_above_u(r, u), rel=0.02)
+        assert sim.time_ratio == pytest.approx(time_ratio_r_above_u(r, u), rel=0.02)
+
+    @given(
+        n=st.integers(min_value=2, max_value=60),
+        ratio=st.floats(min_value=1.05, max_value=50.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_r_above_u_property(self, n, ratio):
+        u = 60.0
+        r = u * ratio
+        sim = simulate_linear_stage(n, r, u)
+        assert sim.units == units_r_above_u(n, r, u)
+        assert sim.time_ratio == pytest.approx(time_ratio_r_above_u(r, u), rel=0.05)
+
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        ratio=st.floats(min_value=1.0, max_value=50.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_r_below_u_within_bounds(self, n, ratio):
+        u = 60.0 * ratio
+        r = 60.0
+        sim = simulate_linear_stage(n, r, u)
+        lower, upper = time_ratio_bounds_r_below_u(n, r, u)
+        assert lower <= sim.time_ratio <= upper + 1e-9

@@ -1,0 +1,115 @@
+"""Tests for the Fig 5/6 cost experiment and the §IV-F overhead report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import CloudSite, InstanceType
+from repro.experiments import (
+    CHARGING_UNITS,
+    cost_experiment,
+    overhead_experiment,
+    relative_execution_table,
+    run_setting,
+    policy_factories,
+)
+from repro.workloads import tpch6
+
+
+@pytest.fixture(scope="module")
+def small_matrix():
+    """A quick 1-workflow matrix over two charging units."""
+    return cost_experiment(
+        {"tpch6-S": tpch6("S")},
+        charging_units=(60.0, 1800.0),
+        repetitions=2,
+        seed=0,
+    )
+
+
+class TestCostExperiment:
+    def test_matrix_shape(self, small_matrix):
+        # 1 workflow x 4 policies x 2 units
+        assert len(small_matrix) == 8
+        policies = {c.policy for c in small_matrix}
+        assert policies == {
+            "full-site",
+            "pure-reactive",
+            "reactive-conserving",
+            "wire",
+        }
+
+    def test_repetitions_recorded(self, small_matrix):
+        assert all(c.summary.runs == 2 for c in small_matrix)
+        assert all(len(c.results) == 2 for c in small_matrix)
+
+    def test_wire_not_costlier_than_full_site(self, small_matrix):
+        """Fig 5's headline shape."""
+        for u in (60.0, 1800.0):
+            wire = next(
+                c for c in small_matrix if c.policy == "wire" and c.charging_unit == u
+            )
+            static = next(
+                c
+                for c in small_matrix
+                if c.policy == "full-site" and c.charging_unit == u
+            )
+            assert wire.summary.mean_units <= static.summary.mean_units
+
+    def test_full_site_is_fastest(self, small_matrix):
+        rows = relative_execution_table(small_matrix)
+        static_rows = [r for r in rows if r[1] == "full-site"]
+        assert all(rel == pytest.approx(1.0, abs=0.05) for _, _, _, rel, _ in static_rows)
+
+    def test_relative_times_at_least_one(self, small_matrix):
+        rows = relative_execution_table(small_matrix)
+        assert all(rel >= 1.0 - 1e-9 for _, _, _, rel, _ in rows)
+
+    def test_oracle_included_on_request(self):
+        cells = cost_experiment(
+            {"tpch6-S": tpch6("S")},
+            charging_units=(60.0,),
+            repetitions=1,
+            include_oracle=True,
+        )
+        assert any(c.policy == "oracle" for c in cells)
+
+
+class TestHarness:
+    def test_charging_units_match_paper(self):
+        assert CHARGING_UNITS == (60.0, 900.0, 1800.0, 3600.0)
+
+    def test_run_setting_accepts_workflow_or_spec(self, small_site):
+        from repro.autoscalers import PureReactiveAutoscaler
+
+        spec = tpch6("S")
+        by_spec = run_setting(
+            spec, PureReactiveAutoscaler, 60.0, seed=1, site=small_site
+        )
+        by_wf = run_setting(
+            spec.generate(1), PureReactiveAutoscaler, 60.0, seed=1, site=small_site
+        )
+        assert by_spec.completed and by_wf.completed
+        assert by_spec.makespan == pytest.approx(by_wf.makespan)
+
+    def test_policy_factories_fresh_instances(self):
+        factories = policy_factories()
+        a = factories["wire"]()
+        b = factories["wire"]()
+        assert a is not b
+
+
+class TestOverhead:
+    def test_overhead_rows(self):
+        rows = overhead_experiment(
+            {"tpch6-S": tpch6("S")}, charging_units=(60.0, 900.0)
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row.ticks >= 1
+            assert row.controller_seconds >= 0.0
+            assert row.aggregate_task_seconds > 0.0
+            # The paper's bounds are generous; ours must be in the same
+            # order of magnitude (<= 5% of aggregate task time).
+            assert row.time_overhead_fraction < 0.05
+            assert 0 < row.state_bytes <= 16 * 1024

@@ -1,0 +1,130 @@
+"""Tests for the §IV-A linear-stage simulator (Figures 2/3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import simulate_linear_stage, sweep_r_over_u, sweep_u_over_r
+
+
+class TestPaperWorkedExamples:
+    """The closed-form cases of §III-E."""
+
+    def test_r_just_above_u(self):
+        # R = U + eps: "the last task completes at time 2R + eps" and the
+        # cost equals non-wasteful static provisioning (2 units per task).
+        r = simulate_linear_stage(10, 60.1, 60.0)
+        assert r.time_ratio == pytest.approx(2.0, rel=0.05)
+        assert r.units == 20
+        assert r.peak_instances == 10  # "the Nth instance is launched"
+        assert r.restarts == 0
+
+    def test_growth_reaches_full_width_for_r_above_u(self):
+        # §III-E: "At time U, no task has terminated and the pool has N."
+        r = simulate_linear_stage(50, 300.0, 60.0)
+        assert r.peak_instances == 50
+
+    def test_optimal_efficiency_when_r_below_u(self):
+        # R = U - eps: "the algorithm has optimal efficiency — nothing is
+        # wasted" (cost ratio ~ 1).
+        r = simulate_linear_stage(10, 59.9, 60.0)
+        assert r.cost_ratio == pytest.approx(1.0, rel=0.05)
+
+
+class TestFigure2Bounds:
+    """R > U: cost bounded ~1.33x, time ~1.67x, -> optimal at large R/U."""
+
+    @pytest.mark.parametrize("n", [10, 100])
+    def test_bounds_hold(self, n):
+        results = sweep_r_over_u(n, [1.5, 2, 5, 10, 40])
+        for r in results:
+            assert r.cost_ratio <= 1.34 + 0.05
+            assert r.time_ratio <= 1.67 + 0.05
+
+    def test_approaches_optimal(self):
+        results = sweep_r_over_u(10, [400, 1000])
+        for r in results:
+            assert r.cost_ratio == pytest.approx(1.0, abs=0.02)
+            assert r.time_ratio == pytest.approx(1.0, abs=0.02)
+
+    def test_time_ratio_decreasing_in_r_over_u(self):
+        ratios = [r.time_ratio for r in sweep_r_over_u(10, [2, 5, 10, 40, 100])]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_rejects_sub_one_ratio(self):
+        with pytest.raises(ValueError):
+            sweep_r_over_u(10, [0.5])
+
+
+class TestFigure3Deviation:
+    """R <= U: wide deviation from optimal along either metric."""
+
+    def test_time_ratio_grows_with_u_over_r(self):
+        results = sweep_u_over_r(100, [1, 5, 10])
+        ratios = [r.time_ratio for r in results]
+        assert ratios[-1] > ratios[0]
+        assert ratios[-1] > 10  # far from optimal, as Fig 3 shows
+
+    def test_cost_ratio_explodes_at_extreme(self):
+        # One task's worth of work on a giant charging unit still bills a
+        # whole unit: N=10, U/R=1000 -> optimal 0.01 units, billed >= 1.
+        r = simulate_linear_stage(10, 60.0, 60_000.0)
+        assert r.cost_ratio >= 50.0
+
+    def test_peak_shrinks_with_u_over_r(self):
+        results = sweep_u_over_r(100, [1, 10, 100])
+        peaks = [r.peak_instances for r in results]
+        assert peaks == sorted(peaks, reverse=True)
+
+    def test_rejects_sub_one_ratio(self):
+        with pytest.raises(ValueError):
+            sweep_u_over_r(10, [0.9])
+
+
+class TestAgainstFullEngine:
+    """Cross-check the idealized simulator against the discrete-event
+    engine running the real WIRE controller on the same single stage.
+
+    The engine has a finite lag where the idealization is continuous, so
+    only coarse agreement is expected; both must show the same regime:
+    near-optimal cost for R > U and a bounded slowdown.
+    """
+
+    def test_same_regime_r_above_u(self):
+        from repro.autoscalers import WireAutoscaler
+        from repro.cloud import CloudSite, InstanceType
+        from repro.engine import Simulation
+        from repro.workloads import single_stage_workflow
+
+        n, runtime, u = 12, 600.0, 60.0
+        ideal = simulate_linear_stage(n, runtime, u)
+
+        site = CloudSite(
+            name="x",
+            itype=InstanceType(name="i", slots=1),
+            max_instances=n,
+            lag=10.0,
+        )
+        wf = single_stage_workflow(n, runtime=runtime)
+        engine = Simulation(wf, site, WireAutoscaler(), u).run()
+        engine_cost_ratio = engine.total_units / (n * runtime / u)
+        engine_time_ratio = engine.makespan / runtime
+
+        assert engine_cost_ratio == pytest.approx(ideal.cost_ratio, rel=0.25)
+        assert engine_time_ratio == pytest.approx(ideal.time_ratio, rel=0.35)
+
+
+class TestValidation:
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            simulate_linear_stage(0, 1.0, 1.0)
+        with pytest.raises(Exception):
+            simulate_linear_stage(1, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            simulate_linear_stage(1, 1.0, 1.0, initial_pool=0)
+
+    def test_result_properties(self):
+        r = simulate_linear_stage(4, 30.0, 60.0)
+        assert r.optimal_units == pytest.approx(2.0)
+        assert r.units >= 1
+        assert r.makespan > 0

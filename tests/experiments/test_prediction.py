@@ -1,0 +1,97 @@
+"""Tests for the Fig 4 prediction-accuracy experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PredictionPolicy
+from repro.dag import Task
+from repro.experiments import prediction_experiment, replay_stage_predictions
+from repro.metrics import StageClass
+from repro.workloads import tpch1
+
+
+def uniform_tasks(n, runtime=10.0, size=100.0):
+    return [
+        Task(f"t{i:03d}", "map", runtime=runtime, input_size=size)
+        for i in range(n)
+    ]
+
+
+class TestReplay:
+    def test_identical_tasks_predicted_exactly(self):
+        tasks = uniform_tasks(20)
+        samples = replay_stage_predictions(tasks, list(range(20)), concurrency=4)
+        assert len(samples) == 20
+        late = [s for s in samples if s.policy is PredictionPolicy.MATCHED_GROUP]
+        assert late, "completed peers should drive policy 4"
+        for sample in late:
+            assert sample.true_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_first_tasks_use_cold_policies(self):
+        tasks = uniform_tasks(10)
+        samples = replay_stage_predictions(tasks, list(range(10)), concurrency=3)
+        cold = {
+            s.policy
+            for s in samples[:3]
+        }
+        assert cold <= {
+            PredictionPolicy.NO_TASK_STARTED,
+            PredictionPolicy.RUNNING_ONLY,
+        }
+
+    def test_size_correlated_runtimes_learned(self):
+        # Runtime = size/10: policy 4/5 predictions should track sizes.
+        tasks = [
+            Task(f"t{i:03d}", "map", runtime=(100 + i % 5 * 50) / 10.0,
+                 input_size=100.0 + i % 5 * 50)
+            for i in range(30)
+        ]
+        samples = replay_stage_predictions(tasks, list(range(30)), concurrency=2)
+        informed = [s for s in samples[10:] if s.policy.value >= 3]
+        assert informed
+        mean_abs = sum(abs(s.true_error) for s in informed) / len(informed)
+        assert mean_abs < 2.0
+
+    def test_rejects_bad_order(self):
+        tasks = uniform_tasks(3)
+        with pytest.raises(ValueError, match="permutation"):
+            replay_stage_predictions(tasks, [0, 0, 1])
+
+    def test_rejects_bad_concurrency(self):
+        tasks = uniform_tasks(3)
+        with pytest.raises(ValueError, match="concurrency"):
+            replay_stage_predictions(tasks, [0, 1, 2], concurrency=0)
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def results(self):
+        wfs = {"tpch1-S": tpch1("S").generate(0)}
+        return prediction_experiment(wfs, n_orders=3, seed=1)
+
+    def test_multi_task_stages_only(self, results):
+        assert all(r.n_tasks >= 2 for r in results)
+        # tpch1-S has stages of 32/21/8/1 tasks -> 3 qualify.
+        assert len(results) == 3
+
+    def test_classes_assigned(self, results):
+        assert {r.stage_class for r in results} <= set(StageClass)
+
+    def test_errors_pooled_across_orders(self, results):
+        for r in results:
+            assert r.n_orders == 3
+            assert len(r.errors) > 0
+            assert r.summary.count == len(r.errors)
+
+    def test_deterministic(self):
+        wfs = {"tpch1-S": tpch1("S").generate(0)}
+        a = prediction_experiment(wfs, n_orders=2, seed=5)
+        b = prediction_experiment(wfs, n_orders=2, seed=5)
+        assert [r.errors for r in a] == [r.errors for r in b]
+
+    def test_headline_accuracy_on_block_sized_stage(self, results):
+        """The big map stage has near-uniform block sizes: the paper's
+        short/medium accuracy levels must be reachable."""
+        map_stage = next(r for r in results if r.n_tasks == 32)
+        assert map_stage.summary.within_threshold > 0.7

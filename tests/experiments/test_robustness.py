@@ -1,0 +1,48 @@
+"""Tests for the robustness-to-imperfect-prediction experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import robustness_experiment
+from repro.workloads import tpch6
+
+
+class TestRobustnessExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return robustness_experiment(
+            {"tpch6-S": tpch6("S")},
+            noise_levels=(0.0, 0.4),
+            fault_levels=(0.0, 0.2),
+            seed=1,
+        )
+
+    def test_grid_shape(self, rows):
+        assert len(rows) == 4  # 1 workload x 2 noise x 2 fault
+
+    def test_advantage_metric(self, rows):
+        for row in rows:
+            assert row.cost_advantage == pytest.approx(
+                row.static_units / row.wire_units
+            )
+            assert row.cost_advantage >= 1.0
+
+    def test_faults_cause_restarts(self, rows):
+        faulty = [r for r in rows if r.fault_probability > 0]
+        assert any(r.wire_restarts > 0 for r in faulty)
+
+    def test_clean_baseline_has_no_restarts(self, rows):
+        clean = [r for r in rows if r.fault_probability == 0 and r.noise_cv == 0]
+        assert all(r.wire_restarts == 0 for r in clean)
+
+    def test_deterministic(self):
+        kwargs = dict(
+            specs={"tpch6-S": tpch6("S")},
+            noise_levels=(0.3,),
+            fault_levels=(0.1,),
+            seed=5,
+        )
+        a = robustness_experiment(**kwargs)
+        b = robustness_experiment(**kwargs)
+        assert a == b

@@ -1,0 +1,82 @@
+"""Tests for the Table I experiment and the text report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    prediction_experiment,
+    simulate_linear_stage,
+    table1_experiment,
+)
+from repro.experiments.cost import cost_experiment
+from repro.experiments.overhead import overhead_experiment
+from repro.experiments.report import (
+    render_cost,
+    render_linear,
+    render_overhead,
+    render_prediction,
+    render_relative_time,
+    render_table1,
+)
+from repro.workloads import tpch6
+
+
+class TestTable1Experiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table1_experiment(seed=0)
+
+    def test_all_eight_runs(self, rows):
+        assert len(rows) == 8
+        assert {r.profile.name for r in rows} == {
+            "genome-S", "genome-L", "tpch1-S", "tpch1-L",
+            "tpch6-S", "tpch6-L", "pagerank-S", "pagerank-L",
+        }
+
+    def test_structures_match(self, rows):
+        assert all(r.counts_match for r in rows)
+
+    def test_aggregate_ratio_sane(self, rows):
+        for row in rows:
+            if row.profile.aggregate_consistent:
+                assert row.aggregate_ratio == pytest.approx(1.0, rel=0.1)
+            else:
+                # Hadoop rows: execution-only aggregate is below the
+                # published (transfer-inclusive) number.
+                assert 0.05 < row.aggregate_ratio <= 1.1
+
+
+class TestRendering:
+    def test_table1_render(self):
+        text = render_table1(table1_experiment(seed=0))
+        assert "genome-S" in text
+        assert "405/405" in text
+
+    def test_linear_render(self):
+        results = [simulate_linear_stage(10, 120.0, 60.0)]
+        text = render_linear(results, title="Figure 2")
+        assert "Figure 2" in text
+        assert "cost/optimal" in text
+
+    def test_prediction_render(self):
+        results = prediction_experiment(
+            {"tpch6-S": tpch6("S").generate(0)}, n_orders=2
+        )
+        text = render_prediction(results)
+        assert "within threshold" in text
+        assert "stages:" in text
+
+    def test_cost_renders(self):
+        cells = cost_experiment(
+            {"tpch6-S": tpch6("S")}, charging_units=(60.0,), repetitions=1
+        )
+        assert "Figure 5" in render_cost(cells)
+        assert "Figure 6" in render_relative_time(cells)
+        assert "1.00x" in render_relative_time(cells)
+
+    def test_overhead_render(self):
+        rows = overhead_experiment({"tpch6-S": tpch6("S")}, charging_units=(60.0,))
+        text = render_overhead(rows)
+        assert "overhead" in text
+        assert "KB" in text

@@ -1,0 +1,51 @@
+"""Tests for cost/performance run summaries (Fig 5/6 machinery)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.engine import Simulation
+from repro.metrics import relative_execution_times, summarize_costs
+from repro.workloads import single_stage_workflow
+
+
+@pytest.fixture
+def results(small_site, fixed_pool):
+    wf = single_stage_workflow(4, runtime=20.0)
+    return [
+        Simulation(wf, small_site, fixed_pool(2), 60.0, seed=s).run()
+        for s in range(3)
+    ]
+
+
+class TestSummarizeCosts:
+    def test_aggregates(self, results):
+        summary = summarize_costs(results)
+        assert summary.runs == 3
+        assert summary.mean_units == results[0].total_units  # deterministic
+        assert summary.std_units == 0.0
+        assert summary.mean_makespan == pytest.approx(results[0].makespan)
+
+    def test_empty(self):
+        summary = summarize_costs([])
+        assert summary.runs == 0
+        assert math.isnan(summary.mean_units)
+
+
+class TestRelativeTimes:
+    def test_normalizes_to_best(self):
+        rel = relative_execution_times({"a": 100.0, "b": 150.0, "c": 200.0})
+        assert rel == pytest.approx({"a": 1.0, "b": 1.5, "c": 2.0})
+
+    def test_explicit_best(self):
+        rel = relative_execution_times({"a": 100.0}, best=50.0)
+        assert rel["a"] == 2.0
+
+    def test_empty(self):
+        assert relative_execution_times({}) == {}
+
+    def test_rejects_bad_best(self):
+        with pytest.raises(ValueError):
+            relative_execution_times({"a": 1.0}, best=0.0)

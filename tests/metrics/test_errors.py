@@ -1,0 +1,67 @@
+"""Tests for prediction-error metrics (Fig 4 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    StageClass,
+    classify_stage,
+    relative_true_errors,
+    summarize_errors,
+    true_errors,
+)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "mean,expected",
+        [
+            (1.0, StageClass.SHORT),
+            (10.0, StageClass.SHORT),
+            (10.1, StageClass.MEDIUM),
+            (30.0, StageClass.MEDIUM),
+            (30.1, StageClass.LONG),
+            (500.0, StageClass.LONG),
+        ],
+    )
+    def test_paper_boundaries(self, mean, expected):
+        assert classify_stage(mean) is expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            classify_stage(-1.0)
+
+
+class TestErrors:
+    def test_true_error_signed(self):
+        errors = true_errors([12.0, 8.0], [10.0, 10.0])
+        assert list(errors) == [2.0, -2.0]
+
+    def test_relative_true_error(self):
+        errors = relative_true_errors([12.0, 5.0], [10.0, 10.0])
+        assert list(errors) == pytest.approx([0.2, -0.5])
+
+    def test_relative_rejects_zero_actual(self):
+        with pytest.raises(ValueError, match="zero"):
+            relative_true_errors([1.0], [0.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            true_errors([1.0], [1.0, 2.0])
+
+
+class TestSummary:
+    def test_fields(self):
+        summary = summarize_errors([0.5, -0.5, 2.0, -3.0], threshold=1.0)
+        assert summary.count == 4
+        assert summary.within_threshold == 0.5
+        assert summary.mean_abs_error == pytest.approx(1.5)
+        assert summary.median_error == pytest.approx(0.0)
+        assert len(summary.cdf_x) == 4
+        assert summary.cdf_p[-1] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_errors([], threshold=1.0)

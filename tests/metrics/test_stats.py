@@ -1,0 +1,86 @@
+"""Tests for order statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import MovingMedian, cdf_points, mean, median, percentile_of
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even(self):
+        assert median([1.0, 2.0, 3.0, 10.0]) == 2.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            median([])
+
+    def test_robust_to_outliers_vs_mean(self):
+        # §III-C's rationale: the median captures "middle performance"
+        # under skew; the mean does not.
+        data = [1.0] * 9 + [1000.0]
+        assert median(data) == 1.0
+        assert mean(data) > 100.0
+
+
+class TestMovingMedian:
+    def test_window_one_is_latest(self):
+        mm = MovingMedian(window=1)
+        mm.push(5.0)
+        mm.push(50.0)
+        assert mm.value() == 50.0
+
+    def test_window_smooths(self):
+        mm = MovingMedian(window=3)
+        for v in (10.0, 12.0, 1000.0):
+            mm.push(v)
+        assert mm.value() == 12.0
+
+    def test_empty_none(self):
+        assert MovingMedian().value() is None
+
+    def test_window_evicts_oldest(self):
+        mm = MovingMedian(window=2)
+        for v in (1.0, 100.0, 102.0):
+            mm.push(v)
+        assert mm.value() == 101.0
+        assert len(mm) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MovingMedian(window=0)
+
+
+class TestCdf:
+    def test_points(self):
+        xs, ps = cdf_points([3.0, 1.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert list(ps) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty(self):
+        xs, ps = cdf_points([])
+        assert len(xs) == 0 and len(ps) == 0
+
+
+class TestPercentileOf:
+    def test_fraction_within(self):
+        values = [-0.5, 0.2, 1.5, -3.0]
+        assert percentile_of(values, 1.0) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile_of([], 1.0)
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=1, max_size=50),
+        st.floats(0, 100),
+    )
+    @settings(max_examples=100)
+    def test_bounds(self, values, threshold):
+        assert 0.0 <= percentile_of(values, threshold) <= 1.0

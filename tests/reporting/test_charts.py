@@ -1,0 +1,67 @@
+"""Tests for ASCII and SVG run visualizations."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.engine import Simulation
+from repro.reporting import gantt_ascii, gantt_svg, pool_ascii, pool_svg, save_svg
+
+
+@pytest.fixture(scope="module")
+def result():
+    from repro.autoscalers import WireAutoscaler
+    from repro.cloud import CloudSite, InstanceType
+    from repro.workloads import linear_stage_workflow
+
+    site = CloudSite(
+        name="viz", itype=InstanceType("v", slots=2), max_instances=4, lag=10.0
+    )
+    wf = linear_stage_workflow([(8, 60.0), (1, 30.0)])
+    return Simulation(wf, site, WireAutoscaler(), 60.0).run()
+
+
+class TestAscii:
+    def test_pool_chart_dimensions(self, result):
+        text = pool_ascii(result, width=40)
+        lines = text.splitlines()
+        peak = max(c for _, c in result.pool_timeline)
+        assert len(lines) == peak + 2  # levels + axis + label
+        assert all("#" in line for line in lines[:peak])
+
+    def test_gantt_has_lane_per_instance(self, result):
+        text = gantt_ascii(result, width=40)
+        instances = {a.instance_id for a in result.monitor.all_attempts()}
+        for instance_id in instances:
+            assert instance_id in text
+
+    def test_gantt_marks_busy_time(self, result):
+        assert "#" in gantt_ascii(result)
+
+    def test_empty_timeline_handled(self, result):
+        from dataclasses import replace
+
+        empty = replace(result, pool_timeline=[])
+        assert "no pool changes" in pool_ascii(empty)
+
+
+class TestSvg:
+    def test_pool_svg_is_valid_xml(self, result):
+        root = ET.fromstring(pool_svg(result))
+        assert root.tag.endswith("svg")
+
+    def test_gantt_svg_is_valid_xml_with_bars(self, result):
+        root = ET.fromstring(gantt_svg(result))
+        rects = root.findall(".//{http://www.w3.org/2000/svg}rect")
+        assert len(rects) > len(result.monitor.attempts("stage00-0000"))
+
+    def test_gantt_svg_phases_colored(self, result):
+        svg = gantt_svg(result)
+        assert "#219ebc" in svg  # execute phase color
+
+    def test_save_svg(self, result, tmp_path):
+        path = tmp_path / "pool.svg"
+        save_svg(pool_svg(result), path)
+        assert path.read_text().startswith("<svg")

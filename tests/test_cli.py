@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "tpch6-S"])
+        assert args.policy == "wire"
+        assert args.charging_unit == 60.0
+
+
+class TestCommands:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "genome-S" in out and "tpch6-L" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "tpch6-S", "--policy", "pure-reactive"]) == 0
+        out = capsys.readouterr().out
+        assert "pure-reactive" in out
+        assert "units" in out
+
+    def test_run_with_pool_chart(self, capsys):
+        assert main(["run", "tpch6-S", "--pool-chart"]) == 0
+        assert "time ->" in capsys.readouterr().out
+
+    def test_run_svg_export(self, capsys, tmp_path):
+        base = tmp_path / "run"
+        assert main(["run", "tpch6-S", "--svg", str(base)]) == 0
+        assert (tmp_path / "run.pool.svg").exists()
+        assert (tmp_path / "run.gantt.svg").exists()
+
+    def test_unknown_workload_exits(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["run", "nope"])
+
+    def test_unknown_policy_exits(self):
+        with pytest.raises(SystemExit, match="unknown policy"):
+            main(["run", "tpch6-S", "--policy", "nope"])
+
+    def test_compare(self, capsys):
+        assert main(["compare", "tpch6-S"]) == 0
+        out = capsys.readouterr().out
+        for policy in ("full-site", "pure-reactive", "reactive-conserving", "wire"):
+            assert policy in out
+
+    def test_compare_with_oracle(self, capsys):
+        assert main(["compare", "tpch6-S", "--oracle"]) == 0
+        assert "oracle" in capsys.readouterr().out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "genome-S"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "parallelism by DAG level" in out
+
+    def test_run_with_deadline(self, capsys):
+        assert main(["run", "tpch6-S", "--deadline", "1200"]) == 0
+        assert "deadline" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "405/405" in capsys.readouterr().out
+
+    def test_fig2_small(self, capsys):
+        assert main(["fig2", "--n-tasks", "10"]) == 0
+        assert "cost/optimal" in capsys.readouterr().out
+
+    def test_fig5_subset(self, capsys):
+        assert (
+            main(["fig5", "--workloads", "tpch6-S", "--repetitions", "1"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "Figure 5" in out and "Figure 6" in out
+
+    def test_dax_round_trip(self, capsys, tmp_path):
+        path = tmp_path / "wf.dax"
+        assert main(["dax", "export", "tpch6-S", "--out", str(path)]) == 0
+        assert path.exists()
+        assert main(["dax", "run", str(path), "--policy", "wire"]) == 0
+        assert "wire" in capsys.readouterr().out
+
+    def test_run_explain(self, capsys):
+        assert main(["run", "tpch1-S", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "MAPE iterations" in out
+        assert "target" in out
+
+    def test_explain_requires_wire(self, capsys):
+        assert main(["run", "tpch6-S", "--policy", "full-site", "--explain"]) == 0
+        assert "--explain requires" in capsys.readouterr().out
+
+    def test_fig3_small(self, capsys):
+        assert main(["fig3", "--n-tasks", "10"]) == 0
+        assert "time/optimal" in capsys.readouterr().out
+
+    def test_fig4_subset(self, capsys):
+        assert main(
+            ["fig4", "--workloads", "tpch6-S", "--orders", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "within threshold" in out
+
+    def test_overhead_command(self, capsys):
+        assert main(["overhead"]) == 0
+        assert "controller time" in capsys.readouterr().out

@@ -1,0 +1,126 @@
+"""Tests for trace recording and the task-emulator replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import LinearTransferModel, Simulation
+from repro.traces import RunTrace, emulated_workflow, record_run
+
+
+@pytest.fixture
+def completed_run(two_stage, small_site, fixed_pool):
+    sim = Simulation(
+        two_stage,
+        small_site,
+        fixed_pool(2),
+        60.0,
+        transfer_model=LinearTransferModel(bandwidth=1e7),
+    )
+    result = sim.run()
+    return two_stage, result
+
+
+class TestRecord:
+    def test_records_every_task(self, completed_run):
+        wf, result = completed_run
+        trace = record_run(wf, result.monitor)
+        assert len(trace.records) == len(wf)
+        assert trace.workflow_name == wf.name
+
+    def test_records_measured_times(self, completed_run):
+        wf, result = completed_run
+        trace = record_run(wf, result.monitor)
+        by_id = {r.task_id: r for r in trace.records}
+        # Nominal runtime model: measured == declared runtime.
+        for tid, task in wf.tasks.items():
+            assert by_id[tid].execution_time == pytest.approx(task.runtime)
+            assert by_id[tid].stage_in_time >= 0.0
+
+    def test_preserves_dag(self, completed_run):
+        wf, result = completed_run
+        trace = record_run(wf, result.monitor)
+        by_id = {r.task_id: r for r in trace.records}
+        for tid in wf.tasks:
+            assert set(by_id[tid].parents) == set(wf.parents(tid))
+
+    def test_incomplete_run_rejected(self, two_stage):
+        from repro.engine import Monitor
+
+        with pytest.raises(ValueError, match="no completed attempt"):
+            record_run(two_stage, Monitor())
+
+    def test_total_execution_time(self, completed_run):
+        wf, result = completed_run
+        trace = record_run(wf, result.monitor)
+        assert trace.total_execution_time == pytest.approx(wf.total_work)
+
+
+class TestSerialization:
+    def test_round_trip(self, completed_run, tmp_path):
+        wf, result = completed_run
+        trace = record_run(wf, result.monitor)
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        loaded = RunTrace.load(path)
+        assert loaded == trace
+
+    def test_rejects_bad_version(self):
+        with pytest.raises(ValueError, match="format version"):
+            RunTrace.from_json('{"format_version": 99, "records": []}')
+
+
+class TestReplay:
+    def test_exact_replay(self, completed_run):
+        wf, result = completed_run
+        trace = record_run(wf, result.monitor)
+        replay = emulated_workflow(trace)
+        for tid, task in wf.tasks.items():
+            assert replay.task(tid).runtime == pytest.approx(task.runtime)
+        assert replay.topological_order() == wf.topological_order()
+
+    def test_speed_factor(self, completed_run):
+        wf, result = completed_run
+        trace = record_run(wf, result.monitor)
+        replay = emulated_workflow(trace, speed_factor=2.0)
+        for tid, task in wf.tasks.items():
+            assert replay.task(tid).runtime == pytest.approx(task.runtime * 2.0)
+
+    def test_stage_factors(self, completed_run):
+        wf, result = completed_run
+        trace = record_run(wf, result.monitor)
+        map_stage = wf.stage_of["map-0000"]
+        replay = emulated_workflow(trace, stage_factors={map_stage: 3.0})
+        assert replay.task("map-0000").runtime == pytest.approx(
+            wf.task("map-0000").runtime * 3.0
+        )
+        assert replay.task("split").runtime == pytest.approx(
+            wf.task("split").runtime
+        )
+
+    def test_noise_perturbation(self, completed_run):
+        wf, result = completed_run
+        trace = record_run(wf, result.monitor)
+        a = emulated_workflow(trace, noise_cv=0.3, seed=1)
+        b = emulated_workflow(trace, noise_cv=0.3, seed=2)
+        ra = [t.runtime for t in a]
+        rb = [t.runtime for t in b]
+        assert ra != rb
+        # Noise is mean-one: totals stay in the same ballpark.
+        assert np.sum(ra) == pytest.approx(wf.total_work, rel=0.5)
+
+    def test_replayed_workflow_runs(self, completed_run, small_site, fixed_pool):
+        wf, result = completed_run
+        trace = record_run(wf, result.monitor)
+        replay = emulated_workflow(trace)
+        replay_result = Simulation(replay, small_site, fixed_pool(2), 60.0).run()
+        assert replay_result.completed
+
+    def test_validation(self, completed_run):
+        wf, result = completed_run
+        trace = record_run(wf, result.monitor)
+        with pytest.raises(Exception):
+            emulated_workflow(trace, speed_factor=0.0)
+        with pytest.raises(Exception):
+            emulated_workflow(trace, noise_cv=-1.0)

@@ -1,0 +1,54 @@
+"""Tests for text formatting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.formatting import format_duration, render_table
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (0.0, "0.0s"),
+            (42.0, "42.0s"),
+            (119.9, "119.9s"),
+            (180.0, "3m00s"),
+            (3900.0, "65m00s"),
+            (7260.0, "2h01m"),
+            (-30.0, "-30.0s"),
+        ],
+    )
+    def test_examples(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_rounding_does_not_overflow_minutes(self):
+        # 2h59m59.9s must not render as "2h60m".
+        assert format_duration(2 * 3600 + 59 * 60 + 59.9) == "3h00m"
+
+
+class TestRenderTable:
+    def test_alignment_and_floats(self):
+        text = render_table(["name", "value"], [["a", 1.23456], ["bbbb", 2]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in text  # three-decimal float formatting
+        assert "2" in lines[3]
+
+    def test_title(self):
+        text = render_table(["h"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="2 cells"):
+            render_table(["a"], [[1, 2]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2  # header + rule
+
+    def test_wide_cells_expand_columns(self):
+        text = render_table(["h"], [["wide-content-here"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("wide-content-here")

@@ -1,0 +1,81 @@
+"""Tests for argument validation helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    ValidationError,
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_accepts_matching(self):
+        check_type("x", 3, int)
+        check_type("x", "s", str)
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValidationError, match="x must be"):
+            check_type("x", "3", int)
+
+    def test_rejects_bool_for_numeric(self):
+        with pytest.raises(ValidationError, match="bool"):
+            check_type("flag", True, int)
+        with pytest.raises(ValidationError, match="bool"):
+            check_type("flag", False, (int, float))
+
+
+class TestCheckFinite:
+    def test_accepts_numbers(self):
+        check_finite("x", 0.0)
+        check_finite("x", -1)
+
+    @pytest.mark.parametrize("bad", [math.inf, -math.inf, math.nan])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValidationError):
+            check_finite("x", bad)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_finite("x", "1.0")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 0.001)
+
+    @pytest.mark.parametrize("bad", [0, 0.0, -1.5])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValidationError, match="> 0"):
+            check_positive("x", bad)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        check_non_negative("x", 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError, match=">= 0"):
+            check_non_negative("x", -0.1)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        check_in_range("x", 0.0, 0.0, 1.0)
+        check_in_range("x", 1.0, 0.0, 1.0)
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValidationError):
+            check_in_range("x", 0.0, 0.0, 1.0, inclusive=False)
+        check_in_range("x", 0.5, 0.0, 1.0, inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValidationError, match=r"\[0.0, 1.0\]"):
+            check_in_range("x", 1.5, 0.0, 1.0)

@@ -1,0 +1,158 @@
+"""Tests for workload generation machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    BlockSizes,
+    FixedSize,
+    StageTemplate,
+    StagedWorkflowSpec,
+    UniformSizes,
+    ZipfSizes,
+    summarize_workflow,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestSizeModels:
+    def test_fixed(self, rng):
+        sizes = FixedSize(100.0).sample(5, rng)
+        assert (sizes == 100.0).all()
+
+    def test_block_full_plus_remainder(self, rng):
+        model = BlockSizes(total_bytes=1000.0, block_bytes=300.0)
+        sizes = model.sample(4, rng)
+        assert len(sizes) == 4
+        assert (sizes[:-1] == 250.0).all()  # shrunk to fit 4 splits
+        assert sizes.sum() == pytest.approx(1000.0)
+
+    def test_block_single_task_gets_everything(self, rng):
+        assert BlockSizes(total_bytes=777.0).sample(1, rng)[0] == 777.0
+
+    def test_block_configured_block_respected_when_data_large(self, rng):
+        model = BlockSizes(total_bytes=10_000.0, block_bytes=100.0)
+        sizes = model.sample(4, rng)
+        assert (sizes[:-1] == 100.0).all()
+        assert sizes[-1] == pytest.approx(9_700.0)
+
+    def test_uniform_in_range(self, rng):
+        sizes = UniformSizes(10.0, 20.0).sample(100, rng)
+        assert ((sizes >= 10.0) & (sizes <= 20.0)).all()
+
+    def test_zipf_heavy_tail_capped(self, rng):
+        model = ZipfSizes(base_bytes=100.0, alpha=1.5, cap_multiple=8.0)
+        sizes = model.sample(2000, rng)
+        assert sizes.min() == 100.0
+        assert sizes.max() <= 800.0
+        assert (sizes == 100.0).mean() > 0.3  # substantial mass at the base
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSizes(base_bytes=1.0, alpha=1.0)
+
+
+class TestStageTemplate:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StageTemplate(executable="", count=1, mean_exec=1.0)
+        with pytest.raises(ValueError):
+            StageTemplate(executable="x", count=0, mean_exec=1.0)
+        with pytest.raises(ValueError):
+            StageTemplate(executable="x", count=1, mean_exec=1.0, linkage="bogus")
+        with pytest.raises(ValueError):
+            StageTemplate(executable="x", count=1, mean_exec=1.0, size_dependence=1.5)
+
+
+class TestGeneration:
+    def make_spec(self, linkage="all"):
+        return StagedWorkflowSpec(
+            name="t",
+            templates=(
+                StageTemplate(executable="a", count=4, mean_exec=10.0, cv=0.1),
+                StageTemplate(
+                    executable="b",
+                    count=4,
+                    mean_exec=20.0,
+                    cv=0.1,
+                    linkage=linkage,
+                ),
+            ),
+        )
+
+    def test_deterministic_per_seed(self):
+        spec = self.make_spec()
+        a = spec.generate(seed=1)
+        b = spec.generate(seed=1)
+        assert [t.runtime for t in a] == [t.runtime for t in b]
+
+    def test_seeds_vary_runtimes(self):
+        spec = self.make_spec()
+        a = spec.generate(seed=1)
+        b = spec.generate(seed=2)
+        assert [t.runtime for t in a] != [t.runtime for t in b]
+
+    def test_all_linkage_is_barrier(self):
+        wf = self.make_spec("all").generate(0)
+        b_tasks = [t for t in wf.tasks.values() if t.executable == "b"]
+        for task in b_tasks:
+            assert len(wf.parents(task.task_id)) == 4
+
+    def test_one_to_one_linkage(self):
+        wf = self.make_spec("one_to_one").generate(0)
+        b_tasks = sorted(
+            t.task_id for t in wf.tasks.values() if t.executable == "b"
+        )
+        for tid in b_tasks:
+            assert len(wf.parents(tid)) == 1
+
+    def test_one_to_one_rejects_indivisible(self):
+        spec = StagedWorkflowSpec(
+            name="t",
+            templates=(
+                StageTemplate(executable="a", count=3, mean_exec=1.0),
+                StageTemplate(
+                    executable="b", count=2, mean_exec=1.0, linkage="one_to_one"
+                ),
+            ),
+        )
+        with pytest.raises(ValueError, match="divisible"):
+            spec.generate(0)
+
+    def test_block_linkage_partitions(self):
+        spec = StagedWorkflowSpec(
+            name="t",
+            templates=(
+                StageTemplate(executable="a", count=5, mean_exec=1.0),
+                StageTemplate(executable="b", count=2, mean_exec=1.0, linkage="block"),
+            ),
+        )
+        wf = spec.generate(0)
+        b_tasks = sorted(t.task_id for t in wf.tasks.values() if t.executable == "b")
+        parent_sets = [wf.parents(t) for t in b_tasks]
+        assert len(parent_sets[0]) + len(parent_sets[1]) == 5
+        assert not (parent_sets[0] & parent_sets[1])
+
+    def test_mean_exec_approximately_preserved(self):
+        spec = StagedWorkflowSpec(
+            name="t",
+            templates=(
+                StageTemplate(executable="a", count=500, mean_exec=10.0, cv=0.1),
+            ),
+        )
+        wf = spec.generate(3)
+        mean = np.mean([t.runtime for t in wf.tasks.values()])
+        assert mean == pytest.approx(10.0, rel=0.05)
+
+    def test_summary(self):
+        wf = self.make_spec().generate(0)
+        summary = summarize_workflow(wf)
+        assert summary.n_stages == 2
+        assert summary.total_tasks == 8
+        assert summary.min_stage_tasks == summary.max_stage_tasks == 4

@@ -1,0 +1,79 @@
+"""Tests for linear (§III-E) and synthetic workflow generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag import depth, level_widths, max_width
+from repro.workloads import (
+    chain_workflow,
+    diamond_workflow,
+    fork_join_workflow,
+    linear_stage_workflow,
+    random_layered_workflow,
+    single_stage_workflow,
+)
+
+
+class TestLinear:
+    def test_single_stage(self):
+        wf = single_stage_workflow(10, runtime=5.0)
+        assert len(wf) == 10
+        assert len(wf.stages) == 1
+        assert all(t.runtime == 5.0 for t in wf.tasks.values())
+
+    def test_stage_barrier_structure(self):
+        wf = linear_stage_workflow([(3, 1.0), (4, 2.0)])
+        second = [t for t in wf.tasks.values() if t.executable == "stage01"]
+        for task in second:
+            assert len(wf.parents(task.task_id)) == 3
+
+    def test_all_tasks_fire_together(self):
+        # §III-E: "all tasks in each stage fire at the same time" — i.e.
+        # every task of stage k depends on every task of stage k-1.
+        wf = linear_stage_workflow([(2, 1.0), (5, 1.0), (3, 1.0)])
+        assert level_widths(wf) == [2, 5, 3]
+        assert depth(wf) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_stage_workflow([])
+        with pytest.raises(ValueError):
+            linear_stage_workflow([(0, 1.0)])
+        with pytest.raises(Exception):
+            linear_stage_workflow([(1, 0.0)])
+
+
+class TestSynthetic:
+    def test_chain(self):
+        wf = chain_workflow(4)
+        assert depth(wf) == 4 and max_width(wf) == 1
+
+    def test_fork_join_multilevel(self):
+        wf = fork_join_workflow(width=3, levels=2)
+        assert len(wf) == 1 + 2 * (3 + 1)
+        assert max_width(wf) == 3
+
+    def test_diamond(self):
+        wf = diamond_workflow()
+        assert len(wf) == 4
+
+    def test_random_layered_deterministic(self):
+        a = random_layered_workflow(7)
+        b = random_layered_workflow(7)
+        assert a.topological_order() == b.topological_order()
+        assert [t.runtime for t in a] == [t.runtime for t in b]
+
+    def test_random_layered_connected(self):
+        wf = random_layered_workflow(3, n_layers=5, max_width=6)
+        # Every non-root task has at least one parent.
+        roots = set(wf.roots)
+        for tid in wf.tasks:
+            if tid not in roots:
+                assert wf.parents(tid)
+
+    def test_random_layered_validation(self):
+        with pytest.raises(ValueError):
+            random_layered_workflow(0, n_layers=0)
+        with pytest.raises(ValueError):
+            random_layered_workflow(0, edge_probability=1.5)

@@ -1,0 +1,64 @@
+"""Tests for the bonus Montage workflow."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autoscalers import WireAutoscaler
+from repro.dag import critical_path_tasks, ideal_parallelism_profile
+from repro.engine import Simulation
+from repro.workloads import montage
+
+
+class TestStructure:
+    def test_nine_stages(self):
+        wf = montage("S")
+        assert len(wf.stages) == 9
+        executables = {s.executable for s in wf.stages}
+        assert executables == {
+            "mProject", "mDiffFit", "mConcatFit", "mBgModel",
+            "mBackground", "mImgtbl", "mAdd", "mShrink", "mJPEG",
+        }
+
+    def test_scale_counts(self):
+        assert len(montage("S")) == 84
+        assert len(montage("L")) == 314
+
+    def test_diff_depends_on_two_projections(self):
+        wf = montage("S")
+        assert len(wf.parents("mDiffFit-0000")) == 2
+
+    def test_background_needs_model_and_projection(self):
+        wf = montage("S")
+        parents = wf.parents("mBackground-0000")
+        assert "mBgModel" in parents
+        assert "mProject-0000" in parents
+
+    def test_serial_bottleneck_in_middle(self):
+        """mConcatFit/mBgModel collapse parallelism to 1 mid-workflow."""
+        wf = montage("S")
+        profile = ideal_parallelism_profile(wf)
+        widths = list(profile.widths)
+        peak_index = widths.index(max(widths))
+        assert 1 in widths[peak_index:]
+        # The critical path passes through the serial modelling step.
+        assert "mBgModel" in critical_path_tasks(wf)
+
+    def test_seeded_variation(self):
+        a = montage("S", seed=1)
+        b = montage("S", seed=2)
+        assert [t.runtime for t in a] != [t.runtime for t in b]
+        assert montage("S", seed=1).total_work == a.total_work
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            montage("XXL")
+
+
+class TestExecution:
+    def test_runs_under_wire(self, small_site):
+        result = Simulation(montage("S"), small_site, WireAutoscaler(), 60.0).run()
+        assert result.completed
+        # The width pattern forces at least one grow/shrink cycle.
+        sizes = {c for _, c in result.pool_timeline}
+        assert len(sizes) > 1
