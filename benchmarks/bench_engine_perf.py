@@ -1,0 +1,135 @@
+"""Engine throughput: events/sec, tasks/sec, controller µs/tick, campaign wall.
+
+The single-run scenarios mirror ``tools/perfbench.py`` (Fig-5-scale "L"
+workloads under the wire policy); the campaign benchmark times the same
+small matrix serially (``--jobs 1``) and across ``BENCH_JOBS`` worker
+processes, asserting the two stores stay byte-identical.
+
+``pytest benchmarks/bench_engine_perf.py --smoke`` swaps in the S-scale
+workloads and a 4-cell campaign so the whole module finishes in seconds —
+the CI tripwire that the engine still runs and parallel execution still
+matches serial.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from conftest import BENCH_JOBS
+
+from repro.cloud.site import exogeni_site
+from repro.experiments import (
+    CampaignStore,
+    policy_factories,
+    run_campaign_parallel,
+    run_setting,
+)
+from repro.util.formatting import render_table
+from repro.workloads import table1_specs
+
+#: (workload, charging unit) single-run scenarios under the wire policy
+FULL_SCENARIOS = [
+    ("genome-L", 60.0),
+    ("genome-L", 900.0),
+    ("pagerank-L", 60.0),
+    ("tpch1-L", 60.0),
+]
+SMOKE_SCENARIOS = [
+    ("genome-S", 60.0),
+    ("tpch6-S", 60.0),
+]
+
+
+def _measure(workload: str, unit: float) -> dict:
+    site = exogeni_site()
+    factory = policy_factories(site)["wire"]
+    start = time.perf_counter()
+    result = run_setting(table1_specs()[workload], factory, unit, seed=0, site=site)
+    wall = time.perf_counter() - start
+    tasks = sum(1 for _ in result.monitor.all_attempts())
+    return {
+        "name": f"{workload}/wire/u{unit:.0f}",
+        "wall_s": wall,
+        "events_per_sec": result.events_processed / wall,
+        "tasks_per_sec": tasks / wall,
+        "controller_us_per_tick": 1e6
+        * result.controller_cpu_seconds
+        / max(1, result.ticks),
+    }
+
+
+def test_engine_throughput(benchmark, save_report, smoke):
+    scenarios = SMOKE_SCENARIOS if smoke else FULL_SCENARIOS
+
+    def run_all():
+        return [_measure(workload, unit) for workload, unit in scenarios]
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = render_table(
+        ["scenario", "wall (s)", "events/s", "tasks/s", "controller µs/tick"],
+        [
+            [
+                r["name"],
+                f"{r['wall_s']:.3f}",
+                f"{r['events_per_sec']:.0f}",
+                f"{r['tasks_per_sec']:.0f}",
+                f"{r['controller_us_per_tick']:.0f}",
+            ]
+            for r in rows
+        ],
+        title="engine throughput" + (" (smoke)" if smoke else ""),
+    )
+    save_report("engine_perf" + ("_smoke" if smoke else ""), table)
+    for row in rows:
+        # Generous floor: a pure-Python engine on any plausible host
+        # clears 1k events/sec; falling below means something is badly
+        # wrong (e.g. an accidental O(n^2) in the hot path).
+        assert row["events_per_sec"] > 1000, row
+
+
+def test_campaign_parallel_matches_serial(benchmark, save_report, smoke, tmp_path):
+    site = exogeni_site()
+    if smoke:
+        workload_names = ("tpch1-S", "tpch6-S")
+        policy_names = ("wire", "pure-reactive")
+        seeds = [0]
+    else:
+        workload_names = ("tpch1-S", "tpch6-S", "pagerank-S", "genome-S")
+        policy_names = ("wire", "pure-reactive")
+        seeds = [0, 1]
+    specs = {k: v for k, v in table1_specs().items() if k in workload_names}
+    units = [60.0]
+
+    def campaign(jobs: int, path: Path) -> float:
+        policies = {
+            k: v for k, v in policy_factories(site).items() if k in policy_names
+        }
+        start = time.perf_counter()
+        _, _, failed = run_campaign_parallel(
+            CampaignStore(path), specs, policies, units, seeds, site=site, jobs=jobs
+        )
+        assert not failed, failed
+        return time.perf_counter() - start
+
+    def run_both():
+        serial = campaign(1, tmp_path / "serial.json")
+        parallel = campaign(BENCH_JOBS, tmp_path / "parallel.json")
+        return serial, parallel
+
+    serial_wall, parallel_wall = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert (tmp_path / "serial.json").read_bytes() == (
+        tmp_path / "parallel.json"
+    ).read_bytes()
+    cells = len(specs) * len(policy_names) * len(units) * len(seeds)
+    save_report(
+        "engine_perf_campaign" + ("_smoke" if smoke else ""),
+        render_table(
+            ["jobs", "cells", "wall (s)"],
+            [
+                ["1", cells, f"{serial_wall:.2f}"],
+                [str(BENCH_JOBS), cells, f"{parallel_wall:.2f}"],
+            ],
+            title="campaign wall-clock (serial vs parallel, byte-identical stores)",
+        ),
+    )

@@ -23,6 +23,7 @@ from typing import Sequence
 from repro.cloud import exogeni_site
 from repro.engine.simulator import RunResult, Simulation
 from repro.experiments import (
+    CHARGING_UNITS,
     cost_experiment,
     default_transfer_model,
     overhead_experiment,
@@ -290,6 +291,52 @@ def cmd_overhead(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments import CampaignStore, run_campaign_parallel
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    if args.save_every < 1:
+        raise SystemExit("--save-every must be >= 1")
+    site = exogeni_site()
+    specs = table1_specs()
+    if args.workloads:
+        specs = {name: _workload(name) for name in args.workloads}
+    policies = policy_factories(site, include_oracle=args.oracle)
+    if args.policies:
+        unknown = sorted(set(args.policies) - set(policies))
+        if unknown:
+            known = ", ".join(sorted(policies))
+            raise SystemExit(
+                f"unknown policies {unknown}; choose from: {known}"
+            )
+        policies = {name: policies[name] for name in args.policies}
+    units = args.charging_units or list(CHARGING_UNITS)
+    seeds = list(range(args.repetitions))
+    store = CampaignStore(args.store)
+    records, executed, failed = run_campaign_parallel(
+        store,
+        specs,
+        policies,
+        units,
+        seeds,
+        site=site,
+        jobs=args.jobs,
+        save_every=args.save_every,
+    )
+    print(
+        f"{len(records)} cells in {args.store} "
+        f"({executed} newly executed, jobs={args.jobs})"
+    )
+    for cell in failed:
+        print(
+            f"FAILED {cell.key.workflow}/{cell.key.policy}"
+            f"/u{cell.key.charging_unit:.0f}/s{cell.key.seed}: {cell.error}",
+            file=sys.stderr,
+        )
+    return 1 if failed else 0
+
+
 def cmd_dax_export(args: argparse.Namespace) -> int:
     from repro.dag.dax import write_dax_file
 
@@ -403,6 +450,40 @@ def build_parser() -> argparse.ArgumentParser:
     overhead = sub.add_parser("overhead", help="regenerate the §IV-F report")
     overhead.add_argument("--seed", type=int, default=0)
     overhead.set_defaults(handler=cmd_overhead)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="fill a persistent run matrix, optionally across processes",
+    )
+    campaign.add_argument(
+        "--store", default="campaign.json", help="campaign store JSON path"
+    )
+    campaign.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = inline)"
+    )
+    campaign.add_argument(
+        "--save-every",
+        type=int,
+        default=8,
+        help="persist the store after this many completed cells",
+    )
+    campaign.add_argument("--repetitions", type=int, default=1)
+    campaign.add_argument(
+        "--workloads", nargs="+", help="subset of workloads (default: all)"
+    )
+    campaign.add_argument(
+        "--policies", nargs="+", help="subset of policies (default: the four §IV-C)"
+    )
+    campaign.add_argument(
+        "--charging-units",
+        type=float,
+        nargs="+",
+        help="subset of charging units (default: 60/900/1800/3600)",
+    )
+    campaign.add_argument(
+        "--oracle", action="store_true", help="include the clairvoyant oracle"
+    )
+    campaign.set_defaults(handler=cmd_campaign)
 
     dax = sub.add_parser("dax", help="Pegasus DAX import/export")
     dax_sub = dax.add_subparsers(dest="dax_command", required=True)

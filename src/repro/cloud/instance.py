@@ -74,6 +74,10 @@ class Instance:
     state: InstanceState = InstanceState.PENDING
     # task ids currently occupying slots (length <= itype.slots)
     occupants: set[str] = field(default_factory=set)
+    # owning pool, if any; notified on state/slot changes so it can keep
+    # its free-slot and task-placement indexes current (set by
+    # InstancePool.create, None for standalone instances)
+    _pool: object = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         check_non_negative("requested_at", self.requested_at)
@@ -91,6 +95,8 @@ class Instance:
             raise ValueError("instance cannot start before it was requested")
         self.state = InstanceState.RUNNING
         self.started_at = now
+        if self._pool is not None:
+            self._pool._on_instance_state(self)  # type: ignore[attr-defined]
 
     def mark_terminated(self, now: float) -> None:
         """Transition to TERMINATED at time ``now``.
@@ -109,6 +115,23 @@ class Instance:
             raise ValueError("instance cannot terminate before it started")
         self.state = InstanceState.TERMINATED
         self.terminated_at = now
+        if self._pool is not None:
+            self._pool._on_instance_state(self)  # type: ignore[attr-defined]
+
+    def cancel_pending(self) -> None:
+        """PENDING -> TERMINATED for an instance that never became usable.
+
+        The instance is never billed; ``terminated_at`` collapses onto
+        ``requested_at`` so billing sees zero uptime.
+        """
+        if self.state is not InstanceState.PENDING:
+            raise RuntimeError(
+                f"instance {self.instance_id} cannot cancel from {self.state}"
+            )
+        self.state = InstanceState.TERMINATED
+        self.terminated_at = self.requested_at
+        if self._pool is not None:
+            self._pool._on_instance_state(self)  # type: ignore[attr-defined]
 
     # ------------------------------------------------------------------
     # slots
@@ -132,6 +155,8 @@ class Instance:
         if self.free_slots <= 0:
             raise RuntimeError(f"instance {self.instance_id} has no free slot")
         self.occupants.add(task_id)
+        if self._pool is not None:
+            self._pool._on_assign(self, task_id)  # type: ignore[attr-defined]
 
     def release(self, task_id: str) -> None:
         """Vacate the slot held by ``task_id``."""
@@ -141,6 +166,8 @@ class Instance:
             raise RuntimeError(
                 f"task {task_id} does not occupy instance {self.instance_id}"
             ) from None
+        if self._pool is not None:
+            self._pool._on_release(self, task_id)  # type: ignore[attr-defined]
 
     def uptime(self, now: float) -> float:
         """Seconds of billable uptime as of ``now`` (0 if never started)."""

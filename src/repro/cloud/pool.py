@@ -4,11 +4,22 @@ Tracks the set of instances a workflow run has requested, running, and
 terminated, and aggregates their billing. The pool is the object WIRE's
 resource-steering policy resizes (paper §III-A: "WIRE auto-scales the pool
 of cloud worker instances allocated to a workflow").
+
+The pool also maintains three incremental indexes that the engine's
+dispatch hot path relies on (instances notify the pool on every state or
+slot change, see :class:`~repro.cloud.instance.Instance`):
+
+- *free-slot buckets*: RUNNING instances grouped by free-slot count, so
+  best-fit ("fullest first") dispatch avoids scanning every instance
+  ever launched;
+- a *task placement map* (task id -> instance), replacing the per-event
+  full-pool scan of ``instance_of_task``;
+- live RUNNING / PENDING id sets for O(1) pool-size queries.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Collection, Iterator
 
 from repro.cloud.billing import BillingModel
 from repro.cloud.instance import Instance, InstanceState, InstanceType
@@ -24,6 +35,12 @@ class InstancePool:
         self.billing = billing
         self._instances: dict[str, Instance] = {}
         self._counter = 0
+        # incremental indexes (maintained via instance notifications)
+        self._running_ids: set[str] = set()
+        self._pending_ids: set[str] = set()
+        #: free-slot count -> ids of RUNNING instances with that many free
+        self._buckets: dict[int, set[str]] = {}
+        self._task_instance: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # membership
@@ -36,7 +53,9 @@ class InstancePool:
             itype=self.itype,
             requested_at=now,
         )
+        instance._pool = self
         self._instances[instance.instance_id] = instance
+        self._pending_ids.add(instance.instance_id)
         return instance
 
     def get(self, instance_id: str) -> Instance:
@@ -50,15 +69,54 @@ class InstancePool:
         return iter(self._instances.values())
 
     # ------------------------------------------------------------------
+    # index maintenance (instance notification callbacks)
+    # ------------------------------------------------------------------
+    def _bucket_put(self, instance: Instance) -> None:
+        free = instance.free_slots
+        if free > 0:
+            self._buckets.setdefault(free, set()).add(instance.instance_id)
+
+    def _bucket_remove(self, instance: Instance, free: int) -> None:
+        bucket = self._buckets.get(free)
+        if bucket is not None:
+            bucket.discard(instance.instance_id)
+
+    def _on_instance_state(self, instance: Instance) -> None:
+        iid = instance.instance_id
+        if instance.state is InstanceState.RUNNING:
+            self._pending_ids.discard(iid)
+            self._running_ids.add(iid)
+            self._bucket_put(instance)
+        elif instance.state is InstanceState.TERMINATED:
+            self._pending_ids.discard(iid)
+            self._running_ids.discard(iid)
+            self._bucket_remove(instance, instance.itype.slots - len(instance.occupants))
+
+    def _on_assign(self, instance: Instance, task_id: str) -> None:
+        self._task_instance[task_id] = instance.instance_id
+        self._bucket_remove(instance, instance.free_slots + 1)
+        self._bucket_put(instance)
+
+    def _on_release(self, instance: Instance, task_id: str) -> None:
+        self._task_instance.pop(task_id, None)
+        self._bucket_remove(instance, instance.free_slots - 1)
+        if instance.state is InstanceState.RUNNING:
+            self._bucket_put(instance)
+
+    # ------------------------------------------------------------------
     # views
     # ------------------------------------------------------------------
     def running(self) -> list[Instance]:
         """RUNNING instances, ordered by id (deterministic)."""
-        return self._select(InstanceState.RUNNING)
+        return [self._instances[iid] for iid in sorted(self._running_ids)]
 
     def pending(self) -> list[Instance]:
         """PENDING (launch ordered, not yet usable) instances."""
-        return self._select(InstanceState.PENDING)
+        return [self._instances[iid] for iid in sorted(self._pending_ids)]
+
+    def running_count(self) -> int:
+        """Number of RUNNING instances (O(1))."""
+        return len(self._running_ids)
 
     def active_size(self) -> int:
         """Pool size as the steering policy sees it: running + pending.
@@ -66,27 +124,47 @@ class InstancePool:
         Pending instances count because a launch already ordered will join
         the pool at the next interval; ignoring them would double-order.
         """
-        return len(self.running()) + len(self.pending())
-
-    def _select(self, state: InstanceState) -> list[Instance]:
-        return sorted(
-            (i for i in self._instances.values() if i.state is state),
-            key=lambda i: i.instance_id,
-        )
+        return len(self._running_ids) + len(self._pending_ids)
 
     def free_slots(self) -> int:
         """Total free slots across RUNNING instances."""
-        return sum(i.free_slots for i in self.running())
+        return sum(
+            free * len(bucket) for free, bucket in self._buckets.items()
+        )
 
     def total_slots(self) -> int:
         """Total slots across RUNNING instances."""
-        return sum(i.itype.slots for i in self.running())
+        return len(self._running_ids) * self.itype.slots
 
     def instance_of_task(self, task_id: str) -> Instance | None:
         """The RUNNING instance whose slot ``task_id`` occupies, if any."""
-        for instance in self._instances.values():
-            if task_id in instance.occupants:
-                return instance
+        iid = self._task_instance.get(task_id)
+        if iid is None:
+            return None
+        return self._instances[iid]
+
+    def best_dispatchable(self, excluded: Collection[str] = ()) -> Instance | None:
+        """Fullest RUNNING instance with a free slot, lowest id first.
+
+        ``excluded`` filters ids (the engine passes its draining set).
+        Packing tightly (fewest free slots first) keeps marginal instances
+        empty so the steering policy can release them cheaply. Equivalent
+        to ``min(candidates, key=lambda i: (i.free_slots, i.instance_id))``
+        over the running non-excluded instances with a free slot, but
+        served from the free-slot buckets instead of a full pool scan.
+        """
+        for free in range(1, self.itype.slots + 1):
+            bucket = self._buckets.get(free)
+            if not bucket:
+                continue
+            best: str | None = None
+            for iid in bucket:
+                if iid in excluded:
+                    continue
+                if best is None or iid < best:
+                    best = iid
+            if best is not None:
+                return self._instances[best]
         return None
 
     # ------------------------------------------------------------------

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass
 
 from repro.core.runstate import RunState
@@ -26,7 +27,7 @@ from repro.engine.master import TaskExecState
 __all__ = ["LookaheadSimulator", "UpcomingLoad", "UpcomingTask", "VirtualInstance"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UpcomingTask:
     """One entry of the upcoming load Q_task."""
 
@@ -35,7 +36,7 @@ class UpcomingTask:
     remaining: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VirtualInstance:
     """An instance available to the projection.
 
@@ -65,7 +66,7 @@ class UpcomingLoad:
     workflow_done: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class _VirtualTask:
     task_id: str
     remaining: float
@@ -104,9 +105,35 @@ class LookaheadSimulator:
 
         # -- seed instance availability -------------------------------
         free_slots: dict[str, int] = {}
+        # Lazy min-heap of host ids that may have a free slot: the seed
+        # implementation re-ran ``sorted(free_slots)`` per dispatch to
+        # find the lowest-id host with capacity; this heap serves the
+        # same minimum in O(log n), with stale entries (hosts whose slots
+        # filled meanwhile) skipped on pop.
+        avail_heap: list[str] = []
+        in_avail_heap: set[str] = set()
+
+        def mark_available(instance_id: str) -> None:
+            if (
+                free_slots[instance_id] > 0
+                and instance_id not in in_avail_heap
+            ):
+                heapq.heappush(avail_heap, instance_id)
+                in_avail_heap.add(instance_id)
+
+        def host_with_free_slot() -> str | None:
+            while avail_heap:
+                instance_id = avail_heap[0]
+                if free_slots.get(instance_id, 0) > 0:
+                    return instance_id
+                heapq.heappop(avail_heap)
+                in_avail_heap.discard(instance_id)
+            return None
+
         for vi in instances:
             if vi.available_at <= now:
                 free_slots[vi.instance_id] = vi.slots - len(vi.occupants)
+                mark_available(vi.instance_id)
             else:
                 heapq.heappush(
                     heap, (vi.available_at, next(counter), "instance", vi.instance_id)
@@ -116,7 +143,7 @@ class LookaheadSimulator:
         virtual: dict[str, _VirtualTask] = {}
         unfinished_parents: dict[str, int] = {}
         completed: set[str] = set()
-        queue: list[str] = []
+        queue: deque[str] = deque()
         queued_set: set[str] = set()
 
         def enqueue(task_id: str, *, front: bool = False) -> None:
@@ -124,20 +151,20 @@ class LookaheadSimulator:
                 return
             queued_set.add(task_id)
             if front:
-                queue.insert(0, task_id)
+                queue.appendleft(task_id)
             else:
                 queue.append(task_id)
 
+        parents_of = self.workflow.parents
         for task_id in self.workflow.topological_order():
             estimate = estimates[task_id]
             if estimate.phase is TaskExecState.COMPLETED:
                 completed.add(task_id)
                 continue
+            # Topological order guarantees every completed parent is
+            # already in `completed` when its child is visited.
             unfinished_parents[task_id] = sum(
-                1
-                for p in self.workflow.parents(task_id)
-                if p not in completed
-                and estimates[p].phase is not TaskExecState.COMPLETED
+                1 for p in parents_of(task_id) if p not in completed
             )
             vt = _VirtualTask(task_id=task_id, remaining=estimate.remaining_occupancy)
             virtual[task_id] = vt
@@ -166,17 +193,10 @@ class LookaheadSimulator:
         # -- projection loop -------------------------------------------
         def dispatch(time: float) -> None:
             while queue:
-                slot_host = next(
-                    (
-                        iid
-                        for iid in sorted(free_slots)
-                        if free_slots[iid] > 0
-                    ),
-                    None,
-                )
+                slot_host = host_with_free_slot()
                 if slot_host is None:
                     return
-                task_id = queue.pop(0)
+                task_id = queue.popleft()
                 queued_set.discard(task_id)
                 vt = virtual[task_id]
                 vt.instance_id = slot_host
@@ -192,12 +212,14 @@ class LookaheadSimulator:
             if kind == "instance":
                 vi = known_instances[payload]
                 free_slots[payload] = vi.slots
+                mark_available(payload)
             else:  # a predicted task completion
                 vt = virtual[payload]
                 completed.add(payload)
                 del virtual[payload]
                 if vt.instance_id is not None and vt.instance_id in free_slots:
                     free_slots[vt.instance_id] += 1
+                    mark_available(vt.instance_id)
                 for child in sorted(self.workflow.children(payload)):
                     if child not in unfinished_parents:
                         continue

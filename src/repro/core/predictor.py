@@ -91,6 +91,16 @@ class TaskPredictor:
         }
         self._transfer = MovingMedian(self.config.transfer_window)
         self._transfer_fallback: float | None = None
+        # Per-stage aggregates over *completed* attempts are pure functions
+        # of the stage's completed set; cache them keyed on the monitor's
+        # completed-version counter so stages that gained no completions
+        # since the last tick (e.g. finished stages) are not re-aggregated.
+        #: stage -> (monitor id, version, median_completed, groups)
+        self._completed_cache: dict[
+            str, tuple[int, int, float | None, list[tuple[float, float]]]
+        ] = {}
+        # A completed task's annotation never changes again; reuse it.
+        self._final_estimates: dict[str, TaskEstimate] = {}
 
     # ------------------------------------------------------------------
     # Monitor + Analyze: harvest the previous interval
@@ -106,15 +116,9 @@ class TaskPredictor:
             self._transfer.push(interval_median)
             self._transfer_fallback = interval_median
         for stage in self.workflow.stages:
-            completed = monitor.completed_in_stage(stage.stage_id)
-            if not completed:
+            _, training_set = self._completed_aggregates(stage.stage_id, monitor)
+            if not training_set:
                 continue
-            training_set = [
-                (size, self._agg(times))
-                for size, times in group_by_input_size(
-                    completed, self.config.input_size_rtol
-                )
-            ]
             model = self._ogd[stage.stage_id]
             for _ in range(self.config.ogd_epochs_per_update):
                 model.update(training_set)
@@ -133,16 +137,24 @@ class TaskPredictor:
     # ------------------------------------------------------------------
     # the five prediction policies (§III-C)
     # ------------------------------------------------------------------
-    def _stage_view(self, stage_id: str, monitor: Monitor, now: float) -> "_StageView":
-        """Aggregate one stage's peer-task data once (shared by all its
-        incomplete tasks within a tick — stages can hold thousands)."""
+    def _completed_aggregates(
+        self, stage_id: str, monitor: Monitor
+    ) -> tuple[float | None, list[tuple[float, float]]]:
+        """(aggregate completed exec time, input-size groups) for a stage.
+
+        Cached on the monitor's per-stage completed-version counter: the
+        aggregation only reruns when the stage actually gained a
+        completion since it was last computed.
+        """
+        version = monitor.completed_version(stage_id)
+        cached = self._completed_cache.get(stage_id)
+        if (
+            cached is not None
+            and cached[0] == id(monitor)
+            and cached[1] == version
+        ):
+            return cached[2], cached[3]
         completed = monitor.completed_in_stage(stage_id)
-        running = monitor.running_in_stage(stage_id)
-        median_elapsed = (
-            self._agg([a.elapsed_execution(now) for a in running])
-            if running
-            else None
-        )
         if completed:
             exec_times = [
                 a.execution_time for a in completed if a.execution_time is not None
@@ -157,9 +169,24 @@ class TaskPredictor:
         else:
             median_completed = None
             groups = []
+        self._completed_cache[stage_id] = (
+            id(monitor), version, median_completed, groups
+        )
+        return median_completed, groups
+
+    def _stage_view(self, stage_id: str, monitor: Monitor, now: float) -> "_StageView":
+        """Aggregate one stage's peer-task data once (shared by all its
+        incomplete tasks within a tick — stages can hold thousands)."""
+        running = monitor.running_in_stage(stage_id)
+        median_elapsed = (
+            self._agg([a.elapsed_execution(now) for a in running])
+            if running
+            else None
+        )
+        median_completed, groups = self._completed_aggregates(stage_id, monitor)
         return _StageView(
             stage_id=stage_id,
-            has_completed=bool(completed),
+            has_completed=median_completed is not None,
             has_running=bool(running),
             median_elapsed=median_elapsed,
             median_completed=median_completed,
@@ -182,8 +209,11 @@ class TaskPredictor:
         fast path: :meth:`build_run_state` precomputes one stage view and
         shares it across the stage's tasks.
         """
-        stage_id = self.workflow.stage_of[task_id]
-        view = _view if _view is not None else self._stage_view(stage_id, monitor, now)
+        view = (
+            _view
+            if _view is not None
+            else self._stage_view(self.workflow.stage_of[task_id], monitor, now)
+        )
 
         if not view.has_completed:
             if view.has_running:
@@ -208,7 +238,7 @@ class TaskPredictor:
                 return agg_time, PredictionPolicy.MATCHED_GROUP
         # Policy 5: ready to run with a previously unseen input size.
         return (
-            self._ogd[stage_id].predict(task.input_size),
+            self._ogd[self.workflow.stage_of[task_id]].predict(task.input_size),
             PredictionPolicy.OGD,
         )
 
@@ -222,36 +252,47 @@ class TaskPredictor:
         t_data = self.transfer_estimate()
         state = RunState(now=now, transfer_estimate=t_data)
         views: dict[str, _StageView] = {}
+        estimates = state.estimates
+        final = self._final_estimates
+        stage_of = self.workflow.stage_of
+        task_state = master.state
+        completed = TaskExecState.COMPLETED
         for task_id in self.workflow.topological_order():
-            phase = master.state(task_id)
-            if phase is TaskExecState.COMPLETED:
-                attempt = monitor.current_attempt(task_id)
-                exec_time = attempt.execution_time or 0.0
-                state.estimates[task_id] = TaskEstimate(
-                    task_id=task_id,
-                    stage_id=self.workflow.stage_of[task_id],
-                    phase=phase,
-                    exec_estimate=exec_time,
-                    policy=PredictionPolicy.OBSERVED,
-                    remaining_occupancy=0.0,
-                    sunk_occupancy=0.0,
-                    instance_id=attempt.instance_id,
-                )
+            phase = task_state(task_id)
+            if phase is completed:
+                # A completed task's annotation is immutable; build it the
+                # first time the task is seen completed, then reuse.
+                estimate = final.get(task_id)
+                if estimate is None:
+                    attempt = monitor.current_attempt(task_id)
+                    estimate = final[task_id] = TaskEstimate(
+                        task_id=task_id,
+                        stage_id=stage_of[task_id],
+                        phase=phase,
+                        exec_estimate=attempt.execution_time or 0.0,
+                        policy=PredictionPolicy.OBSERVED,
+                        remaining_occupancy=0.0,
+                        sunk_occupancy=0.0,
+                        instance_id=attempt.instance_id,
+                    )
+                estimates[task_id] = estimate
                 continue
-            stage_id = self.workflow.stage_of[task_id]
-            if stage_id not in views:
-                views[stage_id] = self._stage_view(stage_id, monitor, now)
+            stage_id = stage_of[task_id]
+            view = views.get(stage_id)
+            if view is None:
+                view = views[stage_id] = self._stage_view(stage_id, monitor, now)
             estimate, policy = self.estimate_execution(
-                task_id, phase, monitor, now, _view=views[stage_id]
+                task_id, phase, monitor, now, _view=view
             )
-            state.estimates[task_id] = self._annotate_incomplete(
-                task_id, phase, estimate, policy, monitor, now, t_data
+            estimates[task_id] = self._annotate_incomplete(
+                task_id, stage_id, phase, estimate, policy, monitor, now, t_data
             )
         return state
 
     def _annotate_incomplete(
         self,
         task_id: str,
+        stage_id: str,
         phase: TaskExecState,
         estimate: float,
         policy: PredictionPolicy,
@@ -259,7 +300,6 @@ class TaskPredictor:
         now: float,
         t_data: float,
     ) -> TaskEstimate:
-        stage_id = self.workflow.stage_of[task_id]
         sunk = 0.0
         instance_id: str | None = None
         if phase in (TaskExecState.BLOCKED, TaskExecState.READY):

@@ -34,7 +34,7 @@ class PredictionPolicy(enum.IntEnum):
     OGD = 5
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TaskEstimate:
     """One task's annotation in the run state.
 

@@ -35,14 +35,17 @@ class EventKind(enum.Enum):
     @property
     def priority(self) -> int:
         """Same-timestamp ordering class (lower fires first)."""
-        if self is EventKind.INSTANCE_TERMINATE:
-            return 1
-        if self is EventKind.CONTROLLER_TICK:
-            return 2
-        return 0
+        return _PRIORITY[self]
 
 
-@dataclass(frozen=True)
+#: same-timestamp ordering classes (lower fires first); a flat table so
+#: the per-push cost is one dict hit instead of an enum property call
+_PRIORITY = {kind: 0 for kind in EventKind}
+_PRIORITY[EventKind.INSTANCE_TERMINATE] = 1
+_PRIORITY[EventKind.CONTROLLER_TICK] = 2
+
+
+@dataclass(frozen=True, slots=True)
 class Event:
     """One scheduled occurrence.
 
@@ -62,23 +65,38 @@ class Event:
 
 @dataclass
 class EventQueue:
-    """A deterministic min-heap of events."""
+    """A deterministic min-heap of events.
+
+    Cancellation is lazy (cancelled events stay heap-resident until
+    popped) and idempotent: cancelling an event that was already popped,
+    or cancelling twice, is a no-op, so ``__len__`` stays exact.
+    """
 
     _heap: list[tuple[float, int, int, Event]] = field(default_factory=list)
     _counter: itertools.count = field(default_factory=itertools.count)
     _cancelled: set[int] = field(default_factory=set)
+    #: seqs currently in the heap and not cancelled
+    _live: set[int] = field(default_factory=set)
 
     def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
         """Schedule an event and return it (its ``seq`` allows cancellation)."""
         event = Event(time=time, seq=next(self._counter), kind=kind, payload=payload)
         heapq.heappush(
-            self._heap, (event.time, kind.priority, event.seq, event)
+            self._heap, (event.time, _PRIORITY[kind], event.seq, event)
         )
+        self._live.add(event.seq)
         return event
 
     def cancel(self, event: Event) -> None:
-        """Mark ``event`` so it is skipped when popped (lazy deletion)."""
-        self._cancelled.add(event.seq)
+        """Mark ``event`` so it is skipped when popped (lazy deletion).
+
+        Cancelling an event that was already popped (or already
+        cancelled) is a no-op: only seqs still live in the heap enter the
+        cancelled set, so the size bookkeeping cannot drift.
+        """
+        if event.seq in self._live:
+            self._live.discard(event.seq)
+            self._cancelled.add(event.seq)
 
     def pop(self) -> Event:
         """Remove and return the earliest pending event."""
@@ -87,6 +105,7 @@ class EventQueue:
             if event.seq in self._cancelled:
                 self._cancelled.discard(event.seq)
                 continue
+            self._live.discard(event.seq)
             return event
         raise IndexError("pop from empty EventQueue")
 
@@ -102,7 +121,7 @@ class EventQueue:
         return None
 
     def __len__(self) -> int:
-        return len(self._heap) - len(self._cancelled)
+        return len(self._live)
 
     def __bool__(self) -> bool:
-        return self.peek_time() is not None
+        return bool(self._live)

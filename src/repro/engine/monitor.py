@@ -7,17 +7,30 @@ HTCondor logs: it records every task attempt's lifecycle timestamps and
 answers the queries WIRE's task predictor makes at the start of each MAPE
 iteration (§III-B1) — completed execution times, elapsed run times of
 running tasks, recent data-transfer observations, and input sizes.
+
+The per-tick queries are served from aggregates maintained incrementally
+on every record event (completed/running attempt lists per stage, a
+chronological transfer-observation log) instead of rescanning the full
+attempt history each MAPE tick; the results are element-for-element
+identical to the historical full scans (same ordering), which the
+regression tests assert against brute-force reference implementations.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from bisect import bisect_right, insort
+from dataclasses import dataclass, field
 from typing import Iterable
 
 __all__ = ["Monitor", "TaskAttempt"]
 
+# transfer-observation kinds, ordered the way the historical full scan
+# listed them (stage-in before stage-out within one attempt)
+_OBS_STAGE_IN = 0
+_OBS_STAGE_OUT = 1
 
-@dataclass
+
+@dataclass(slots=True)
 class TaskAttempt:
     """One attempt at executing a task (restarts create new attempts).
 
@@ -42,6 +55,12 @@ class TaskAttempt:
     #: True when the attempt died of an injected fault (vs a pool-shrink
     #: kill); both requeue, but experiments distinguish the causes
     failed: bool = False
+    #: dispatch index within the stage (Monitor bookkeeping; preserves
+    #: the stage-scan ordering in incremental query results)
+    _stage_seq: int = field(default=0, repr=False, compare=False)
+    #: first-dispatch index of the task (Monitor bookkeeping; preserves
+    #: the all-attempts scan ordering in transfer_times_between)
+    _task_order: int = field(default=0, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # derived quantities
@@ -107,6 +126,21 @@ class Monitor:
     def __init__(self) -> None:
         self._attempts: dict[str, list[TaskAttempt]] = {}
         self._by_stage: dict[str, list[TaskAttempt]] = {}
+        # incremental aggregates, maintained on record events -----------
+        #: completed attempts per stage, in stage-dispatch order
+        self._completed_by_stage: dict[str, list[TaskAttempt]] = {}
+        #: in-flight attempts per stage, keyed by stage-dispatch index
+        #: (dict preserves ascending insertion, completions/kills delete)
+        self._running_by_stage: dict[str, dict[int, TaskAttempt]] = {}
+        #: bumped whenever a stage gains a completed attempt (cache key
+        #: for consumers aggregating over completed_in_stage)
+        self._completed_version: dict[str, int] = {}
+        #: transfer observations: (finish_time, task_order, attempt, kind,
+        #: duration), appended chronologically in simulation use
+        self._transfer_obs: list[tuple[float, int, int, int, float]] = []
+        self._transfer_obs_sorted = True
+        self._restarts = 0
+        self._failures = 0
 
     # ------------------------------------------------------------------
     # recording (called by the engine)
@@ -121,7 +155,13 @@ class Monitor:
         output_size: float,
     ) -> TaskAttempt:
         """Open a new attempt when a task is assigned to a slot."""
-        history = self._attempts.setdefault(task_id, [])
+        history = self._attempts.get(task_id)
+        if history is None:
+            task_order = len(self._attempts)
+            history = self._attempts[task_id] = []
+        else:
+            task_order = history[0]._task_order
+        stage_list = self._by_stage.setdefault(stage_id, [])
         attempt = TaskAttempt(
             task_id=task_id,
             stage_id=stage_id,
@@ -130,24 +170,70 @@ class Monitor:
             dispatch_time=now,
             input_size=input_size,
             output_size=output_size,
+            _stage_seq=len(stage_list),
+            _task_order=task_order,
         )
         history.append(attempt)
-        self._by_stage.setdefault(stage_id, []).append(attempt)
+        stage_list.append(attempt)
+        self._running_by_stage.setdefault(stage_id, {})[
+            attempt._stage_seq
+        ] = attempt
         return attempt
 
+    def _record_transfer_obs(
+        self, attempt: TaskAttempt, finish_time: float, kind: int, duration: float
+    ) -> None:
+        obs = self._transfer_obs
+        if obs and finish_time < obs[-1][0]:
+            # out-of-order recording (only possible outside the engine's
+            # monotonic event loop); fall back to sorting on next query
+            self._transfer_obs_sorted = False
+        obs.append(
+            (finish_time, attempt._task_order, attempt.attempt, kind, duration)
+        )
+
     def record_exec_start(self, task_id: str, now: float) -> None:
-        self.current_attempt(task_id).exec_start = now
+        attempt = self.current_attempt(task_id)
+        attempt.exec_start = now
+        self._record_transfer_obs(
+            attempt, now, _OBS_STAGE_IN, attempt.stage_in_time or 0.0
+        )
 
     def record_exec_end(self, task_id: str, now: float) -> None:
         self.current_attempt(task_id).exec_end = now
 
     def record_complete(self, task_id: str, now: float) -> None:
-        self.current_attempt(task_id).complete_time = now
+        attempt = self.current_attempt(task_id)
+        attempt.complete_time = now
+        stage_id = attempt.stage_id
+        running = self._running_by_stage.get(stage_id)
+        if running is not None:
+            running.pop(attempt._stage_seq, None)
+        # completions arrive roughly in dispatch order, so the insort is
+        # amortized O(1); the list stays in stage-dispatch order, matching
+        # what a full scan of the stage's attempts would produce
+        insort(
+            self._completed_by_stage.setdefault(stage_id, []),
+            attempt,
+            key=lambda a: a._stage_seq,
+        )
+        self._completed_version[stage_id] = (
+            self._completed_version.get(stage_id, 0) + 1
+        )
+        self._record_transfer_obs(
+            attempt, now, _OBS_STAGE_OUT, attempt.stage_out_time or 0.0
+        )
 
     def record_kill(self, task_id: str, now: float, *, failed: bool = False) -> None:
         attempt = self.current_attempt(task_id)
         attempt.killed_at = now
         attempt.failed = failed
+        running = self._running_by_stage.get(attempt.stage_id)
+        if running is not None:
+            running.pop(attempt._stage_seq, None)
+        self._restarts += 1
+        if failed:
+            self._failures += 1
 
     # ------------------------------------------------------------------
     # queries (called by controllers and experiments)
@@ -170,11 +256,22 @@ class Monitor:
 
     def completed_in_stage(self, stage_id: str) -> list[TaskAttempt]:
         """Completed attempts in ``stage_id`` (the predictor's training data)."""
-        return [a for a in self._by_stage.get(stage_id, ()) if a.is_completed]
+        return list(self._completed_by_stage.get(stage_id, ()))
+
+    def completed_version(self, stage_id: str) -> int:
+        """Monotonic counter, bumped when ``stage_id`` gains a completion.
+
+        Consumers caching aggregates over :meth:`completed_in_stage` (the
+        predictor's per-stage groupings) key their caches on this.
+        """
+        return self._completed_version.get(stage_id, 0)
 
     def running_in_stage(self, stage_id: str) -> list[TaskAttempt]:
         """In-flight attempts in ``stage_id``."""
-        return [a for a in self._by_stage.get(stage_id, ()) if a.in_flight]
+        running = self._running_by_stage.get(stage_id)
+        if not running:
+            return []
+        return list(running.values())
 
     def stage_has_dispatches(self, stage_id: str) -> bool:
         """Whether any task of ``stage_id`` was ever dispatched."""
@@ -186,25 +283,28 @@ class Monitor:
         This feeds the paper's ``t̃_data``: "the median of the data
         transfer times of the tasks between the n-1th and nth MAPE
         iterations". Stage-in and stage-out observations both count.
+
+        Served by bisecting the chronological observation log (O(log n +
+        window) instead of a full-history scan); the returned order is the
+        historical scan order — attempts in first-dispatch order, stage-in
+        before stage-out within an attempt.
         """
-        observations: list[float] = []
-        for attempt in self.all_attempts():
-            if attempt.exec_start is not None and t0 < attempt.exec_start <= t1:
-                observations.append(attempt.stage_in_time or 0.0)
-            if (
-                attempt.complete_time is not None
-                and t0 < attempt.complete_time <= t1
-            ):
-                observations.append(attempt.stage_out_time or 0.0)
-        return observations
+        obs = self._transfer_obs
+        if not self._transfer_obs_sorted:
+            obs.sort(key=lambda o: o[0])
+            self._transfer_obs_sorted = True
+        lo = bisect_right(obs, t0, key=lambda o: o[0])
+        hi = bisect_right(obs, t1, key=lambda o: o[0])
+        window = sorted(obs[lo:hi], key=lambda o: (o[1], o[2], o[3]))
+        return [duration for _, _, _, _, duration in window]
 
     def total_restarts(self) -> int:
         """Number of killed attempts across the run (wasted work events)."""
-        return sum(1 for a in self.all_attempts() if a.is_killed)
+        return self._restarts
 
     def total_failures(self) -> int:
         """Killed attempts attributable to injected faults."""
-        return sum(1 for a in self.all_attempts() if a.failed)
+        return self._failures
 
     def wasted_occupancy(self) -> float:
         """Total slot-seconds consumed by attempts that were later killed."""

@@ -68,6 +68,8 @@ class RunResult:
     controller_cpu_seconds: float
     #: autoscaler-reported state footprint in bytes (None if untracked)
     controller_state_bytes: int | None
+    #: discrete events processed by the engine loop (perf accounting)
+    events_processed: int
     #: (time, running instance count) at every pool change
     pool_timeline: list[tuple[float, int]]
     #: full task attempt records
@@ -162,6 +164,7 @@ class Simulation:
         self.events = EventQueue()
 
         self._now = 0.0
+        self._events_processed = 0
         self._draining: set[str] = set()
         self._pending_task_event: dict[str, Event] = {}
         self._timeline: list[tuple[float, int]] = []
@@ -188,6 +191,7 @@ class Simulation:
                 completed = False
                 break
             self._now = event.time
+            self._events_processed += 1
             self._handle(event)
         return self._finalize(completed)
 
@@ -218,8 +222,7 @@ class Simulation:
                 instance.mark_terminated(max(makespan, instance.started_at or 0.0))
             elif instance.state is InstanceState.PENDING:
                 # Never became usable; never billed.
-                instance.state = InstanceState.TERMINATED
-                instance.terminated_at = instance.requested_at
+                instance.cancel_pending()
 
         total_units = self.pool.total_units(makespan)
         busy = sum(
@@ -248,6 +251,7 @@ class Simulation:
             ticks=self._ticks,
             controller_cpu_seconds=self._controller_seconds,
             controller_state_bytes=self.autoscaler.state_size_bytes(),
+            events_processed=self._events_processed,
             pool_timeline=list(self._timeline),
             monitor=self.monitor,
         )
@@ -289,7 +293,9 @@ class Simulation:
             self.scheduler.push(
                 task_id, self.workflow.stage_of[task_id], requeue=True
             )
-        instance.occupants.clear()
+            # release (not bulk-clear) so the pool's placement and
+            # free-slot indexes stay consistent
+            instance.release(task_id)
         instance.mark_terminated(self._now)
         self._draining.discard(instance_id)
         self._record_pool_change(self._now)
@@ -408,16 +414,11 @@ class Simulation:
         """Pick the fullest running, non-draining instance with a free slot.
 
         Packing tightly (fewest free slots first) keeps marginal instances
-        empty so the steering policy can release them cheaply.
+        empty so the steering policy can release them cheaply. Served from
+        the pool's incrementally maintained free-slot index rather than a
+        scan over every instance ever launched.
         """
-        candidates = [
-            i
-            for i in self.pool.running()
-            if i.free_slots > 0 and i.instance_id not in self._draining
-        ]
-        if not candidates:
-            return None
-        return min(candidates, key=lambda i: (i.free_slots, i.instance_id))
+        return self.pool.best_dispatchable(self._draining)
 
     def _dispatch(self) -> None:
         while len(self.scheduler) > 0:
@@ -476,7 +477,7 @@ class Simulation:
     # bookkeeping
     # ------------------------------------------------------------------
     def _record_pool_change(self, now: float) -> None:
-        count = len(self.pool.running())
+        count = self.pool.running_count()
         if self._timeline and self._timeline[-1][0] == now:
             self._timeline[-1] = (now, count)
         else:

@@ -33,7 +33,15 @@ from repro.experiments.linear_sim import (
     sweep_u_over_r,
 )
 from repro.experiments.overhead import OverheadRow, overhead_experiment
-from repro.experiments.campaign import CampaignStore, CellKey, CellRecord, run_campaign
+from repro.experiments.campaign import (
+    CampaignStore,
+    CellKey,
+    CellRecord,
+    missing_cells,
+    record_from_result,
+    run_campaign,
+)
+from repro.experiments.parallel import FailedCell, run_campaign_parallel
 from repro.experiments.motivation import MotivationRow, motivation_experiment
 from repro.experiments.sensitivity import LagSensitivityRow, lag_sensitivity_experiment
 from repro.experiments.robustness import RobustnessRow, robustness_experiment
@@ -50,6 +58,7 @@ __all__ = [
     "CellKey",
     "CellRecord",
     "CostCell",
+    "FailedCell",
     "LagSensitivityRow",
     "LinearSimResult",
     "MotivationRow",
@@ -62,14 +71,17 @@ __all__ = [
     "default_transfer_model",
     "lag_sensitivity_experiment",
     "makespan_r_above_u",
+    "missing_cells",
     "motivation_experiment",
     "overhead_experiment",
     "policy_factories",
     "prediction_experiment",
+    "record_from_result",
     "relative_execution_table",
     "replay_stage_predictions",
     "robustness_experiment",
     "run_campaign",
+    "run_campaign_parallel",
     "run_setting",
     "simulate_linear_stage",
     "sweep_r_over_u",

@@ -21,7 +21,14 @@ from repro.engine.control import Autoscaler
 from repro.experiments.harness import run_setting
 from repro.workloads.base import StagedWorkflowSpec
 
-__all__ = ["CampaignStore", "CellKey", "CellRecord", "run_campaign"]
+__all__ = [
+    "CampaignStore",
+    "CellKey",
+    "CellRecord",
+    "missing_cells",
+    "record_from_result",
+    "run_campaign",
+]
 
 _FORMAT_VERSION = 1
 
@@ -63,6 +70,7 @@ class CampaignStore:
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self._records: dict[CellKey, CellRecord] = {}
+        self._dirty = 0
         if self.path.exists():
             self._load()
 
@@ -84,6 +92,17 @@ class CampaignStore:
         tmp = self.path.with_suffix(self.path.suffix + ".tmp")
         tmp.write_text(json.dumps(payload, indent=2, sort_keys=True), "utf-8")
         tmp.replace(self.path)
+        self._dirty = 0
+
+    def flush(self) -> None:
+        """Save iff records were put since the last save (cheap no-op otherwise)."""
+        if self._dirty:
+            self.save()
+
+    @property
+    def dirty(self) -> int:
+        """Number of unsaved :meth:`put` calls since the last save."""
+        return self._dirty
 
     def has(self, key: CellKey) -> bool:
         return key in self._records
@@ -93,6 +112,7 @@ class CampaignStore:
 
     def put(self, record: CellRecord) -> None:
         self._records[record.key] = record
+        self._dirty += 1
 
     def records(self) -> list[CellRecord]:
         """All records, deterministically ordered."""
@@ -105,6 +125,41 @@ class CampaignStore:
         return len(self._records)
 
 
+def record_from_result(key: CellKey, result) -> CellRecord:
+    """Summarize one finished run into its persisted cell record."""
+    return CellRecord(
+        workflow=key.workflow,
+        policy=key.policy,
+        charging_unit=key.charging_unit,
+        seed=key.seed,
+        makespan=result.makespan,
+        total_units=result.total_units,
+        total_cost=result.total_cost,
+        utilization=result.utilization,
+        peak_instances=result.peak_instances,
+        restarts=result.restarts,
+        completed=result.completed,
+    )
+
+
+def missing_cells(
+    store: CampaignStore,
+    specs: Mapping[str, StagedWorkflowSpec],
+    policies: Mapping[str, Callable[[], Autoscaler]],
+    charging_units: Sequence[float],
+    seeds: Sequence[int],
+) -> list[CellKey]:
+    """The matrix cells not yet in the store, in campaign order."""
+    return [
+        key
+        for wf_name in sorted(specs)
+        for policy_name in policies
+        for u in charging_units
+        for seed in seeds
+        if not store.has(key := CellKey(wf_name, policy_name, u, seed))
+    ]
+
+
 def run_campaign(
     store: CampaignStore,
     specs: Mapping[str, StagedWorkflowSpec],
@@ -113,37 +168,34 @@ def run_campaign(
     seeds: Sequence[int],
     *,
     site: CloudSite | None = None,
+    save_every: int = 1,
 ) -> tuple[list[CellRecord], int]:
     """Fill in the matrix's missing cells; returns (all records, #new).
 
-    The store is saved after every completed run, so interrupting and
-    re-invoking never loses or repeats work.
+    The store is saved after every ``save_every`` completed runs — and
+    always flushed on completion *and* on any exception (including
+    KeyboardInterrupt) — so interrupting and re-invoking never loses or
+    repeats work. ``save_every=1`` (the default) persists after every
+    cell; larger values amortize the atomic rewrite across cells, which
+    matters once the store holds hundreds of records.
     """
+    if save_every < 1:
+        raise ValueError("save_every must be >= 1")
     the_site = site or exogeni_site()
     executed = 0
-    for wf_name, spec in sorted(specs.items()):
-        for policy_name, factory in policies.items():
-            for u in charging_units:
-                for seed in seeds:
-                    key = CellKey(wf_name, policy_name, u, seed)
-                    if store.has(key):
-                        continue
-                    result = run_setting(spec, factory, u, seed=seed, site=the_site)
-                    store.put(
-                        CellRecord(
-                            workflow=wf_name,
-                            policy=policy_name,
-                            charging_unit=u,
-                            seed=seed,
-                            makespan=result.makespan,
-                            total_units=result.total_units,
-                            total_cost=result.total_cost,
-                            utilization=result.utilization,
-                            peak_instances=result.peak_instances,
-                            restarts=result.restarts,
-                            completed=result.completed,
-                        )
-                    )
-                    store.save()
-                    executed += 1
+    try:
+        for key in missing_cells(store, specs, policies, charging_units, seeds):
+            result = run_setting(
+                specs[key.workflow],
+                policies[key.policy],
+                key.charging_unit,
+                seed=key.seed,
+                site=the_site,
+            )
+            store.put(record_from_result(key, result))
+            executed += 1
+            if executed % save_every == 0:
+                store.save()
+    finally:
+        store.flush()
     return store.records(), executed

@@ -1,0 +1,231 @@
+"""Parallel campaign execution (multi-process cell fan-out).
+
+:func:`~repro.experiments.campaign.run_campaign` fills the §IV matrix one
+cell at a time; the cells are fully independent (each is one seeded
+simulation), so the matrix parallelizes embarrassingly across worker
+processes. :func:`run_campaign_parallel` shards the missing cells over a
+:class:`~concurrent.futures.ProcessPoolExecutor`, streams finished
+:class:`~repro.experiments.campaign.CellRecord` summaries back to the
+parent, and batches store saves (atomic write-then-rename, every
+``save_every`` completions plus a guaranteed final flush) so an
+interrupted campaign still resumes exactly where it stopped.
+
+Determinism: a cell's simulation depends only on its ``(workflow,
+policy, charging_unit, seed)`` key — never on scheduling order or which
+worker ran it — so a parallel campaign produces a byte-identical store
+to a serial one (records are persisted in sorted key order).
+
+Fault tolerance: a cell whose worker raises (or whose worker process
+dies, breaking the pool) is re-queued once; a second failure is reported
+as a :class:`FailedCell` rather than aborting the remaining cells.
+
+Policy factories are sent to workers by pickling when possible;
+the standard §IV-C factories from
+:func:`~repro.experiments.harness.policy_factories` are closures (not
+picklable), so those are shipped by *name* and rebuilt inside the worker
+against the campaign's site.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.cloud.site import CloudSite, exogeni_site
+from repro.engine.control import Autoscaler
+from repro.experiments.campaign import (
+    CampaignStore,
+    CellKey,
+    CellRecord,
+    missing_cells,
+    record_from_result,
+)
+from repro.experiments.harness import policy_factories, run_setting
+from repro.workloads.base import StagedWorkflowSpec
+
+__all__ = ["FailedCell", "run_campaign_parallel"]
+
+#: one cell is retried at most this many times in total
+_MAX_ATTEMPTS = 2
+
+
+@dataclass(frozen=True)
+class FailedCell:
+    """A matrix cell that failed on both its attempts."""
+
+    key: CellKey
+    error: str
+
+
+def _factory_payload(
+    name: str, factory: Callable[[], Autoscaler]
+) -> tuple[str, bytes | str]:
+    """How to ship one policy factory to a worker.
+
+    Returns ``("pickle", blob)`` when the factory round-trips through
+    pickle, else ``("name", policy_name)`` for the worker to rebuild via
+    :func:`policy_factories`. Anything neither picklable nor a standard
+    policy name cannot cross the process boundary.
+    """
+    try:
+        return ("pickle", pickle.dumps(factory))
+    except Exception:
+        pass
+    if name in policy_factories(include_oracle=True):
+        return ("name", name)
+    raise ValueError(
+        f"policy factory {name!r} is not picklable and is not a standard "
+        "policy name; use jobs=1 or make the factory picklable "
+        "(e.g. a class or a module-level function)"
+    )
+
+
+def _run_cell(
+    key: CellKey,
+    spec: StagedWorkflowSpec,
+    payload: tuple[str, bytes | str],
+    site: CloudSite,
+) -> CellRecord:
+    """Worker entry point: execute one cell, return its summary record."""
+    mode, blob = payload
+    if mode == "pickle":
+        factory = pickle.loads(blob)  # type: ignore[arg-type]
+    else:
+        factory = policy_factories(site, include_oracle=True)[blob]
+    result = run_setting(spec, factory, key.charging_unit, seed=key.seed, site=site)
+    return record_from_result(key, result)
+
+
+def run_campaign_parallel(
+    store: CampaignStore,
+    specs: Mapping[str, StagedWorkflowSpec],
+    policies: Mapping[str, Callable[[], Autoscaler]],
+    charging_units: Sequence[float],
+    seeds: Sequence[int],
+    *,
+    site: CloudSite | None = None,
+    jobs: int = 1,
+    save_every: int = 8,
+) -> tuple[list[CellRecord], int, list[FailedCell]]:
+    """Fill the matrix's missing cells across ``jobs`` worker processes.
+
+    Returns ``(all records, #new, failed cells)``. With ``jobs=1`` the
+    cells run inline (no process pool) with identical retry and flush
+    semantics; either way the resulting store is byte-identical to a
+    serial :func:`~repro.experiments.campaign.run_campaign` over the same
+    matrix. The store is saved after every ``save_every`` completions and
+    always flushed on return or on any exception.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if save_every < 1:
+        raise ValueError("save_every must be >= 1")
+    the_site = site or exogeni_site()
+    todo = missing_cells(store, specs, policies, charging_units, seeds)
+    executed = 0
+    failed: list[FailedCell] = []
+
+    if jobs == 1 or len(todo) <= 1:
+        try:
+            for key in todo:
+                record, error = _attempt_inline(key, specs, policies, the_site)
+                if record is None:
+                    failed.append(FailedCell(key, error or "unknown error"))
+                    continue
+                store.put(record)
+                executed += 1
+                if store.dirty >= save_every:
+                    store.save()
+        finally:
+            store.flush()
+        return store.records(), executed, failed
+
+    payloads = {
+        name: _factory_payload(name, factory) for name, factory in policies.items()
+    }
+    attempts: dict[CellKey, int] = {key: 0 for key in todo}
+    pending = list(todo)
+    executor = ProcessPoolExecutor(max_workers=jobs)
+    try:
+        futures: dict[Future, CellKey] = {}
+
+        def submit(key: CellKey) -> None:
+            attempts[key] += 1
+            future = executor.submit(
+                _run_cell, key, specs[key.workflow], payloads[key.policy], the_site
+            )
+            futures[future] = key
+
+        for key in pending:
+            submit(key)
+        while futures:
+            done, _ = wait(futures, return_when=FIRST_COMPLETED)
+            broken = False
+            retry: list[CellKey] = []
+            for future in done:
+                key = futures.pop(future)
+                error = "unknown error"
+                try:
+                    record = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    record = None
+                    error = "worker process died"
+                except Exception as exc:  # noqa: BLE001 - isolate cell failures
+                    record = None
+                    error = f"{type(exc).__name__}: {exc}"
+                if record is not None:
+                    store.put(record)
+                    executed += 1
+                    if store.dirty >= save_every:
+                        store.save()
+                elif attempts[key] < _MAX_ATTEMPTS:
+                    retry.append(key)
+                else:
+                    failed.append(FailedCell(key, error))
+            if broken:
+                # A dead worker poisons the whole pool: every in-flight
+                # future fails with BrokenProcessPool. Drain them into
+                # retry/failed, rebuild the pool, then resubmit.
+                for future, key in list(futures.items()):
+                    del futures[future]
+                    if attempts[key] < _MAX_ATTEMPTS:
+                        retry.append(key)
+                    else:
+                        failed.append(FailedCell(key, "worker process died"))
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = ProcessPoolExecutor(max_workers=jobs)
+            for key in retry:
+                submit(key)
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+        store.flush()
+    failed.sort(key=lambda f: (f.key.workflow, f.key.policy, f.key.charging_unit, f.key.seed))
+    return store.records(), executed, failed
+
+
+def _attempt_inline(
+    key: CellKey,
+    specs: Mapping[str, StagedWorkflowSpec],
+    policies: Mapping[str, Callable[[], Autoscaler]],
+    site: CloudSite,
+) -> tuple[CellRecord | None, str | None]:
+    """Run one cell inline with the same retry-once semantics as workers."""
+    error: str | None = None
+    for _ in range(_MAX_ATTEMPTS):
+        try:
+            result = run_setting(
+                specs[key.workflow],
+                policies[key.policy],
+                key.charging_unit,
+                seed=key.seed,
+                site=site,
+            )
+        except Exception as exc:  # noqa: BLE001 - isolate cell failures
+            error = f"{type(exc).__name__}: {exc}"
+            continue
+        return record_from_result(key, result), None
+    return None, error

@@ -129,8 +129,10 @@ def replay_stage_predictions(
     def settle(up_to: float) -> None:
         while running and running[0][0] <= up_to:
             finish, _, attempt = heapq.heappop(running)
-            attempt.exec_end = finish  # type: ignore[attr-defined]
-            attempt.complete_time = finish  # type: ignore[attr-defined]
+            # Complete through the record API so the monitor's incremental
+            # per-stage aggregates observe the completion.
+            monitor.record_exec_end(attempt.task_id, finish)
+            monitor.record_complete(attempt.task_id, finish)
 
     for index in order:
         task = tasks[index]
@@ -157,7 +159,7 @@ def replay_stage_predictions(
         attempt = monitor.record_dispatch(
             task.task_id, stage_id, "replay-slot", now, task.input_size, task.output_size
         )
-        attempt.exec_start = now
+        monitor.record_exec_start(task.task_id, now)
         seq += 1
         heapq.heappush(running, (now + task.runtime, seq, attempt))
     return samples

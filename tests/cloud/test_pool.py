@@ -77,3 +77,94 @@ class TestBillingAggregation:
         b.mark_running(0.0)
         b.mark_terminated(50.0)  # wastes 10
         assert pool.total_wasted_time(100.0) == pytest.approx(40.0)
+
+
+class TestIncrementalIndexes:
+    """The pool's free-slot buckets / placement map vs brute-force scans.
+
+    ``best_dispatchable`` must pick exactly the instance the historical
+    full-pool scan picked: fullest (fewest free slots) first, lowest id
+    tie-break, draining ids excluded.
+    """
+
+    @staticmethod
+    def reference_best(pool, excluded):
+        candidates = [
+            i
+            for i in pool.running()
+            if i.free_slots > 0 and i.instance_id not in excluded
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda i: (i.free_slots, i.instance_id))
+
+    def test_random_op_stream_matches_reference(self):
+        import numpy as np
+
+        from repro.cloud import BillingModel, InstancePool, InstanceType
+
+        rng = np.random.default_rng(7)
+        pool = InstancePool(InstanceType(name="t", slots=3), BillingModel(60.0))
+        now = 0.0
+        task_counter = 0
+        assigned: dict[str, str] = {}  # task -> instance id
+        for _ in range(600):
+            now += float(rng.uniform(0.1, 2.0))
+            op = rng.integers(0, 5)
+            if op == 0:
+                pool.create(now)
+            elif op == 1:
+                pending = pool.pending()
+                if pending:
+                    pending[int(rng.integers(0, len(pending)))].mark_running(now)
+            elif op == 2:
+                target = pool.best_dispatchable()
+                if target is not None:
+                    task = f"task-{task_counter}"
+                    task_counter += 1
+                    target.assign(task)
+                    assigned[task] = target.instance_id
+            elif op == 3 and assigned:
+                task = list(assigned)[int(rng.integers(0, len(assigned)))]
+                pool.get(assigned.pop(task)).release(task)
+            elif op == 4:
+                running = pool.running()
+                if running:
+                    victim = running[int(rng.integers(0, len(running)))]
+                    for task in list(victim.occupants):
+                        victim.release(task)
+                        assigned.pop(task, None)
+                    victim.mark_terminated(now)
+            # -- invariants after every op ------------------------------
+            by_scan_running = sorted(
+                i.instance_id
+                for i in pool
+                if i.state.name == "RUNNING"
+            )
+            assert [i.instance_id for i in pool.running()] == by_scan_running
+            assert pool.running_count() == len(by_scan_running)
+            assert pool.free_slots() == sum(i.free_slots for i in pool.running())
+            assert pool.total_slots() == 3 * len(by_scan_running)
+            for task, iid in assigned.items():
+                found = pool.instance_of_task(task)
+                assert found is not None and found.instance_id == iid
+            excluded = set()
+            running = pool.running()
+            if running and rng.uniform() < 0.5:
+                excluded = {
+                    running[int(rng.integers(0, len(running)))].instance_id
+                }
+            assert pool.best_dispatchable(excluded) is self.reference_best(
+                pool, excluded
+            )
+
+    def test_cancel_pending_removes_from_pending_view(self):
+        from repro.cloud import BillingModel, InstancePool, InstanceType
+
+        pool = InstancePool(InstanceType(name="t", slots=2), BillingModel(60.0))
+        a = pool.create(0.0)
+        b = pool.create(0.0)
+        a.cancel_pending()
+        assert [i.instance_id for i in pool.pending()] == [b.instance_id]
+        assert a.terminated_at == a.requested_at
+        assert pool.active_size() == 1

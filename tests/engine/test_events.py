@@ -66,3 +66,56 @@ class TestCancellation:
         assert not q
         q.push(1.0, EventKind.EXEC_DONE)
         assert q
+
+
+class TestCancellationBookkeeping:
+    """Regression: cancel() must be idempotent against popped and
+    double-cancelled seqs — the historical implementation grew its
+    cancelled set unboundedly and corrupted ``len()`` in those cases."""
+
+    def test_cancel_after_pop_is_a_noop(self):
+        q = EventQueue()
+        e = q.push(1.0, EventKind.EXEC_DONE, "x")
+        q.push(2.0, EventKind.EXEC_DONE, "y")
+        assert q.pop() is e
+        q.cancel(e)  # already popped: must not affect the live event
+        assert len(q) == 1
+        assert q.pop().payload == "y"
+        assert len(q) == 0
+
+    def test_double_cancel_counts_once(self):
+        q = EventQueue()
+        e = q.push(1.0, EventKind.EXEC_DONE)
+        q.push(2.0, EventKind.EXEC_DONE)
+        q.cancel(e)
+        q.cancel(e)
+        assert len(q) == 1
+        assert q.pop().time == 2.0
+        assert not q
+
+    def test_cancel_then_pop_then_cancel_again(self):
+        q = EventQueue()
+        e = q.push(1.0, EventKind.EXEC_DONE)
+        live = q.push(2.0, EventKind.EXEC_DONE)
+        q.cancel(e)
+        assert q.pop() is live
+        q.cancel(e)  # seq long gone
+        assert len(q) == 0
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_len_never_negative_under_mixed_ops(self):
+        q = EventQueue()
+        events = [q.push(float(i), EventKind.EXEC_DONE) for i in range(10)]
+        for e in events[:5]:
+            q.cancel(e)
+            q.cancel(e)
+        for e in events[:3]:
+            q.cancel(e)
+        assert len(q) == 5
+        popped = [q.pop() for _ in range(5)]
+        assert [e.time for e in popped] == [5.0, 6.0, 7.0, 8.0, 9.0]
+        for e in popped:
+            q.cancel(e)
+        assert len(q) == 0
+        assert not q

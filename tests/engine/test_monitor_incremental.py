@@ -1,0 +1,169 @@
+"""The Monitor's incremental aggregates vs brute-force reference scans.
+
+The Monitor serves its per-tick queries (completed/running attempts per
+stage, windowed transfer observations) from structures maintained on each
+record event. These tests replay randomized lifecycle streams and assert
+the incremental answers are element-for-element identical — same order —
+to the historical full-history scans, reimplemented here as references.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.monitor import Monitor, TaskAttempt
+
+
+def reference_completed(attempt_log: list[TaskAttempt], stage_id: str):
+    """Historical scan: the stage's attempts in dispatch order, completed only."""
+    return [
+        a for a in attempt_log if a.stage_id == stage_id and a.is_completed
+    ]
+
+
+def reference_running(attempt_log: list[TaskAttempt], stage_id: str):
+    return [a for a in attempt_log if a.stage_id == stage_id and a.in_flight]
+
+
+def reference_transfers(
+    tasks_in_dispatch_order: list[str],
+    monitor: Monitor,
+    t0: float,
+    t1: float,
+) -> list[float]:
+    """Historical scan: tasks in first-dispatch order, attempts in order,
+    stage-in before stage-out within one attempt."""
+    out: list[float] = []
+    for task_id in tasks_in_dispatch_order:
+        for a in monitor.attempts(task_id):
+            if a.exec_start is not None and t0 < a.exec_start <= t1:
+                out.append(a.stage_in_time or 0.0)
+            if a.complete_time is not None and t0 < a.complete_time <= t1:
+                out.append(a.stage_out_time or 0.0)
+    return out
+
+
+def random_lifecycle_stream(seed: int, n_tasks: int = 40, n_stages: int = 4):
+    """Drive a Monitor through a randomized but monotonic event stream.
+
+    Returns (monitor, per-stage dispatch-ordered attempt logs, first-
+    dispatch task order, final time).
+    """
+    rng = np.random.default_rng(seed)
+    monitor = Monitor()
+    stage_logs: dict[str, list[TaskAttempt]] = {}
+    task_order: list[str] = []
+    now = 0.0
+    # in-flight task ids by phase
+    staged: list[str] = []
+    executing: list[str] = []
+    dispatched = 0
+    attempts_left = {f"t{i}": 3 for i in range(n_tasks)}
+    pending = [f"t{i}" for i in range(n_tasks)]
+    while pending or staged or executing:
+        now += float(rng.uniform(0.1, 5.0))
+        action = rng.integers(0, 3)
+        if action == 0 and pending:
+            task_id = pending.pop(0)
+            stage_id = f"s{dispatched % n_stages}"
+            dispatched += 1
+            attempt = monitor.record_dispatch(
+                task_id, stage_id, f"vm-{dispatched:03d}", now, 1e6, 2e6
+            )
+            stage_logs.setdefault(stage_id, []).append(attempt)
+            if task_id not in task_order:
+                task_order.append(task_id)
+            staged.append(task_id)
+        elif action == 1 and staged:
+            task_id = staged.pop(int(rng.integers(0, len(staged))))
+            monitor.record_exec_start(task_id, now)
+            executing.append(task_id)
+        elif action == 2 and executing:
+            task_id = executing.pop(int(rng.integers(0, len(executing))))
+            if rng.uniform() < 0.25 and attempts_left[task_id] > 1:
+                # kill and requeue: a fresh attempt will be dispatched
+                attempts_left[task_id] -= 1
+                monitor.record_kill(task_id, now, failed=bool(rng.uniform() < 0.5))
+                pending.append(task_id)
+            else:
+                monitor.record_exec_end(task_id, now)
+                now += float(rng.uniform(0.1, 2.0))
+                monitor.record_complete(task_id, now)
+    return monitor, stage_logs, task_order, now
+
+
+@pytest.mark.parametrize("seed", range(5))
+class TestIncrementalAggregates:
+    def test_completed_matches_stage_scan(self, seed):
+        monitor, stage_logs, _, _ = random_lifecycle_stream(seed)
+        for stage_id, log in stage_logs.items():
+            assert monitor.completed_in_stage(stage_id) == reference_completed(
+                log, stage_id
+            )
+
+    def test_running_matches_stage_scan(self, seed):
+        monitor, stage_logs, _, _ = random_lifecycle_stream(seed)
+        for stage_id, log in stage_logs.items():
+            assert monitor.running_in_stage(stage_id) == reference_running(
+                log, stage_id
+            )
+
+    def test_transfer_windows_match_full_scan(self, seed):
+        monitor, _, task_order, end = random_lifecycle_stream(seed)
+        rng = np.random.default_rng(seed + 1000)
+        windows = [(0.0, end), (-1.0, 0.0), (end, end + 10.0)] + [
+            tuple(sorted(rng.uniform(0.0, end, size=2))) for _ in range(10)
+        ]
+        for t0, t1 in windows:
+            assert monitor.transfer_times_between(t0, t1) == reference_transfers(
+                task_order, monitor, t0, t1
+            )
+
+    def test_restart_counters_match_scan(self, seed):
+        monitor, _, _, _ = random_lifecycle_stream(seed)
+        killed = [a for a in monitor.all_attempts() if a.is_killed]
+        assert monitor.total_restarts() == len(killed)
+        assert monitor.total_failures() == sum(1 for a in killed if a.failed)
+
+
+class TestCompletedVersion:
+    def test_version_bumps_only_on_completion(self):
+        monitor = Monitor()
+        assert monitor.completed_version("s0") == 0
+        monitor.record_dispatch("t0", "s0", "vm-1", 0.0, 1.0, 1.0)
+        monitor.record_exec_start("t0", 1.0)
+        assert monitor.completed_version("s0") == 0
+        monitor.record_exec_end("t0", 2.0)
+        monitor.record_complete("t0", 3.0)
+        assert monitor.completed_version("s0") == 1
+        monitor.record_dispatch("t1", "s0", "vm-1", 3.0, 1.0, 1.0)
+        monitor.record_exec_start("t1", 4.0)
+        monitor.record_kill("t1", 5.0)
+        assert monitor.completed_version("s0") == 1  # kills don't bump
+
+    def test_versions_are_per_stage(self):
+        monitor = Monitor()
+        monitor.record_dispatch("t0", "s0", "vm-1", 0.0, 1.0, 1.0)
+        monitor.record_exec_start("t0", 1.0)
+        monitor.record_exec_end("t0", 2.0)
+        monitor.record_complete("t0", 2.5)
+        assert monitor.completed_version("s0") == 1
+        assert monitor.completed_version("s1") == 0
+
+
+class TestOutOfOrderRecording:
+    def test_non_monotonic_completions_still_served_correctly(self):
+        """Harnesses outside the engine may record with non-monotonic
+        clocks; the observation log falls back to sorting."""
+        monitor = Monitor()
+        for i, (start, end) in enumerate([(5.0, 9.0), (1.0, 3.0), (2.0, 8.0)]):
+            task = f"t{i}"
+            monitor.record_dispatch(task, "s0", "vm-1", start, 1.0, 1.0)
+            monitor.record_exec_start(task, start)
+            monitor.record_exec_end(task, end)
+            monitor.record_complete(task, end)
+        # window (0, 10] sees all six observations (3 stage-in + 3
+        # stage-out), ordered by first-dispatch task order
+        assert monitor.transfer_times_between(0.0, 10.0) == [0.0] * 6
+        assert len(monitor.transfer_times_between(0.0, 4.0)) == 3

@@ -1,0 +1,214 @@
+"""Tests for the parallel campaign executor.
+
+The load-bearing property: a parallel campaign's persisted store is
+byte-identical to a serial one over the same matrix — cell results
+depend only on their keys, never on scheduling — and an interrupted
+campaign resumes without recomputing or losing any cell.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autoscalers import PureReactiveAutoscaler, WireAutoscaler
+from repro.experiments.campaign import CampaignStore, run_campaign
+from repro.experiments.parallel import (
+    FailedCell,
+    _factory_payload,
+    run_campaign_parallel,
+)
+from repro.workloads import tpch1, tpch6
+
+
+class _BoomAutoscaler:
+    """A picklable factory that always fails inside the worker."""
+
+    def __call__(self):
+        raise RuntimeError("boom")
+
+    def __init__(self):
+        pass
+
+    def __reduce__(self):
+        return (_BoomAutoscaler, ())
+
+
+@pytest.fixture
+def matrix():
+    """The satellite's 2x2x2x2 determinism matrix."""
+    return dict(
+        specs={"tpch1-S": tpch1("S"), "tpch6-S": tpch6("S")},
+        policies={
+            "pure-reactive": PureReactiveAutoscaler,
+            "wire": WireAutoscaler,
+        },
+        charging_units=[60.0, 900.0],
+        seeds=[0, 1],
+    )
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("save_every", [1, 5, 100])
+    def test_jobs4_store_byte_identical_to_serial(
+        self, tmp_path, matrix, save_every
+    ):
+        serial_path = tmp_path / "serial.json"
+        run_campaign(CampaignStore(serial_path), **matrix)
+
+        parallel_path = tmp_path / "parallel.json"
+        records, executed, failed = run_campaign_parallel(
+            CampaignStore(parallel_path),
+            **matrix,
+            jobs=4,
+            save_every=save_every,
+        )
+        assert failed == []
+        assert executed == 16  # 2 wf x 2 policies x 2 units x 2 seeds
+        assert serial_path.read_bytes() == parallel_path.read_bytes()
+        assert len(records) == 16
+
+    def test_jobs1_inline_matches_serial(self, tmp_path, matrix):
+        serial_path = tmp_path / "serial.json"
+        run_campaign(CampaignStore(serial_path), **matrix)
+        inline_path = tmp_path / "inline.json"
+        _, executed, failed = run_campaign_parallel(
+            CampaignStore(inline_path), **matrix, jobs=1
+        )
+        assert failed == []
+        assert executed == 16
+        assert serial_path.read_bytes() == inline_path.read_bytes()
+
+
+class TestResume:
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_interrupted_campaign_never_recomputes_or_loses_cells(
+        self, tmp_path, matrix, jobs
+    ):
+        path = tmp_path / "c.json"
+        # First pass over a partial matrix stands in for an interrupted
+        # run: only seed-0 cells exist afterwards.
+        partial = dict(matrix, seeds=[0])
+        _, first_executed, _ = run_campaign_parallel(
+            CampaignStore(path), **partial, jobs=jobs
+        )
+        assert first_executed == 8
+        before = {
+            r.key: r for r in CampaignStore(path).records()
+        }
+
+        _, executed, failed = run_campaign_parallel(
+            CampaignStore(path), **matrix, jobs=jobs
+        )
+        assert failed == []
+        assert executed == 8  # only the seed-1 half was recomputed
+        after = {r.key: r for r in CampaignStore(path).records()}
+        assert len(after) == 16
+        # no cell lost, no finished cell recomputed to a different value
+        for key, record in before.items():
+            assert after[key] == record
+
+    def test_full_store_executes_nothing(self, tmp_path, matrix):
+        path = tmp_path / "c.json"
+        run_campaign_parallel(CampaignStore(path), **matrix, jobs=4)
+        _, executed, failed = run_campaign_parallel(
+            CampaignStore(path), **matrix, jobs=4
+        )
+        assert executed == 0
+        assert failed == []
+
+
+class TestFailureIsolation:
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_failing_policy_reported_not_fatal(self, tmp_path, jobs):
+        store = CampaignStore(tmp_path / "c.json")
+        records, executed, failed = run_campaign_parallel(
+            store,
+            {"tpch6-S": tpch6("S")},
+            {"good": PureReactiveAutoscaler, "bad": _BoomAutoscaler()},
+            [60.0],
+            [0, 1],
+            jobs=jobs,
+        )
+        assert executed == 2  # the good policy's cells completed
+        assert sorted(r.policy for r in records) == ["good", "good"]
+        assert len(failed) == 2  # bad cells failed after one retry each
+        assert all(isinstance(f, FailedCell) for f in failed)
+        assert all("boom" in f.error for f in failed)
+        assert all(f.key.policy == "bad" for f in failed)
+        # the store on disk holds exactly the successful cells
+        assert len(CampaignStore(store.path)) == 2
+
+    def test_unpicklable_unknown_policy_rejected(self):
+        marker = object()
+        with pytest.raises(ValueError, match="not picklable"):
+            _factory_payload("custom", lambda: marker)
+
+    def test_standard_policy_names_ship_by_name(self):
+        kind, blob = _factory_payload("wire", lambda: None)
+        assert (kind, blob) == ("name", "wire")
+
+
+class TestStoreFlush:
+    def test_save_every_batches_but_exception_flushes(self, tmp_path, matrix):
+        path = tmp_path / "c.json"
+        store = CampaignStore(path)
+        calls = 0
+        original = store.save
+
+        def counting_save():
+            nonlocal calls
+            calls += 1
+            original()
+
+        store.save = counting_save  # type: ignore[method-assign]
+        _, executed = run_campaign(store, **matrix, save_every=5)
+        assert executed == 16
+        # 3 periodic saves (after cells 5, 10, 15) + the final flush
+        assert calls == 4
+        assert len(CampaignStore(path)) == 16
+
+    def test_exception_mid_campaign_flushes_completed_cells(self, tmp_path):
+        path = tmp_path / "c.json"
+        store = CampaignStore(path)
+
+        class FlakyFactory:
+            calls = 0
+
+            def __call__(self):
+                FlakyFactory.calls += 1
+                if FlakyFactory.calls >= 2:
+                    raise KeyboardInterrupt  # an interrupt mid-campaign
+                return PureReactiveAutoscaler()
+
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                store,
+                # sorted workload order: the a-first cell completes, then
+                # the factory interrupts the b-second cell
+                {"a-first": tpch1("S"), "b-second": tpch6("S")},
+                {"ok": FlakyFactory()},
+                [60.0],
+                [0],
+                save_every=100,
+            )
+        # the cell finished before the interrupt was persisted even
+        # though save_every was never reached
+        assert len(CampaignStore(path)) == 1
+
+    def test_dirty_counter(self, tmp_path):
+        from repro.experiments.campaign import CellRecord
+
+        store = CampaignStore(tmp_path / "c.json")
+        assert store.dirty == 0
+        store.put(
+            CellRecord(
+                workflow="w", policy="p", charging_unit=60.0, seed=0,
+                makespan=1.0, total_units=1, total_cost=1.0, utilization=1.0,
+                peak_instances=1, restarts=0, completed=True,
+            )
+        )
+        assert store.dirty == 1
+        store.flush()
+        assert store.dirty == 0
+        store.flush()  # no-op, file already current
+        assert len(CampaignStore(store.path)) == 1

@@ -1,0 +1,71 @@
+"""Exit-code contract of the perf-regression gate (tools/perfbench.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def perfbench():
+    spec = importlib.util.spec_from_file_location(
+        "perfbench", ROOT / "tools" / "perfbench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture
+def fast_scenario(perfbench, monkeypatch):
+    """Shrink the measurement to one small scenario so the gate runs fast."""
+    monkeypatch.setattr(
+        perfbench, "SCENARIOS", [("tpch1-L/wire/u60", "tpch1-L", "wire", 60.0)]
+    )
+
+
+def _write_baseline(path: Path, events_per_sec: float) -> None:
+    path.write_text(
+        json.dumps(
+            {"engine": {"tpch1-L/wire/u60": {"events_per_sec": events_per_sec}}}
+        ),
+        encoding="utf-8",
+    )
+
+
+def test_check_passes_against_modest_baseline(
+    perfbench, fast_scenario, monkeypatch, tmp_path
+):
+    baseline = tmp_path / "BENCH_engine.json"
+    _write_baseline(baseline, 1.0)  # any real run beats 1 event/sec
+    monkeypatch.setattr(perfbench, "BENCH_PATH", baseline)
+    assert perfbench.run_check(jobs=1, repetitions=1, threshold=0.30) == 0
+
+
+def test_check_fails_on_regression(perfbench, fast_scenario, monkeypatch, tmp_path):
+    baseline = tmp_path / "BENCH_engine.json"
+    _write_baseline(baseline, 1e12)  # unreachable: any run is a >30% drop
+    monkeypatch.setattr(perfbench, "BENCH_PATH", baseline)
+    assert perfbench.run_check(jobs=1, repetitions=1, threshold=0.30) == 1
+
+
+def test_check_requires_committed_baseline(perfbench, monkeypatch, tmp_path):
+    monkeypatch.setattr(perfbench, "BENCH_PATH", tmp_path / "missing.json")
+    assert perfbench.run_check(jobs=1, repetitions=1, threshold=0.30) == 2
+
+
+def test_committed_bench_file_exists_and_shows_speedup():
+    """The repo ships a measured BENCH_engine.json with seed comparisons."""
+    payload = json.loads((ROOT / "BENCH_engine.json").read_text(encoding="utf-8"))
+    assert payload["engine"], "no engine scenarios recorded"
+    for name, row in payload["engine"].items():
+        assert row["events_per_sec"] > 0, name
+        assert row["wall_s"] > 0, name
+    assert payload["speedup_vs_seed"], "no seed comparison recorded"
+    assert "campaign" in payload and "jobs" in payload["campaign"]

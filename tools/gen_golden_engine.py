@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Regenerate tests/engine/golden_engine_results.json.
+
+The golden file pins exact run measurements from the seed engine so that
+hot-path optimizations can be verified *bit-identical* (same event
+ordering, same FIFO/packing tie-breaks, same float arithmetic). Run this
+only when a semantic engine change is intended and reviewed:
+
+    PYTHONPATH=src python tools/gen_golden_engine.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.autoscalers import (
+    PureReactiveAutoscaler,
+    ReactiveConservingAutoscaler,
+    WireAutoscaler,
+    full_site,
+)
+from repro.cloud import exogeni_site
+from repro.engine.faults import RandomFaults
+from repro.engine.simulator import Simulation
+from repro.experiments.harness import default_transfer_model
+from repro.workloads import table1_specs
+
+OUT = Path(__file__).resolve().parent.parent / "tests" / "engine" / (
+    "golden_engine_results.json"
+)
+
+
+def scenarios():
+    """Scenario name -> Simulation factory. Covers dispatch packing,
+    terminations with occupants (restarts), faults, and launch jitter."""
+    site = exogeni_site()
+    specs = table1_specs()
+    policies = {
+        "wire": lambda: WireAutoscaler(),
+        "pure-reactive": lambda: PureReactiveAutoscaler(),
+        "reactive-conserving": lambda: ReactiveConservingAutoscaler(),
+        "full-site": lambda: full_site(site),
+    }
+    cases = []
+    for wf_name in ("genome-S", "tpch6-S", "pagerank-S", "tpch1-S"):
+        for policy_name, factory in policies.items():
+            for u in (60.0, 900.0):
+                for seed in (0, 1):
+                    cases.append(
+                        (
+                            f"{wf_name}/{policy_name}/u{u:.0f}/s{seed}",
+                            wf_name,
+                            factory,
+                            dict(charging_unit=u, seed=seed),
+                        )
+                    )
+    # Fault-injection and launch-jitter variants exercise the kill /
+    # requeue / cancellation paths.
+    cases.append(
+        (
+            "genome-S/wire/faults",
+            "genome-S",
+            policies["wire"],
+            dict(
+                charging_unit=60.0,
+                seed=3,
+                fault_model=RandomFaults(probability=0.1, max_attempt=5),
+            ),
+        )
+    )
+    cases.append(
+        (
+            "tpch6-S/wire/jitter",
+            "tpch6-S",
+            policies["wire"],
+            dict(charging_unit=60.0, seed=4, launch_jitter=0.5),
+        )
+    )
+
+    for name, wf_name, factory, kwargs in cases:
+        seed = kwargs.get("seed", 0)
+        workflow = specs[wf_name].generate(seed)
+        kwargs = dict(kwargs)
+        u = kwargs.pop("charging_unit")
+        yield name, Simulation(
+            workflow,
+            site,
+            factory(),
+            u,
+            transfer_model=default_transfer_model(),
+            **kwargs,
+        )
+
+
+def fingerprint(result) -> dict:
+    """Exact (repr-level) measurements of one run."""
+    return {
+        "makespan": result.makespan.hex(),
+        "completed": result.completed,
+        "total_units": result.total_units,
+        "total_cost": result.total_cost.hex(),
+        "wasted_seconds": result.wasted_seconds.hex(),
+        "utilization": result.utilization.hex(),
+        "peak_instances": result.peak_instances,
+        "instances_launched": result.instances_launched,
+        "restarts": result.restarts,
+        "ticks": result.ticks,
+        "pool_timeline_len": len(result.pool_timeline),
+        "pool_timeline_tail": [
+            [t.hex(), c] for t, c in result.pool_timeline[-5:]
+        ],
+        "attempts": sum(1 for _ in result.monitor.all_attempts()),
+    }
+
+
+def main() -> None:
+    payload = {}
+    for name, sim in scenarios():
+        payload[name] = fingerprint(sim.run())
+        print(f"  {name}")
+    OUT.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n", "utf-8")
+    print(f"wrote {len(payload)} scenarios to {OUT}")
+
+
+if __name__ == "__main__":
+    main()
