@@ -10,7 +10,11 @@
   a paper artifact and print its rows (``fig5``/``fig6`` run the full
   matrix and accept ``--repetitions``);
 - ``dax export`` / ``dax run`` — write a workload as a Pegasus DAX, or
-  autoscale a DAX file.
+  autoscale a DAX file;
+- ``run --trace out.jsonl`` — emit the run's structured telemetry
+  (control ticks, instance billing, task attempts) as JSONL;
+- ``trace summarize`` — turn a trace into per-stage prediction-error and
+  cost/waste tables.
 """
 
 from __future__ import annotations
@@ -64,14 +68,26 @@ def _policy(name: str, site):
 
 
 def _run(workflow, policy_factory, args) -> RunResult:
-    return Simulation(
-        workflow,
-        exogeni_site(),
-        policy_factory(),
-        args.charging_unit,
-        transfer_model=default_transfer_model(),
-        seed=args.seed,
-    ).run()
+    from repro.telemetry import JsonlSink, Tracer
+
+    trace_path = getattr(args, "trace", None)
+    sink = JsonlSink(trace_path) if trace_path else None
+    try:
+        result = Simulation(
+            workflow,
+            exogeni_site(),
+            policy_factory(),
+            args.charging_unit,
+            transfer_model=default_transfer_model(),
+            seed=args.seed,
+            tracer=Tracer(sink) if sink is not None else None,
+        ).run()
+    finally:
+        if sink is not None:
+            sink.close()
+    if sink is not None:
+        print(f"wrote {sink.emitted} trace records to {trace_path}")
+    return result
 
 
 def _summary_row(result: RunResult) -> list:
@@ -323,6 +339,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         site=site,
         jobs=args.jobs,
         save_every=args.save_every,
+        trace_dir=args.trace_dir,
     )
     print(
         f"{len(records)} cells in {args.store} "
@@ -335,6 +352,13 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 1 if failed else 0
+
+
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.telemetry import render_trace_summary, summarize_trace
+
+    print(render_trace_summary(summarize_trace(args.file)))
+    return 0
 
 
 def cmd_dax_export(args: argparse.Namespace) -> int:
@@ -403,6 +427,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-tick MAPE diagnostics (wire policy only)",
     )
     run.add_argument("--svg", help="basename for SVG pool/Gantt exports")
+    run.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write the run's structured telemetry to this JSONL file",
+    )
     _add_common_run_args(run)
     run.set_defaults(handler=cmd_run)
 
@@ -483,7 +512,21 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--oracle", action="store_true", help="include the clairvoyant oracle"
     )
+    campaign.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        help="write one JSONL telemetry trace per executed cell here",
+    )
     campaign.set_defaults(handler=cmd_campaign)
+
+    trace = sub.add_parser("trace", help="inspect JSONL telemetry traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="per-stage prediction error and cost/waste report from a trace",
+    )
+    summarize.add_argument("file", help="JSONL trace written by run --trace")
+    summarize.set_defaults(handler=cmd_trace_summarize)
 
     dax = sub.add_parser("dax", help="Pegasus DAX import/export")
     dax_sub = dax.add_subparsers(dest="dax_command", required=True)

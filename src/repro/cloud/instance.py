@@ -74,10 +74,18 @@ class Instance:
     state: InstanceState = InstanceState.PENDING
     # task ids currently occupying slots (length <= itype.slots)
     occupants: set[str] = field(default_factory=set)
+    #: accumulated slot-seconds consumed by attempts on this instance;
+    #: maintained only when assign/release are called with timestamps
+    #: (the engine passes them; standalone unit tests may omit them)
+    busy_slot_seconds: float = 0.0
     # owning pool, if any; notified on state/slot changes so it can keep
     # its free-slot and task-placement indexes current (set by
     # InstancePool.create, None for standalone instances)
     _pool: object = field(default=None, repr=False, compare=False)
+    # per-occupant slot-assignment times backing busy_slot_seconds
+    _assign_times: dict[str, float] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         check_non_negative("requested_at", self.requested_at)
@@ -143,8 +151,13 @@ class Instance:
             return 0
         return self.itype.slots - len(self.occupants)
 
-    def assign(self, task_id: str) -> None:
-        """Occupy one slot with ``task_id``."""
+    def assign(self, task_id: str, now: float | None = None) -> None:
+        """Occupy one slot with ``task_id``.
+
+        ``now`` opts into busy-time accounting: a matched pair of timed
+        ``assign``/``release`` calls adds the slot-occupancy interval to
+        :attr:`busy_slot_seconds` (the telemetry idle-fraction basis).
+        """
         if self.state is not InstanceState.RUNNING:
             raise RuntimeError(
                 f"cannot assign task to {self.state.value} instance "
@@ -155,10 +168,12 @@ class Instance:
         if self.free_slots <= 0:
             raise RuntimeError(f"instance {self.instance_id} has no free slot")
         self.occupants.add(task_id)
+        if now is not None:
+            self._assign_times[task_id] = now
         if self._pool is not None:
             self._pool._on_assign(self, task_id)  # type: ignore[attr-defined]
 
-    def release(self, task_id: str) -> None:
+    def release(self, task_id: str, now: float | None = None) -> None:
         """Vacate the slot held by ``task_id``."""
         try:
             self.occupants.remove(task_id)
@@ -166,6 +181,9 @@ class Instance:
             raise RuntimeError(
                 f"task {task_id} does not occupy instance {self.instance_id}"
             ) from None
+        assigned_at = self._assign_times.pop(task_id, None)
+        if now is not None and assigned_at is not None:
+            self.busy_slot_seconds += max(0.0, now - assigned_at)
         if self._pool is not None:
             self._pool._on_release(self, task_id)  # type: ignore[attr-defined]
 

@@ -170,6 +170,35 @@ class InstancePool:
     # ------------------------------------------------------------------
     # billing aggregation
     # ------------------------------------------------------------------
+    def instance_utilization(
+        self, instance: Instance, now: float
+    ) -> tuple[int, float, float, float | None, float]:
+        """Billing/usage summary of one instance, for telemetry.
+
+        Returns ``(units_charged, paid_seconds, busy_slot_seconds,
+        idle_fraction, wasted_seconds)``. ``idle_fraction`` is
+        ``1 - busy / (paid * slots)`` — the share of paid slot capacity
+        that went unused — or ``None`` for a never-billed instance.
+        Busy time relies on the engine's timed ``assign``/``release``
+        calls (see :meth:`~repro.cloud.instance.Instance.assign`).
+        """
+        units = self.billing.units_charged(instance, now)
+        paid_seconds = units * self.billing.charging_unit
+        busy = instance.busy_slot_seconds
+        paid_slot_seconds = paid_seconds * instance.itype.slots
+        idle = (
+            max(0.0, 1.0 - busy / paid_slot_seconds)
+            if paid_slot_seconds > 0
+            else None
+        )
+        return (
+            units,
+            paid_seconds,
+            busy,
+            idle,
+            self.billing.wasted_time(instance, now),
+        )
+
     def total_units(self, now: float) -> int:
         """Total charging units billed across all instances as of ``now``."""
         return sum(self.billing.units_charged(i, now) for i in self._instances.values())

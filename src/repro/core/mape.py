@@ -21,11 +21,12 @@ from dataclasses import dataclass, field
 from repro.core.config import WireConfig
 from repro.core.lookahead import LookaheadSimulator, VirtualInstance
 from repro.core.predictor import TaskPredictor
-from repro.core.runstate import PredictionPolicy, RunState
-from repro.core.steering import SteerableInstance, SteeringPolicy
+from repro.core.runstate import PredictionPolicy, RunState, TaskEstimate
+from repro.core.steering import SteerableInstance, SteeringPolicy, resize_pool
 from repro.dag.workflow import Workflow
 from repro.engine.control import Autoscaler, Observation, ScalingDecision
 from repro.engine.master import TaskExecState
+from repro.telemetry.records import StagePrediction, TickTelemetry
 
 __all__ = ["MapeController", "TickDiagnostics"]
 
@@ -60,6 +61,11 @@ class MapeController(Autoscaler):
         self._lookahead: LookaheadSimulator | None = None
         self._workflow: Workflow | None = None
         self._last_run_state: RunState | None = None
+        # inputs of the most recent Algorithm 3 evaluation, kept so
+        # tick_telemetry() can reconstruct the planned target lazily
+        self._last_upcoming: list[float] | None = None
+        self._last_charging_unit = 0.0
+        self._last_slots = 1
         #: per-tick telemetry, appended in tick order
         self.diagnostics: list[TickDiagnostics] = []
 
@@ -156,6 +162,10 @@ class MapeController(Autoscaler):
                 )
             )
 
+        self._last_upcoming = list(upcoming)
+        self._last_charging_unit = obs.charging_unit
+        self._last_slots = obs.site.itype.slots
+
         # Execute
         decision = self._steering.decide(
             now=obs.now,
@@ -185,6 +195,54 @@ class MapeController(Autoscaler):
             )
         )
         return decision
+
+    # ------------------------------------------------------------------
+    def tick_telemetry(self) -> TickTelemetry | None:
+        """Controller detail of the last tick, for the trace layer.
+
+        Only invoked by the engine when a trace sink is attached, so the
+        Algorithm 3 re-evaluation here adds nothing to untraced runs.
+        """
+        run_state = self._last_run_state
+        upcoming = self._last_upcoming
+        if run_state is None or upcoming is None:
+            return None
+        target = resize_pool(
+            upcoming,
+            self._last_charging_unit,
+            self._last_slots,
+            tail_threshold_fraction=self._steering.restart_threshold_fraction,
+        )
+        by_stage: dict[str, list[TaskEstimate]] = {}
+        for estimate in run_state.estimates.values():
+            if estimate.phase is TaskExecState.COMPLETED:
+                continue
+            by_stage.setdefault(estimate.stage_id, []).append(estimate)
+        predictions = []
+        for stage_id in sorted(by_stage):
+            estimates = by_stage[stage_id]
+            counts: dict[PredictionPolicy, int] = {}
+            for estimate in estimates:
+                counts[estimate.policy] = counts.get(estimate.policy, 0) + 1
+            # most frequent policy wins; ties break toward the lower
+            # policy number (the paper's rule order)
+            dominant = max(counts.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+            predictions.append(
+                StagePrediction(
+                    stage_id=stage_id,
+                    model=dominant.name.lower(),
+                    n_tasks=len(estimates),
+                    mean_estimate=sum(e.exec_estimate for e in estimates)
+                    / len(estimates),
+                )
+            )
+        return TickTelemetry(
+            target_pool=target,
+            q_task=len(upcoming),
+            q_remaining=sum(upcoming),
+            transfer_estimate=run_state.transfer_estimate,
+            stage_predictions=tuple(predictions),
+        )
 
     # ------------------------------------------------------------------
     def state_size_bytes(self) -> int | None:

@@ -20,6 +20,7 @@ from repro.cloud.site import CloudSite
 from repro.dag.workflow import Workflow
 from repro.engine.master import FrameworkMaster, TaskExecState
 from repro.engine.monitor import Monitor
+from repro.telemetry.records import TickTelemetry
 
 __all__ = ["Autoscaler", "Observation", "ScalingDecision", "TerminationOrder"]
 
@@ -146,4 +147,16 @@ class Autoscaler(ABC):
     def state_size_bytes(self) -> int | None:
         """Approximate controller state footprint, for the §IV-F overhead
         report. None means "not tracked"."""
+        return None
+
+    def tick_telemetry(self) -> TickTelemetry | None:
+        """Controller-internal detail of the most recent :meth:`plan` call.
+
+        The engine invokes this only when a trace sink is attached, after
+        applying the decision, and attaches the result to the tick's
+        :class:`~repro.telemetry.records.ControlTickRecord`. Policies
+        without online prediction (the default) return ``None``;
+        implementations may compute lazily — the call is off the untraced
+        hot path by construction.
+        """
         return None

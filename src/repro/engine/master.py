@@ -82,6 +82,13 @@ class FrameworkMaster:
         """Number of tasks currently in ``state``."""
         return sum(1 for s in self._state.values() if s is state)
 
+    def state_counts(self) -> dict[TaskExecState, int]:
+        """Tasks per lifecycle state, in one pass (telemetry snapshot)."""
+        counts = dict.fromkeys(TaskExecState, 0)
+        for state in self._state.values():
+            counts[state] += 1
+        return counts
+
     def in_flight_tasks(self) -> list[str]:
         """Ids of tasks currently occupying slots, sorted."""
         return sorted(

@@ -55,6 +55,9 @@ class TaskAttempt:
     #: True when the attempt died of an injected fault (vs a pool-shrink
     #: kill); both requeue, but experiments distinguish the causes
     failed: bool = False
+    #: when the task (re)entered the ready queue before this dispatch;
+    #: None when the engine runs untraced (it skips ready-time tracking)
+    ready_time: float | None = None
     #: dispatch index within the stage (Monitor bookkeeping; preserves
     #: the stage-scan ordering in incremental query results)
     _stage_seq: int = field(default=0, repr=False, compare=False)
@@ -97,6 +100,13 @@ class TaskAttempt:
         if self.complete_time is None or self.exec_end is None:
             return None
         return self.complete_time - self.exec_end
+
+    @property
+    def queue_wait(self) -> float | None:
+        """Seconds between becoming ready and slot assignment, if known."""
+        if self.ready_time is None:
+            return None
+        return max(0.0, self.dispatch_time - self.ready_time)
 
     def elapsed_execution(self, now: float) -> float:
         """Seconds the computation has been running as of ``now``.
@@ -153,6 +163,8 @@ class Monitor:
         now: float,
         input_size: float,
         output_size: float,
+        *,
+        ready_time: float | None = None,
     ) -> TaskAttempt:
         """Open a new attempt when a task is assigned to a slot."""
         history = self._attempts.get(task_id)
@@ -170,6 +182,7 @@ class Monitor:
             dispatch_time=now,
             input_size=input_size,
             output_size=output_size,
+            ready_time=ready_time,
             _stage_seq=len(stage_list),
             _task_order=task_order,
         )

@@ -11,7 +11,7 @@ cross-instance variability (Observation 2) is layered on here.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol
+from typing import ClassVar, Protocol
 
 import numpy as np
 
@@ -24,6 +24,9 @@ __all__ = ["NominalRuntimeModel", "PerturbedRuntimeModel", "TaskRuntimeModel"]
 
 class TaskRuntimeModel(Protocol):
     """Realizes execution durations for task attempts."""
+
+    #: short identifier recorded in run telemetry (trace run_meta records)
+    name: str
 
     def execution_time(
         self,
@@ -39,6 +42,8 @@ class TaskRuntimeModel(Protocol):
 @dataclass(frozen=True)
 class NominalRuntimeModel:
     """Deterministic: nominal runtime scaled by the instance's speed."""
+
+    name: ClassVar[str] = "nominal"
 
     def execution_time(
         self,
@@ -60,6 +65,8 @@ class PerturbedRuntimeModel:
     attempt resamples, so a restarted task may run a different duration in
     the same run, as it would on a real cloud.
     """
+
+    name: ClassVar[str] = "perturbed"
 
     cv: float = 0.1
 

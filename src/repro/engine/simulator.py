@@ -26,11 +26,20 @@ from repro.dag.workflow import Workflow
 from repro.engine.control import Autoscaler, Observation, ScalingDecision
 from repro.engine.events import Event, EventKind, EventQueue
 from repro.engine.faults import FaultModel, NoFaults
-from repro.engine.master import FrameworkMaster
+from repro.engine.master import FrameworkMaster, TaskExecState
 from repro.engine.monitor import Monitor
 from repro.engine.runtime import NominalRuntimeModel, TaskRuntimeModel
 from repro.engine.scheduler import FifoScheduler
 from repro.engine.transfer import DataTransferModel, NoTransferModel
+from repro.telemetry.metrics import NULL_METRICS, MetricsRegistry
+from repro.telemetry.records import (
+    ControlTickRecord,
+    InstanceEventRecord,
+    RunMetaRecord,
+    RunSummaryRecord,
+    TaskAttemptRecord,
+)
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.util.rng import RngStream
 from repro.util.validation import check_positive
 
@@ -105,6 +114,14 @@ class Simulation:
         Root seed for all stochastic models.
     max_time:
         Safety horizon; the run is marked incomplete if it exceeds this.
+    tracer:
+        Structured trace destination (:mod:`repro.telemetry`). Defaults to
+        the shared null tracer; every emission site is guarded by a single
+        cached boolean, so untraced runs pay one attribute check per
+        *potential* record, never record construction.
+    metrics:
+        Counter/gauge/histogram registry; defaults to the shared no-op
+        registry with the same cached-boolean fast path.
     """
 
     def __init__(
@@ -123,6 +140,8 @@ class Simulation:
         launch_jitter: float = 0.0,
         seed: int = 0,
         max_time: float = 1e8,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         check_positive("charging_unit", charging_unit)
         check_positive("max_time", max_time)
@@ -145,6 +164,11 @@ class Simulation:
             )
         self.launch_jitter = launch_jitter
         self.max_time = max_time
+        self._seed = seed
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace = self.tracer.enabled
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._metrics_on = self.metrics.enabled
 
         rng = RngStream(seed=seed, label="simulation")
         self._rng_transfer = rng.child("transfer").generator()
@@ -172,6 +196,9 @@ class Simulation:
         self._ticks = 0
         self._controller_seconds = 0.0
         self._last_tick_time = 0.0
+        #: task id -> when it (re)entered the ready queue; populated only
+        #: when tracing (feeds TaskAttemptRecord.queue_wait)
+        self._ready_at: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # public API
@@ -199,13 +226,44 @@ class Simulation:
     # setup / teardown
     # ------------------------------------------------------------------
     def _bootstrap(self) -> None:
+        if self._trace:
+            self.tracer.emit(
+                RunMetaRecord(
+                    workflow=self.workflow.name,
+                    policy=self.autoscaler.name,
+                    charging_unit=self.billing.charging_unit,
+                    seed=self._seed,
+                    site=self.site.name,
+                    max_instances=self.site.max_instances,
+                    lag=self.site.lag,
+                    period=self.period,
+                    n_tasks=len(self.workflow),
+                    n_stages=len(self.workflow.stages),
+                    slots_per_instance=self.site.itype.slots,
+                    runtime_model=getattr(
+                        self.runtime_model, "name", type(self.runtime_model).__name__
+                    ),
+                )
+            )
         initial = self.autoscaler.initial_pool_size(self.site)
         initial = max(self.site.min_instances, min(initial, self.site.max_instances))
         for _ in range(initial):
             instance = self.pool.create(now=0.0)
             instance.mark_running(0.0)
+            if self._trace:
+                iid = instance.instance_id
+                self.tracer.emit(
+                    InstanceEventRecord(now=0.0, instance_id=iid, event="requested")
+                )
+                self.tracer.emit(
+                    InstanceEventRecord(now=0.0, instance_id=iid, event="provisioned")
+                )
+        if self._metrics_on:
+            self.metrics.counter("instance.launched").inc(initial)
         self._record_pool_change(0.0)
         for task_id in self.master.initially_ready():
+            if self._trace:
+                self._ready_at[task_id] = 0.0
             self.scheduler.push(task_id, self.workflow.stage_of[task_id])
         self._dispatch()
         self.events.push(self.period, EventKind.CONTROLLER_TICK)
@@ -218,11 +276,24 @@ class Simulation:
                 for task_id in sorted(instance.occupants):
                     # Only possible on an incomplete (timed-out) run.
                     self.monitor.record_kill(task_id, makespan)
-                    instance.release(task_id)
-                instance.mark_terminated(max(makespan, instance.started_at or 0.0))
+                    if self._trace:
+                        self._emit_attempt(task_id, "killed", makespan)
+                    instance.release(task_id, makespan)
+                end = max(makespan, instance.started_at or 0.0)
+                instance.mark_terminated(end)
+                if self._trace:
+                    self._emit_instance_end(instance, end, "terminated")
             elif instance.state is InstanceState.PENDING:
                 # Never became usable; never billed.
                 instance.cancel_pending()
+                if self._trace:
+                    self.tracer.emit(
+                        InstanceEventRecord(
+                            now=makespan,
+                            instance_id=instance.instance_id,
+                            event="cancelled",
+                        )
+                    )
 
         total_units = self.pool.total_units(makespan)
         busy = sum(
@@ -235,7 +306,7 @@ class Simulation:
             for i in self.pool
         )
         utilization = busy / paid_slot_seconds if paid_slot_seconds > 0 else 0.0
-        return RunResult(
+        result = RunResult(
             workflow_name=self.workflow.name,
             autoscaler_name=self.autoscaler.name,
             charging_unit=self.billing.charging_unit,
@@ -255,6 +326,22 @@ class Simulation:
             pool_timeline=list(self._timeline),
             monitor=self.monitor,
         )
+        if self._trace:
+            self.tracer.emit(
+                RunSummaryRecord(
+                    makespan=result.makespan,
+                    completed=result.completed,
+                    total_units=result.total_units,
+                    total_cost=result.total_cost,
+                    wasted_seconds=result.wasted_seconds,
+                    utilization=result.utilization,
+                    peak_instances=result.peak_instances,
+                    instances_launched=result.instances_launched,
+                    restarts=result.restarts,
+                    ticks=result.ticks,
+                )
+            )
+        return result
 
     # ------------------------------------------------------------------
     # event dispatch
@@ -279,6 +366,12 @@ class Simulation:
 
     def _on_instance_ready(self, instance_id: str) -> None:
         self.pool.get(instance_id).mark_running(self._now)
+        if self._trace:
+            self.tracer.emit(
+                InstanceEventRecord(
+                    now=self._now, instance_id=instance_id, event="provisioned"
+                )
+            )
         self._record_pool_change(self._now)
         self._dispatch()
 
@@ -289,14 +382,19 @@ class Simulation:
             if pending is not None:
                 self.events.cancel(pending)
             self.monitor.record_kill(task_id, self._now)
+            if self._trace:
+                self._emit_attempt(task_id, "killed", self._now)
+                self._ready_at[task_id] = self._now
             self.master.mark_killed(task_id)
             self.scheduler.push(
                 task_id, self.workflow.stage_of[task_id], requeue=True
             )
             # release (not bulk-clear) so the pool's placement and
             # free-slot indexes stay consistent
-            instance.release(task_id)
+            instance.release(task_id, self._now)
         instance.mark_terminated(self._now)
+        if self._trace:
+            self._emit_instance_end(instance, self._now, "terminated")
         self._draining.discard(instance_id)
         self._record_pool_change(self._now)
         self._dispatch()
@@ -336,11 +434,22 @@ class Simulation:
     def _on_stage_out_done(self, task_id: str) -> None:
         self._pending_task_event.pop(task_id, None)
         self.monitor.record_complete(task_id, self._now)
+        if self._trace:
+            self._emit_attempt(task_id, "completed", self._now)
+        if self._metrics_on:
+            attempt = self.monitor.current_attempt(task_id)
+            self.metrics.counter("task.completed").inc()
+            if attempt.execution_time is not None:
+                self.metrics.histogram("task.runtime_seconds").observe(
+                    attempt.execution_time
+                )
         instance = self.pool.instance_of_task(task_id)
         assert instance is not None, f"completing task {task_id} has no instance"
-        instance.release(task_id)
+        instance.release(task_id, self._now)
         self._last_completion = self._now
         for child in self.master.mark_completed(task_id):
+            if self._trace:
+                self._ready_at[child] = self._now
             self.scheduler.push(child, self.workflow.stage_of[child])
         self._dispatch()
 
@@ -350,8 +459,11 @@ class Simulation:
         instance = self.pool.instance_of_task(task_id)
         assert instance is not None, f"failed task {task_id} has no instance"
         self.monitor.record_kill(task_id, self._now, failed=True)
+        if self._trace:
+            self._emit_attempt(task_id, "failed", self._now)
+            self._ready_at[task_id] = self._now
         self.master.mark_killed(task_id)
-        instance.release(task_id)
+        instance.release(task_id, self._now)
         self.scheduler.push(task_id, self.workflow.stage_of[task_id], requeue=True)
         self._dispatch()
 
@@ -370,19 +482,34 @@ class Simulation:
             queued_task_ids=self.scheduler.snapshot(),
             draining_ids=frozenset(self._draining),
         )
+        pool_before = self.pool.active_size() - len(self._draining)
         started = _time.perf_counter()
         decision = self.autoscaler.plan(observation)
-        self._controller_seconds += _time.perf_counter() - started
+        elapsed = _time.perf_counter() - started
+        self._controller_seconds += elapsed
         self._ticks += 1
         self._last_tick_time = self._now
-        self._apply_decision(decision)
+        terminated = self._apply_decision(decision)
+        if self._trace:
+            self._emit_tick(decision.launch, terminated, pool_before)
+        if self._metrics_on:
+            self.metrics.histogram("controller.plan_seconds").observe(elapsed)
+            self.metrics.gauge("pool.running").set(self.pool.running_count())
         self.events.push(self._now + self.period, EventKind.CONTROLLER_TICK)
 
     # ------------------------------------------------------------------
     # decision application
     # ------------------------------------------------------------------
-    def _apply_decision(self, decision: ScalingDecision) -> None:
+    def _apply_decision(self, decision: ScalingDecision) -> int:
+        """Apply launches/terminations; returns terminations accepted.
+
+        The count can be smaller than ``len(decision.terminations)`` —
+        orders for draining/terminated instances or below the site floor
+        are skipped — so telemetry reports what actually happened.
+        """
         if decision.launch > 0:
+            if self._metrics_on:
+                self.metrics.counter("instance.launched").inc(decision.launch)
             for order in self.provisioner.order_launches(decision.launch, self._now):
                 ready_at = order.ready_at
                 if self.launch_jitter > 0.0:
@@ -390,9 +517,18 @@ class Simulation:
                     ready_at = self._now + lag * (
                         1.0 - self.launch_jitter * float(self._rng_launch.random())
                     )
+                if self._trace:
+                    self.tracer.emit(
+                        InstanceEventRecord(
+                            now=self._now,
+                            instance_id=order.instance.instance_id,
+                            event="requested",
+                        )
+                    )
                 self.events.push(
                     ready_at, EventKind.INSTANCE_READY, order.instance.instance_id
                 )
+        applied = 0
         remaining = self.pool.active_size() - len(self._draining)
         for order in decision.terminations:
             if order.instance_id in self._draining:
@@ -406,6 +542,8 @@ class Simulation:
             self._draining.add(order.instance_id)
             self.events.push(at, EventKind.INSTANCE_TERMINATE, order.instance_id)
             remaining -= 1
+            applied += 1
+        return applied
 
     # ------------------------------------------------------------------
     # task dispatch
@@ -428,7 +566,7 @@ class Simulation:
             task_id = self.scheduler.pop()
             assert task_id is not None
             task = self.workflow.task(task_id)
-            instance.assign(task_id)
+            instance.assign(task_id, self._now)
             self.master.mark_dispatched(task_id)
             self.monitor.record_dispatch(
                 task_id,
@@ -437,6 +575,7 @@ class Simulation:
                 self._now,
                 task.input_size,
                 task.output_size,
+                ready_time=self._ready_at.pop(task_id, None) if self._trace else None,
             )
             duration = self._stage_in_duration(task, instance)
             self._pending_task_event[task_id] = self.events.push(
@@ -472,6 +611,82 @@ class Simulation:
         if total <= 0.0:
             return 0.0
         return local / total
+
+    # ------------------------------------------------------------------
+    # trace emission (call sites are guarded by ``self._trace``)
+    # ------------------------------------------------------------------
+    def _emit_attempt(self, task_id: str, outcome: str, now: float) -> None:
+        """Emit the closing record for a task attempt.
+
+        Called after the monitor closed the attempt (complete/kill), so
+        the derived timings below are final.
+        """
+        attempt = self.monitor.current_attempt(task_id)
+        self.tracer.emit(
+            TaskAttemptRecord(
+                now=now,
+                task_id=task_id,
+                stage_id=attempt.stage_id,
+                attempt=attempt.attempt,
+                instance_id=attempt.instance_id,
+                outcome=outcome,
+                queue_wait=attempt.queue_wait,
+                stage_in=attempt.stage_in_time,
+                runtime=attempt.execution_time,
+                stage_out=attempt.stage_out_time,
+                occupancy=attempt.occupancy_elapsed(now),
+                input_size=attempt.input_size,
+            )
+        )
+
+    def _emit_instance_end(self, instance: Instance, now: float, event: str) -> None:
+        """Emit a terminal instance event with its final billing summary."""
+        units, paid, busy, idle, wasted = self.pool.instance_utilization(
+            instance, now
+        )
+        self.tracer.emit(
+            InstanceEventRecord(
+                now=now,
+                instance_id=instance.instance_id,
+                event=event,
+                units_charged=units,
+                paid_seconds=paid,
+                busy_slot_seconds=busy,
+                idle_fraction=idle,
+                wasted_seconds=wasted,
+            )
+        )
+
+    def _emit_tick(self, launched: int, terminated: int, pool_before: int) -> None:
+        """Emit the per-tick controller record (tick already applied)."""
+        counts = self.master.state_counts()
+        in_flight = sum(counts[s] for s in TaskExecState if s.occupies_slot)
+        branch = "grow" if launched > 0 else ("shrink" if terminated > 0 else "hold")
+        extra = self.autoscaler.tick_telemetry()
+        controller_detail: dict = {}
+        if extra is not None:
+            controller_detail = dict(
+                target_pool=extra.target_pool,
+                q_task=extra.q_task,
+                q_remaining=extra.q_remaining,
+                transfer_estimate=extra.transfer_estimate,
+                stage_predictions=extra.stage_predictions,
+            )
+        self.tracer.emit(
+            ControlTickRecord(
+                tick=self._ticks - 1,
+                now=self._now,
+                pool_before=pool_before,
+                pool_after=self.pool.active_size() - len(self._draining),
+                launched=launched,
+                terminated=terminated,
+                branch=branch,
+                ready_tasks=counts[TaskExecState.READY],
+                in_flight_tasks=in_flight,
+                completed_tasks=counts[TaskExecState.COMPLETED],
+                **controller_detail,
+            )
+        )
 
     # ------------------------------------------------------------------
     # bookkeeping

@@ -25,6 +25,7 @@ __all__ = [
     "CampaignStore",
     "CellKey",
     "CellRecord",
+    "cell_trace_path",
     "missing_cells",
     "record_from_result",
     "run_campaign",
@@ -142,6 +143,19 @@ def record_from_result(key: CellKey, result) -> CellRecord:
     )
 
 
+def cell_trace_path(trace_dir: str | Path, key: CellKey) -> Path:
+    """Canonical per-cell trace file inside a campaign trace directory.
+
+    The filename encodes the full cell key, so a re-run (or a retried
+    worker attempt) deterministically overwrites the same file and a
+    parallel campaign's trace directory is identical to a serial one.
+    """
+    return Path(trace_dir) / (
+        f"{key.workflow}__{key.policy}__u{key.charging_unit:g}"
+        f"__s{key.seed}.jsonl"
+    )
+
+
 def missing_cells(
     store: CampaignStore,
     specs: Mapping[str, StagedWorkflowSpec],
@@ -169,6 +183,7 @@ def run_campaign(
     *,
     site: CloudSite | None = None,
     save_every: int = 1,
+    trace_dir: str | Path | None = None,
 ) -> tuple[list[CellRecord], int]:
     """Fill in the matrix's missing cells; returns (all records, #new).
 
@@ -177,7 +192,9 @@ def run_campaign(
     KeyboardInterrupt) — so interrupting and re-invoking never loses or
     repeats work. ``save_every=1`` (the default) persists after every
     cell; larger values amortize the atomic rewrite across cells, which
-    matters once the store holds hundreds of records.
+    matters once the store holds hundreds of records. ``trace_dir``
+    writes one JSONL telemetry trace per executed cell (see
+    :func:`cell_trace_path`); traces never change results.
     """
     if save_every < 1:
         raise ValueError("save_every must be >= 1")
@@ -191,6 +208,11 @@ def run_campaign(
                 key.charging_unit,
                 seed=key.seed,
                 site=the_site,
+                trace_path=(
+                    cell_trace_path(trace_dir, key)
+                    if trace_dir is not None
+                    else None
+                ),
             )
             store.put(record_from_result(key, result))
             executed += 1

@@ -8,6 +8,7 @@ run), and :func:`run_setting` executes one cell.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable
 
 from repro.autoscalers import (
@@ -23,6 +24,7 @@ from repro.dag.workflow import Workflow
 from repro.engine.control import Autoscaler
 from repro.engine.simulator import RunResult, Simulation
 from repro.engine.transfer import DataTransferModel, ExponentialTransferModel
+from repro.telemetry import JsonlSink, Tracer
 from repro.workloads.base import StagedWorkflowSpec
 
 __all__ = [
@@ -78,26 +80,38 @@ def run_setting(
     site: CloudSite | None = None,
     transfer_model: DataTransferModel | None = None,
     max_time: float = 1e8,
+    trace_path: str | Path | None = None,
 ) -> RunResult:
     """Execute one run of one setting.
 
     ``workload`` may be a spec (realized with ``seed``, modelling
     cross-run dataset variability) or an already-generated workflow.
+    ``trace_path`` writes the run's structured telemetry as JSONL
+    (:mod:`repro.telemetry`); tracing is pure observation, so the run's
+    result is bit-identical with or without it.
     """
     workflow = (
         workload.generate(seed)
         if isinstance(workload, StagedWorkflowSpec)
         else workload
     )
-    simulation = Simulation(
-        workflow,
-        site or exogeni_site(),
-        policy_factory(),
-        charging_unit,
-        transfer_model=(
-            transfer_model if transfer_model is not None else default_transfer_model()
-        ),
-        seed=seed,
-        max_time=max_time,
-    )
-    return simulation.run()
+    sink = JsonlSink(trace_path) if trace_path is not None else None
+    try:
+        simulation = Simulation(
+            workflow,
+            site or exogeni_site(),
+            policy_factory(),
+            charging_unit,
+            transfer_model=(
+                transfer_model
+                if transfer_model is not None
+                else default_transfer_model()
+            ),
+            seed=seed,
+            max_time=max_time,
+            tracer=Tracer(sink) if sink is not None else None,
+        )
+        return simulation.run()
+    finally:
+        if sink is not None:
+            sink.close()

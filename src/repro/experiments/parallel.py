@@ -32,6 +32,7 @@ import pickle
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
 from repro.cloud.site import CloudSite, exogeni_site
@@ -40,6 +41,7 @@ from repro.experiments.campaign import (
     CampaignStore,
     CellKey,
     CellRecord,
+    cell_trace_path,
     missing_cells,
     record_from_result,
 )
@@ -88,14 +90,28 @@ def _run_cell(
     spec: StagedWorkflowSpec,
     payload: tuple[str, bytes | str],
     site: CloudSite,
+    trace_dir: str | None = None,
 ) -> CellRecord:
-    """Worker entry point: execute one cell, return its summary record."""
+    """Worker entry point: execute one cell, return its summary record.
+
+    Each cell traces to its own key-derived file, so concurrent workers
+    never share a file handle and a retried attempt overwrites cleanly.
+    """
     mode, blob = payload
     if mode == "pickle":
         factory = pickle.loads(blob)  # type: ignore[arg-type]
     else:
         factory = policy_factories(site, include_oracle=True)[blob]
-    result = run_setting(spec, factory, key.charging_unit, seed=key.seed, site=site)
+    result = run_setting(
+        spec,
+        factory,
+        key.charging_unit,
+        seed=key.seed,
+        site=site,
+        trace_path=(
+            cell_trace_path(trace_dir, key) if trace_dir is not None else None
+        ),
+    )
     return record_from_result(key, result)
 
 
@@ -109,6 +125,7 @@ def run_campaign_parallel(
     site: CloudSite | None = None,
     jobs: int = 1,
     save_every: int = 8,
+    trace_dir: str | Path | None = None,
 ) -> tuple[list[CellRecord], int, list[FailedCell]]:
     """Fill the matrix's missing cells across ``jobs`` worker processes.
 
@@ -117,13 +134,17 @@ def run_campaign_parallel(
     semantics; either way the resulting store is byte-identical to a
     serial :func:`~repro.experiments.campaign.run_campaign` over the same
     matrix. The store is saved after every ``save_every`` completions and
-    always flushed on return or on any exception.
+    always flushed on return or on any exception. ``trace_dir`` gives
+    every executed cell its own JSONL telemetry file (written by the
+    worker that ran the cell); the per-cell trace bytes match a serial
+    run's because the engine is deterministic per cell key.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     if save_every < 1:
         raise ValueError("save_every must be >= 1")
     the_site = site or exogeni_site()
+    the_trace_dir = str(trace_dir) if trace_dir is not None else None
     todo = missing_cells(store, specs, policies, charging_units, seeds)
     executed = 0
     failed: list[FailedCell] = []
@@ -131,7 +152,9 @@ def run_campaign_parallel(
     if jobs == 1 or len(todo) <= 1:
         try:
             for key in todo:
-                record, error = _attempt_inline(key, specs, policies, the_site)
+                record, error = _attempt_inline(
+                    key, specs, policies, the_site, the_trace_dir
+                )
                 if record is None:
                     failed.append(FailedCell(key, error or "unknown error"))
                     continue
@@ -155,7 +178,12 @@ def run_campaign_parallel(
         def submit(key: CellKey) -> None:
             attempts[key] += 1
             future = executor.submit(
-                _run_cell, key, specs[key.workflow], payloads[key.policy], the_site
+                _run_cell,
+                key,
+                specs[key.workflow],
+                payloads[key.policy],
+                the_site,
+                the_trace_dir,
             )
             futures[future] = key
 
@@ -212,6 +240,7 @@ def _attempt_inline(
     specs: Mapping[str, StagedWorkflowSpec],
     policies: Mapping[str, Callable[[], Autoscaler]],
     site: CloudSite,
+    trace_dir: str | None = None,
 ) -> tuple[CellRecord | None, str | None]:
     """Run one cell inline with the same retry-once semantics as workers."""
     error: str | None = None
@@ -223,6 +252,11 @@ def _attempt_inline(
                 key.charging_unit,
                 seed=key.seed,
                 site=site,
+                trace_path=(
+                    cell_trace_path(trace_dir, key)
+                    if trace_dir is not None
+                    else None
+                ),
             )
         except Exception as exc:  # noqa: BLE001 - isolate cell failures
             error = f"{type(exc).__name__}: {exc}"

@@ -1,0 +1,73 @@
+"""Structured telemetry for the MAPE control loop.
+
+WIRE's evaluation hinges on per-iteration quantities — the predicted
+load ``Q_task``, pool-size decisions, per-stage prediction error,
+charging-unit waste — that the engine computes every tick. This package
+records them as typed records through a low-overhead
+:class:`~repro.telemetry.tracer.Tracer` with pluggable sinks, provides
+counter/gauge/histogram primitives for aggregate metrics, and turns a
+recorded trace back into a run report (``repro trace summarize``).
+"""
+
+from repro.telemetry.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.telemetry.records import (
+    ControlTickRecord,
+    InstanceEventRecord,
+    RunMetaRecord,
+    RunSummaryRecord,
+    StagePrediction,
+    TaskAttemptRecord,
+    TickTelemetry,
+    TraceRecord,
+    record_from_json,
+)
+from repro.telemetry.sinks import (
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    TraceSink,
+    read_jsonl,
+)
+from repro.telemetry.summarize import (
+    StageErrorRow,
+    TraceSummary,
+    render_trace_summary,
+    summarize_trace,
+)
+from repro.telemetry.tracer import NULL_TRACER, Tracer
+
+__all__ = [
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "ControlTickRecord",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InstanceEventRecord",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NullSink",
+    "RunMetaRecord",
+    "RunSummaryRecord",
+    "StageErrorRow",
+    "StagePrediction",
+    "TaskAttemptRecord",
+    "TickTelemetry",
+    "TraceRecord",
+    "TraceSink",
+    "TraceSummary",
+    "Tracer",
+    "read_jsonl",
+    "record_from_json",
+    "summarize_trace",
+    "render_trace_summary",
+]

@@ -1,0 +1,124 @@
+"""Pluggable trace sinks.
+
+A sink receives fully-built :class:`~repro.telemetry.records.TraceRecord`
+objects from a :class:`~repro.telemetry.tracer.Tracer` and decides what
+to do with them: drop (``NullSink``), buffer in a bounded ring
+(``MemorySink``), or append to a JSONL file (``JsonlSink``). Sinks are
+deliberately dumb — all filtering happens before emission, on the
+tracer's enabled fast path — so the cost of a disabled trace is a single
+attribute check per potential record.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from abc import ABC, abstractmethod
+from collections import deque
+from pathlib import Path
+
+from repro.telemetry.records import TraceRecord, record_from_json
+
+__all__ = ["JsonlSink", "MemorySink", "NullSink", "TraceSink", "read_jsonl"]
+
+
+class TraceSink(ABC):
+    """Destination for trace records."""
+
+    @abstractmethod
+    def emit(self, record: TraceRecord) -> None:
+        """Accept one record. Must not mutate or retain engine state."""
+
+    def close(self) -> None:
+        """Flush and release resources. Idempotent."""
+
+
+class NullSink(TraceSink):
+    """Discards everything; the default when tracing is off."""
+
+    def emit(self, record: TraceRecord) -> None:  # pragma: no cover - no-op
+        pass
+
+
+class MemorySink(TraceSink):
+    """Bounded in-memory ring buffer of records.
+
+    ``maxlen=None`` keeps everything (tests); a bound keeps long runs
+    from growing without limit while retaining the most recent records.
+    """
+
+    def __init__(self, maxlen: int | None = None) -> None:
+        self._records: deque[TraceRecord] = deque(maxlen=maxlen)
+
+    def emit(self, record: TraceRecord) -> None:
+        self._records.append(record)
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """The buffered records, oldest first."""
+        return list(self._records)
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        """Buffered records whose ``kind`` tag matches."""
+        return [r for r in self._records if r.kind == kind]
+
+    def clear(self) -> None:
+        self._records.clear()
+
+
+class JsonlSink(TraceSink):
+    """Appends one JSON object per record to a file.
+
+    Lines are serialized with sorted keys and compact separators so a
+    trace is byte-deterministic for a deterministic run. The file handle
+    opens on the first emit (a tracer constructed but never used leaves
+    no file behind) and is flushed on :meth:`close`.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._file: io.TextIOWrapper | None = None
+        self._emitted = 0
+
+    def emit(self, record: TraceRecord) -> None:
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self.path.open("w", encoding="utf-8")
+        json.dump(
+            record.to_json(), self._file, sort_keys=True, separators=(",", ":")
+        )
+        self._file.write("\n")
+        self._emitted += 1
+
+    @property
+    def emitted(self) -> int:
+        """Number of records written so far."""
+        return self._emitted
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def read_jsonl(path: str | Path) -> list[TraceRecord]:
+    """Parse a JSONL trace file back into typed records."""
+    records: list[TraceRecord] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(record_from_json(json.loads(line)))
+            except (json.JSONDecodeError, ValueError, TypeError) as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed trace record: {exc}"
+                ) from exc
+    return records

@@ -1,0 +1,265 @@
+"""Trace post-processing: turn a JSONL trace into a run report.
+
+``repro trace summarize out.jsonl`` renders three views of one traced
+run:
+
+- a **per-stage prediction-error table**: for every stage, the mean
+  execution time the controller predicted across its MAPE ticks versus
+  the stage's eventual actual mean runtime, and the resulting MAPE
+  (mean absolute percentage error) — the paper's Fig. 4 quantity,
+  computed from the run's own telemetry instead of a bespoke experiment;
+- a **cost/waste breakdown**: charging units, paid versus busy
+  slot-seconds, idle fraction, and recharge waste, aggregated from the
+  per-instance termination records;
+- a **controller summary**: tick count and how often Algorithm 2 grew,
+  shrank, or held the pool.
+
+The summarizer is pure: it consumes records (from any sink) and returns
+plain data, so tests can assert on numbers and the CLI on rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.telemetry.records import (
+    ControlTickRecord,
+    InstanceEventRecord,
+    RunMetaRecord,
+    RunSummaryRecord,
+    TaskAttemptRecord,
+    TraceRecord,
+)
+from repro.telemetry.sinks import read_jsonl
+from repro.util.formatting import format_duration, render_table
+
+__all__ = ["StageErrorRow", "TraceSummary", "render_trace_summary", "summarize_trace"]
+
+
+@dataclass(frozen=True)
+class StageErrorRow:
+    """Per-stage prediction accuracy over the whole run."""
+
+    stage_id: str
+    #: completed task attempts observed for the stage
+    completed: int
+    #: mean actual execution time of those attempts (seconds)
+    actual_mean: float
+    #: mean of the controller's per-tick mean estimates (seconds)
+    predicted_mean: float
+    #: mean absolute percentage error of per-tick estimates vs actual
+    mape: float | None
+    #: model id that produced the majority of the stage's estimates
+    dominant_model: str
+    #: controller ticks at which the stage had incomplete annotated tasks
+    ticks_observed: int
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``repro trace summarize`` reports, as plain data."""
+
+    meta: RunMetaRecord | None
+    summary: RunSummaryRecord | None
+    stage_errors: list[StageErrorRow] = field(default_factory=list)
+    #: instance lifecycle tallies: requested/provisioned/terminated/cancelled
+    instance_events: dict[str, int] = field(default_factory=dict)
+    #: cost aggregation over terminated-instance records
+    total_units: int = 0
+    paid_slot_seconds: float = 0.0
+    busy_slot_seconds: float = 0.0
+    wasted_seconds: float = 0.0
+    #: task attempt tallies by outcome
+    task_outcomes: dict[str, int] = field(default_factory=dict)
+    mean_queue_wait: float | None = None
+    #: controller branch tallies: grow/shrink/hold
+    branch_counts: dict[str, int] = field(default_factory=dict)
+    ticks: int = 0
+
+    @property
+    def idle_fraction(self) -> float | None:
+        if self.paid_slot_seconds <= 0:
+            return None
+        return max(0.0, 1.0 - self.busy_slot_seconds / self.paid_slot_seconds)
+
+
+def summarize_trace(source: str | Path | Iterable[TraceRecord]) -> TraceSummary:
+    """Aggregate one run's records into a :class:`TraceSummary`.
+
+    ``source`` is a JSONL path or an already-parsed record sequence.
+    """
+    if isinstance(source, (str, Path)):
+        records: Sequence[TraceRecord] = read_jsonl(source)
+    else:
+        records = list(source)
+
+    meta: RunMetaRecord | None = None
+    summary: RunSummaryRecord | None = None
+    ticks: list[ControlTickRecord] = []
+    instance_events: dict[str, int] = {}
+    task_outcomes: dict[str, int] = {}
+    total_units = 0
+    paid_slot = 0.0
+    busy_slot = 0.0
+    wasted = 0.0
+    queue_waits: list[float] = []
+    #: stage -> list of actual runtimes from completed attempts
+    actual: dict[str, list[float]] = {}
+    #: stage -> list of (tick mean estimate, model)
+    predicted: dict[str, list[tuple[float, str]]] = {}
+
+    for record in records:
+        if isinstance(record, RunMetaRecord):
+            meta = record
+        elif isinstance(record, RunSummaryRecord):
+            summary = record
+        elif isinstance(record, ControlTickRecord):
+            ticks.append(record)
+            for sp in record.stage_predictions:
+                predicted.setdefault(sp.stage_id, []).append(
+                    (sp.mean_estimate, sp.model)
+                )
+        elif isinstance(record, InstanceEventRecord):
+            instance_events[record.event] = instance_events.get(record.event, 0) + 1
+            if record.event == "terminated":
+                total_units += record.units_charged or 0
+                slots = meta.slots_per_instance if meta is not None else 1
+                paid_slot += (record.paid_seconds or 0.0) * slots
+                busy_slot += record.busy_slot_seconds or 0.0
+                wasted += record.wasted_seconds or 0.0
+        elif isinstance(record, TaskAttemptRecord):
+            task_outcomes[record.outcome] = task_outcomes.get(record.outcome, 0) + 1
+            if record.queue_wait is not None:
+                queue_waits.append(record.queue_wait)
+            if record.outcome == "completed" and record.runtime is not None:
+                actual.setdefault(record.stage_id, []).append(record.runtime)
+
+    stage_errors: list[StageErrorRow] = []
+    for stage_id in sorted(set(actual) | set(predicted)):
+        actual_times = actual.get(stage_id, [])
+        actual_mean = sum(actual_times) / len(actual_times) if actual_times else 0.0
+        stage_predictions = predicted.get(stage_id, [])
+        predicted_mean = (
+            sum(e for e, _ in stage_predictions) / len(stage_predictions)
+            if stage_predictions
+            else 0.0
+        )
+        mape: float | None = None
+        if stage_predictions and actual_mean > 0:
+            mape = sum(
+                abs(e - actual_mean) / actual_mean for e, _ in stage_predictions
+            ) / len(stage_predictions)
+        models = [m for _, m in stage_predictions]
+        dominant = (
+            max(sorted(set(models)), key=models.count) if models else "-"
+        )
+        stage_errors.append(
+            StageErrorRow(
+                stage_id=stage_id,
+                completed=len(actual_times),
+                actual_mean=actual_mean,
+                predicted_mean=predicted_mean,
+                mape=mape,
+                dominant_model=dominant,
+                ticks_observed=len(stage_predictions),
+            )
+        )
+
+    branch_counts: dict[str, int] = {}
+    for tick in ticks:
+        branch_counts[tick.branch] = branch_counts.get(tick.branch, 0) + 1
+
+    return TraceSummary(
+        meta=meta,
+        summary=summary,
+        stage_errors=stage_errors,
+        instance_events=instance_events,
+        total_units=total_units,
+        paid_slot_seconds=paid_slot,
+        busy_slot_seconds=busy_slot,
+        wasted_seconds=wasted,
+        task_outcomes=task_outcomes,
+        mean_queue_wait=(
+            sum(queue_waits) / len(queue_waits) if queue_waits else None
+        ),
+        branch_counts=branch_counts,
+        ticks=len(ticks),
+    )
+
+
+def render_trace_summary(summary: TraceSummary) -> str:
+    """Render a :class:`TraceSummary` as the CLI's run report."""
+    blocks: list[str] = []
+
+    if summary.meta is not None:
+        meta = summary.meta
+        title = (
+            f"{meta.workflow} / {meta.policy} "
+            f"(u = {meta.charging_unit:.0f}s, seed {meta.seed})"
+        )
+    else:
+        title = "trace summary (no run_meta record)"
+
+    if summary.stage_errors:
+        blocks.append(
+            render_table(
+                ["stage", "done", "actual mean", "predicted mean", "MAPE",
+                 "model", "ticks"],
+                [
+                    [
+                        row.stage_id,
+                        row.completed,
+                        f"{row.actual_mean:.1f}s",
+                        f"{row.predicted_mean:.1f}s",
+                        f"{row.mape * 100:.0f}%" if row.mape is not None else "-",
+                        row.dominant_model,
+                        row.ticks_observed,
+                    ]
+                    for row in summary.stage_errors
+                ],
+                title=f"{title} — per-stage prediction error",
+            )
+        )
+
+    cost_rows: list[list] = [
+        ["charging units", summary.total_units],
+        ["paid slot-seconds", f"{summary.paid_slot_seconds:.0f}"],
+        ["busy slot-seconds", f"{summary.busy_slot_seconds:.0f}"],
+        [
+            "idle fraction",
+            f"{summary.idle_fraction * 100:.0f}%"
+            if summary.idle_fraction is not None
+            else "-",
+        ],
+        ["recharge waste", format_duration(summary.wasted_seconds)],
+    ]
+    for event in ("requested", "provisioned", "terminated", "cancelled"):
+        if event in summary.instance_events:
+            cost_rows.append([f"instances {event}", summary.instance_events[event]])
+    blocks.append(render_table(["cost / waste", "value"], cost_rows))
+
+    run_rows: list[list] = [["controller ticks", summary.ticks]]
+    for branch in ("grow", "shrink", "hold"):
+        run_rows.append([f"ticks {branch}", summary.branch_counts.get(branch, 0)])
+    for outcome in ("completed", "killed", "failed"):
+        if outcome in summary.task_outcomes:
+            run_rows.append(
+                [f"attempts {outcome}", summary.task_outcomes[outcome]]
+            )
+    if summary.mean_queue_wait is not None:
+        run_rows.append(["mean queue wait", f"{summary.mean_queue_wait:.1f}s"])
+    if summary.summary is not None:
+        s = summary.summary
+        run_rows.extend(
+            [
+                ["makespan", format_duration(s.makespan)],
+                ["total cost", f"{s.total_cost:.0f}"],
+                ["utilization", f"{s.utilization * 100:.0f}%"],
+                ["restarts", s.restarts],
+            ]
+        )
+    blocks.append(render_table(["run", "value"], run_rows))
+
+    return "\n\n".join(blocks)

@@ -19,7 +19,6 @@ from repro.cloud.messaging import (
     MessagingClient,
     PoolStatus,
     ProtocolError,
-    ReleaseRequest,
     decode,
     encode,
 )

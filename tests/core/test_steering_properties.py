@@ -18,53 +18,53 @@ units = st.floats(min_value=1.0, max_value=5_000.0)
 slots = st.integers(min_value=1, max_value=8)
 
 
-@given(load=loads, u=units, l=slots)
+@given(load=loads, u=units, s=slots)
 @settings(max_examples=300)
-def test_pool_size_bounds(load, u, l):
-    p = resize_pool(load, u, l)
+def test_pool_size_bounds(load, u, s):
+    p = resize_pool(load, u, s)
     if not load:
         assert p == 0
     else:
         assert 1 <= p <= len(load)
 
 
-@given(load=loads, u=units, l=slots)
+@given(load=loads, u=units, s=slots)
 @settings(max_examples=300)
-def test_never_plans_beyond_work(load, u, l):
+def test_never_plans_beyond_work(load, u, s):
     """Counted instances must be justified: p-1 full instance-units fit in
     the total work (the final instance may be the line-28 tail)."""
-    p = resize_pool(load, u, l)
+    p = resize_pool(load, u, s)
     total = sum(load)
     assert (p - 1) * u <= total + 1e-6
 
 
-@given(load=loads, u=units, l=slots)
+@given(load=loads, u=units, s=slots)
 @settings(max_examples=300)
-def test_monotone_in_added_work(load, u, l):
+def test_monotone_in_added_work(load, u, s):
     """Adding a task never shrinks the planned pool... by more than the
     tail-instance quantum (the tail rule can merge into a counted unit)."""
-    p_before = resize_pool(load, u, l)
-    p_after = resize_pool(load + [u], u, l)
+    p_before = resize_pool(load, u, s)
+    p_after = resize_pool(load + [u], u, s)
     assert p_after >= p_before - 1
 
 
-@given(load=loads, u=units, l=slots)
+@given(load=loads, u=units, s=slots)
 @settings(max_examples=300)
-def test_deterministic(load, u, l):
-    assert resize_pool(load, u, l) == resize_pool(load, u, l)
+def test_deterministic(load, u, s):
+    assert resize_pool(load, u, s) == resize_pool(load, u, s)
 
 
-@given(n=st.integers(min_value=1, max_value=100), u=units, l=slots)
+@given(n=st.integers(min_value=1, max_value=100), u=units, s=slots)
 @settings(max_examples=200)
-def test_long_tasks_full_parallelism(n, u, l):
+def test_long_tasks_full_parallelism(n, u, s):
     """Tasks of runtime >= u plan one slot each (§III-A: maximal
     parallelism consistent with full-unit utilization)."""
-    p = resize_pool([u * 1.5] * n, u, l)
-    assert p == math.ceil(n / l)
+    p = resize_pool([u * 1.5] * n, u, s)
+    assert p == math.ceil(n / s)
 
 
-@given(u=units, l=slots)
+@given(u=units, s=slots)
 @settings(max_examples=100)
-def test_zero_work_tail_guard(u, l):
+def test_zero_work_tail_guard(u, s):
     """All-zero remaining times still plan exactly one instance."""
-    assert resize_pool([0.0] * 50, u, l) == 1
+    assert resize_pool([0.0] * 50, u, s) == 1

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.dag import Task, Workflow, WorkflowBuilder
 from repro.dag.dax import read_dax, read_dax_file, write_dax, write_dax_file
 from repro.workloads import epigenomics
 

@@ -12,7 +12,7 @@ from repro.engine import (
     TerminationOrder,
 )
 from repro.engine.control import Autoscaler
-from repro.workloads import chain_workflow, fork_join_workflow, single_stage_workflow
+from repro.workloads import chain_workflow, single_stage_workflow
 
 
 class TestBasicExecution:

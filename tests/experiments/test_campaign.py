@@ -9,7 +9,6 @@ import pytest
 from repro.autoscalers import PureReactiveAutoscaler
 from repro.experiments.campaign import (
     CampaignStore,
-    CellKey,
     CellRecord,
     run_campaign,
 )

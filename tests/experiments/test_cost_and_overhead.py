@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cloud import CloudSite, InstanceType
 from repro.experiments import (
     CHARGING_UNITS,
     cost_experiment,

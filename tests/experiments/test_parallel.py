@@ -8,6 +8,9 @@ campaign resumes without recomputing or losing any cell.
 
 from __future__ import annotations
 
+import os
+import signal
+
 import pytest
 
 from repro.autoscalers import PureReactiveAutoscaler, WireAutoscaler
@@ -18,6 +21,27 @@ from repro.experiments.parallel import (
     run_campaign_parallel,
 )
 from repro.workloads import tpch1, tpch6
+
+
+class _KillWorkerOnce:
+    """Picklable factory: the first worker to build it SIGKILLs itself.
+
+    A sentinel file makes the kill one-shot — the retried attempt (in a
+    rebuilt pool) finds the sentinel and returns a real policy — so the
+    test models a worker process dying mid-cell, not a poisoned cell.
+    """
+
+    def __init__(self, sentinel: str) -> None:
+        self.sentinel = sentinel
+
+    def __call__(self):
+        try:
+            with open(self.sentinel, "x"):
+                pass
+        except FileExistsError:
+            return WireAutoscaler()
+        os.kill(os.getpid(), signal.SIGKILL)
+        raise AssertionError("unreachable")  # pragma: no cover
 
 
 class _BoomAutoscaler:
@@ -137,6 +161,47 @@ class TestFailureIsolation:
         assert all(f.key.policy == "bad" for f in failed)
         # the store on disk holds exactly the successful cells
         assert len(CampaignStore(store.path)) == 2
+
+    def test_killed_worker_cell_retried_to_serial_identical_store(
+        self, tmp_path
+    ):
+        """A worker SIGKILLed mid-cell breaks the pool; the cell's retry
+        (after the pool rebuild) must leave a store — and per-cell trace
+        files — byte-identical to a serial campaign's."""
+        specs = {"tpch6-S": tpch6("S")}
+        serial_path = tmp_path / "serial.json"
+        serial_traces = tmp_path / "serial-traces"
+        run_campaign(
+            CampaignStore(serial_path),
+            specs,
+            {"wire": WireAutoscaler},
+            [60.0],
+            [0, 1],
+            trace_dir=serial_traces,
+        )
+
+        parallel_path = tmp_path / "parallel.json"
+        parallel_traces = tmp_path / "parallel-traces"
+        killer = _KillWorkerOnce(str(tmp_path / "killed-once"))
+        records, executed, failed = run_campaign_parallel(
+            CampaignStore(parallel_path),
+            specs,
+            {"wire": killer},
+            [60.0],
+            [0, 1],
+            jobs=2,
+            trace_dir=parallel_traces,
+        )
+        assert (tmp_path / "killed-once").exists()  # a worker really died
+        assert failed == []
+        assert executed == 2
+        assert len(records) == 2
+        assert serial_path.read_bytes() == parallel_path.read_bytes()
+        for name in sorted(p.name for p in serial_traces.iterdir()):
+            assert (
+                (serial_traces / name).read_bytes()
+                == (parallel_traces / name).read_bytes()
+            ), name
 
     def test_unpicklable_unknown_policy_rejected(self):
         marker = object()

@@ -1,0 +1,222 @@
+"""End-to-end: a traced simulation emits a coherent MAPE record stream."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autoscalers import WireAutoscaler
+from repro.engine import Simulation
+from repro.telemetry import (
+    InstanceEventRecord,
+    MemorySink,
+    MetricsRegistry,
+    RunMetaRecord,
+    RunSummaryRecord,
+    Tracer,
+    render_trace_summary,
+    summarize_trace,
+)
+from repro.workloads import single_stage_workflow, tpch6
+
+
+@pytest.fixture
+def traced_wire_run(small_site):
+    """One WIRE run (10 s MAPE period, ~11 ticks), traced into memory."""
+    sink = MemorySink()
+    workflow = tpch6("S").generate(0)
+    result = Simulation(
+        workflow, small_site, WireAutoscaler(), 60.0, seed=0, tracer=Tracer(sink)
+    ).run()
+    return result, sink
+
+
+class TestRecordStream:
+    def test_meta_first_summary_last(self, traced_wire_run):
+        result, sink = traced_wire_run
+        records = sink.records
+        assert isinstance(records[0], RunMetaRecord)
+        assert isinstance(records[-1], RunSummaryRecord)
+
+    def test_meta_identifies_the_run(self, traced_wire_run, small_site):
+        _, sink = traced_wire_run
+        meta = sink.records[0]
+        assert meta.policy == "wire"
+        assert meta.charging_unit == 60.0
+        assert meta.seed == 0
+        assert meta.site == small_site.name
+        assert meta.slots_per_instance == small_site.itype.slots
+        assert meta.runtime_model == "nominal"
+        assert meta.n_tasks > 0 and meta.n_stages > 0
+
+    def test_summary_mirrors_run_result(self, traced_wire_run):
+        result, sink = traced_wire_run
+        summary = sink.records[-1]
+        assert summary.makespan == result.makespan
+        assert summary.total_units == result.total_units
+        assert summary.completed == result.completed
+        assert summary.utilization == result.utilization
+        assert summary.restarts == result.restarts
+        assert summary.ticks == result.ticks
+
+    def test_one_tick_record_per_mape_iteration(self, traced_wire_run):
+        result, sink = traced_wire_run
+        ticks = sink.of_kind("control_tick")
+        assert len(ticks) == result.ticks
+        assert [t.tick for t in ticks] == list(range(result.ticks))
+
+    def test_every_task_closes_with_a_completed_attempt(self, traced_wire_run):
+        result, sink = traced_wire_run
+        attempts = sink.of_kind("task_attempt")
+        completed = [a for a in attempts if a.outcome == "completed"]
+        # one completion per task; kills/failures add extra records
+        meta = sink.records[0]
+        assert len(completed) == meta.n_tasks
+        assert len(attempts) == meta.n_tasks + result.restarts
+
+    def test_completed_attempts_carry_timings(self, traced_wire_run):
+        _, sink = traced_wire_run
+        for a in sink.of_kind("task_attempt"):
+            if a.outcome == "completed":
+                assert a.runtime is not None and a.runtime > 0
+                assert a.queue_wait is not None and a.queue_wait >= 0.0
+                assert a.occupancy >= a.runtime
+
+
+class TestControllerTelemetry:
+    def test_wire_ticks_expose_prediction_state(self, traced_wire_run):
+        _, sink = traced_wire_run
+        ticks = sink.of_kind("control_tick")
+        # Before completion every tick has live estimates -> Algorithm 3
+        # state is attached (the final ticks can see a drained queue).
+        live = [t for t in ticks if t.q_task]
+        assert live, "no tick carried predicted-load telemetry"
+        for t in live:
+            assert t.target_pool is not None and t.target_pool >= 1
+            assert t.q_remaining is not None and t.q_remaining > 0.0
+            assert t.transfer_estimate is not None
+            assert t.stage_predictions, "predictive tick without stage rows"
+            for sp in t.stage_predictions:
+                assert sp.n_tasks > 0
+                assert sp.mean_estimate >= 0.0
+                assert sp.model  # a §III-C policy name
+
+    def test_pool_accounting_balances(self, traced_wire_run):
+        _, sink = traced_wire_run
+        for t in sink.of_kind("control_tick"):
+            assert t.pool_after - t.pool_before == t.launched - t.terminated
+            branch = (
+                "grow" if t.launched else ("shrink" if t.terminated else "hold")
+            )
+            assert t.branch == branch
+
+    def test_static_policy_ticks_have_no_prediction_state(
+        self, small_site, fixed_pool
+    ):
+        sink = MemorySink()
+        wf = single_stage_workflow(6, runtime=25.0)
+        Simulation(
+            wf, small_site, fixed_pool(2), 60.0, tracer=Tracer(sink)
+        ).run()
+        ticks = sink.of_kind("control_tick")
+        assert ticks
+        for t in ticks:
+            assert t.target_pool is None
+            assert t.q_task is None
+            assert t.stage_predictions == ()
+            assert t.branch == "hold"
+
+
+class TestInstanceTelemetry:
+    def test_lifecycle_pairs_up(self, traced_wire_run):
+        result, sink = traced_wire_run
+        events = sink.of_kind("instance_event")
+        by_kind: dict[str, list[InstanceEventRecord]] = {}
+        for e in events:
+            by_kind.setdefault(e.event, []).append(e)
+        requested = {e.instance_id for e in by_kind.get("requested", [])}
+        assert len(requested) == result.instances_launched
+        closed = {
+            e.instance_id
+            for e in by_kind.get("terminated", []) + by_kind.get("cancelled", [])
+        }
+        assert closed == requested  # every instance reaches a terminal event
+
+    def test_termination_records_sum_to_run_billing(self, traced_wire_run):
+        result, sink = traced_wire_run
+        terminated = [
+            e for e in sink.of_kind("instance_event") if e.event == "terminated"
+        ]
+        assert terminated
+        assert sum(e.units_charged for e in terminated) == result.total_units
+        assert sum(e.wasted_seconds for e in terminated) == pytest.approx(
+            result.wasted_seconds
+        )
+        for e in terminated:
+            assert e.paid_seconds >= 0.0
+            assert e.busy_slot_seconds >= 0.0
+            if e.idle_fraction is not None:
+                assert 0.0 <= e.idle_fraction <= 1.0
+
+
+class TestSummarize:
+    def test_summary_numbers_match_engine(self, traced_wire_run):
+        result, sink = traced_wire_run
+        summary = summarize_trace(sink.records)
+        assert summary.meta is not None and summary.meta.policy == "wire"
+        assert summary.ticks == result.ticks
+        assert summary.total_units == result.total_units
+        assert summary.task_outcomes["completed"] == summary.meta.n_tasks
+        assert sum(summary.branch_counts.values()) == result.ticks
+        assert summary.mean_queue_wait is not None
+
+    def test_stage_error_rows_cover_all_stages(self, traced_wire_run):
+        _, sink = traced_wire_run
+        summary = summarize_trace(sink.records)
+        meta = sink.records[0]
+        assert len(summary.stage_errors) == meta.n_stages
+        for row in summary.stage_errors:
+            assert row.completed > 0
+            assert row.actual_mean > 0.0
+            if row.ticks_observed:
+                # no_task_started can legitimately estimate 0.0
+                assert row.predicted_mean >= 0.0
+                assert row.mape is not None and row.mape >= 0.0
+                assert row.dominant_model != "-"
+
+    def test_idle_fraction_consistent_with_utilization(self, traced_wire_run):
+        result, sink = traced_wire_run
+        summary = summarize_trace(sink.records)
+        assert summary.idle_fraction is not None
+        assert summary.idle_fraction == pytest.approx(
+            1.0 - result.utilization, abs=1e-9
+        )
+
+    def test_render_produces_the_three_report_blocks(self, traced_wire_run):
+        _, sink = traced_wire_run
+        text = render_trace_summary(summarize_trace(sink.records))
+        assert "per-stage prediction error" in text
+        assert "cost / waste" in text
+        assert "controller ticks" in text
+        assert "MAPE" in text
+
+
+class TestMetricsIntegration:
+    def test_registry_collects_engine_counters(self, small_site, fixed_pool):
+        registry = MetricsRegistry()
+        wf = single_stage_workflow(6, runtime=25.0)
+        result = Simulation(
+            wf, small_site, fixed_pool(2), 60.0, metrics=registry
+        ).run()
+        snap = registry.snapshot()
+        assert snap["task.completed"] == 6
+        assert snap["instance.launched"] == result.instances_launched
+        assert snap["task.runtime_seconds"]["count"] == 6.0
+        assert snap["controller.plan_seconds"]["count"] == float(result.ticks)
+
+    def test_metrics_do_not_require_tracing(self, small_site, fixed_pool):
+        registry = MetricsRegistry()
+        wf = single_stage_workflow(4, runtime=10.0)
+        sim = Simulation(wf, small_site, fixed_pool(2), 60.0, metrics=registry)
+        assert sim._trace is False and sim._metrics_on is True
+        sim.run()
+        assert registry.snapshot()["task.completed"] == 4

@@ -1,0 +1,132 @@
+"""Tests for counter/gauge/histogram metrics and the null registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("n").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("pool")
+        g.set(3.0)
+        g.set(1.0)
+        assert g.value == 1.0
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        h = Histogram("runtime")
+        for v in (0.5, 2.0, 9.5):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(12.0)
+        assert h.mean == pytest.approx(4.0)
+        assert h.min == 0.5
+        assert h.max == 9.5
+
+    def test_power_of_two_buckets(self):
+        h = Histogram("runtime")
+        for v in (0.1, 1.0, 1.5, 3.0, 9.0):
+            h.observe(v)
+        # [0,1] -> bucket 0; (1,2] -> 1; (2,4] -> 2; (8,16] -> 4
+        assert h.buckets() == {0: 2, 1: 1, 2: 1, 4: 1}
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Histogram("runtime").observe(-0.1)
+
+    def test_quantile_bucket_upper_bounds(self):
+        h = Histogram("runtime")
+        for v in (0.5, 3.0, 3.5, 100.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 4.0  # (2,4] bucket holds the median
+        assert h.quantile(1.0) == 128.0  # (64,128] holds the max
+
+    def test_quantile_of_empty_is_zero(self):
+        assert Histogram("runtime").quantile(0.5) == 0.0
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError, match="quantile"):
+            Histogram("runtime").quantile(1.5)
+
+    def test_mean_of_empty_is_zero(self):
+        assert Histogram("runtime").mean == 0.0
+
+
+class TestRegistry:
+    def test_instruments_cached_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+        assert reg.enabled is True
+
+    def test_snapshot_is_deterministic_and_typed(self):
+        reg = MetricsRegistry()
+        reg.counter("tasks").inc(4)
+        reg.gauge("pool").set(2.0)
+        reg.histogram("runtime").observe(3.0)
+        snap = reg.snapshot()
+        assert snap["tasks"] == 4
+        assert snap["pool"] == 2.0
+        assert snap["runtime"] == {
+            "count": 1.0,
+            "total": 3.0,
+            "mean": 3.0,
+            "min": 3.0,
+            "max": 3.0,
+        }
+        # deterministic order: counters, gauges, histograms, each sorted
+        assert list(snap) == ["tasks", "pool", "runtime"]
+
+    def test_empty_histogram_snapshot_has_finite_bounds(self):
+        reg = MetricsRegistry()
+        reg.histogram("runtime")
+        snap = reg.snapshot()
+        assert snap["runtime"]["min"] == 0.0
+        assert snap["runtime"]["max"] == 0.0
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert NULL_METRICS.enabled is False
+        assert NullMetricsRegistry().enabled is False
+
+    def test_instruments_are_shared_no_ops(self):
+        reg = NullMetricsRegistry()
+        c = reg.counter("a")
+        assert c is reg.counter("b")  # one shared instrument per type
+        c.inc(100)
+        assert c.value == 0
+        g = reg.gauge("pool")
+        g.set(9.0)
+        assert g.value == 0.0
+        h = reg.histogram("runtime")
+        h.observe(5.0)
+        assert h.count == 0
+
+    def test_snapshot_empty(self):
+        reg = NullMetricsRegistry()
+        reg.counter("a").inc()
+        assert reg.snapshot() == {}

@@ -1,0 +1,148 @@
+"""Trace determinism: identical runs produce byte-identical JSONL.
+
+The acceptance bar for the telemetry layer: tracing is pure observation
+of a deterministic engine, so the same cell key always yields the same
+trace bytes — serially, across repeated runs, and across parallel
+campaign workers.
+"""
+
+from __future__ import annotations
+
+from repro.autoscalers import PureReactiveAutoscaler, WireAutoscaler
+from repro.engine import Simulation
+from repro.experiments.campaign import (
+    CampaignStore,
+    CellKey,
+    cell_trace_path,
+    run_campaign,
+)
+from repro.experiments.parallel import run_campaign_parallel
+from repro.telemetry import JsonlSink, Tracer, read_jsonl
+from repro.workloads import tpch6
+
+
+def run_traced(path, small_site):
+    workflow = tpch6("S").generate(0)
+    with Tracer(JsonlSink(path)) as tracer:
+        Simulation(
+            workflow, small_site, WireAutoscaler(), 60.0, seed=0, tracer=tracer
+        ).run()
+
+
+class TestSingleRun:
+    def test_repeated_runs_byte_identical(self, tmp_path, small_site):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        run_traced(a, small_site)
+        run_traced(b, small_site)
+        assert a.read_bytes() == b.read_bytes()
+        assert len(read_jsonl(a)) > 0
+
+    def test_different_seed_different_trace(self, tmp_path, small_site):
+        workflow = tpch6("S")
+        paths = []
+        for seed in (0, 1):
+            path = tmp_path / f"s{seed}.jsonl"
+            with Tracer(JsonlSink(path)) as tracer:
+                Simulation(
+                    workflow.generate(seed),
+                    small_site,
+                    WireAutoscaler(),
+                    60.0,
+                    seed=seed,
+                    tracer=tracer,
+                ).run()
+            paths.append(path)
+        assert paths[0].read_bytes() != paths[1].read_bytes()
+
+
+class TestCampaignTraces:
+    MATRIX = dict(
+        charging_units=[60.0],
+        seeds=[0, 1],
+    )
+
+    def _policies(self):
+        return {
+            "pure-reactive": PureReactiveAutoscaler,
+            "wire": WireAutoscaler,
+        }
+
+    def _specs(self):
+        return {"tpch6-S": tpch6("S")}
+
+    def keys(self):
+        return [
+            CellKey("tpch6-S", policy, 60.0, seed)
+            for policy in self._policies()
+            for seed in (0, 1)
+        ]
+
+    def test_parallel_workers_write_identical_cell_traces(self, tmp_path):
+        serial_dir = tmp_path / "serial-traces"
+        run_campaign(
+            CampaignStore(tmp_path / "serial.json"),
+            self._specs(),
+            self._policies(),
+            **self.MATRIX,
+            trace_dir=serial_dir,
+        )
+
+        parallel_dir = tmp_path / "parallel-traces"
+        _, executed, failed = run_campaign_parallel(
+            CampaignStore(tmp_path / "parallel.json"),
+            self._specs(),
+            self._policies(),
+            **self.MATRIX,
+            jobs=3,
+            trace_dir=parallel_dir,
+        )
+        assert failed == []
+        assert executed == 4
+
+        for key in self.keys():
+            serial = cell_trace_path(serial_dir, key)
+            parallel = cell_trace_path(parallel_dir, key)
+            assert serial.exists() and parallel.exists(), key
+            assert serial.read_bytes() == parallel.read_bytes(), key
+
+    def test_jobs1_inline_writes_identical_cell_traces(self, tmp_path):
+        serial_dir = tmp_path / "serial-traces"
+        run_campaign(
+            CampaignStore(tmp_path / "serial.json"),
+            self._specs(),
+            self._policies(),
+            **self.MATRIX,
+            trace_dir=serial_dir,
+        )
+        inline_dir = tmp_path / "inline-traces"
+        _, executed, failed = run_campaign_parallel(
+            CampaignStore(tmp_path / "inline.json"),
+            self._specs(),
+            self._policies(),
+            **self.MATRIX,
+            jobs=1,
+            trace_dir=inline_dir,
+        )
+        assert failed == []
+        assert executed == 4
+        for key in self.keys():
+            assert (
+                cell_trace_path(serial_dir, key).read_bytes()
+                == cell_trace_path(inline_dir, key).read_bytes()
+            ), key
+
+    def test_cell_trace_is_a_readable_full_trace(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        run_campaign(
+            CampaignStore(tmp_path / "c.json"),
+            self._specs(),
+            {"wire": WireAutoscaler},
+            charging_units=[60.0],
+            seeds=[0],
+            trace_dir=trace_dir,
+        )
+        key = CellKey("tpch6-S", "wire", 60.0, 0)
+        records = read_jsonl(cell_trace_path(trace_dir, key))
+        assert records[0].kind == "run_meta"
+        assert records[0].policy == "wire"
+        assert records[-1].kind == "run_summary"

@@ -1,17 +1,26 @@
 #!/usr/bin/env python3
-"""Regenerate tests/engine/golden_engine_results.json.
+"""Regenerate or verify tests/engine/golden_engine_results.json.
 
 The golden file pins exact run measurements from the seed engine so that
 hot-path optimizations can be verified *bit-identical* (same event
-ordering, same FIFO/packing tie-breaks, same float arithmetic). Run this
-only when a semantic engine change is intended and reviewed:
+ordering, same FIFO/packing tie-breaks, same float arithmetic). Rewrite
+it only when a semantic engine change is intended and reviewed:
 
-    PYTHONPATH=src python tools/gen_golden_engine.py
+    PYTHONPATH=src python tools/gen_golden_engine.py            # rewrite
+    PYTHONPATH=src python tools/gen_golden_engine.py --check    # verify
+    PYTHONPATH=src python tools/gen_golden_engine.py --check --traced
+
+``--check`` re-runs every scenario and exits nonzero on any fingerprint
+drift (the CI gate over the full matrix; the unit suite samples a fast
+subset). ``--traced`` attaches a telemetry tracer to every run, proving
+tracing is pure observation — fingerprints must not move.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import sys
 from pathlib import Path
 
 from repro.autoscalers import (
@@ -31,9 +40,12 @@ OUT = Path(__file__).resolve().parent.parent / "tests" / "engine" / (
 )
 
 
-def scenarios():
+def scenarios(tracer_factory=None):
     """Scenario name -> Simulation factory. Covers dispatch packing,
-    terminations with occupants (restarts), faults, and launch jitter."""
+    terminations with occupants (restarts), faults, and launch jitter.
+
+    ``tracer_factory`` attaches a fresh tracer to every simulation (used
+    by ``--traced`` to prove telemetry never perturbs results)."""
     site = exogeni_site()
     specs = table1_specs()
     policies = {
@@ -89,6 +101,7 @@ def scenarios():
             factory(),
             u,
             transfer_model=default_transfer_model(),
+            tracer=tracer_factory() if tracer_factory is not None else None,
             **kwargs,
         )
 
@@ -114,14 +127,54 @@ def fingerprint(result) -> dict:
     }
 
 
-def main() -> None:
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify every scenario against the committed golden file "
+        "instead of rewriting it",
+    )
+    parser.add_argument(
+        "--traced",
+        action="store_true",
+        help="attach a telemetry tracer to every run (tracing must not "
+        "change a single fingerprint)",
+    )
+    args = parser.parse_args(argv)
+
+    tracer_factory = None
+    if args.traced:
+        from repro.telemetry import MemorySink, Tracer
+
+        tracer_factory = lambda: Tracer(MemorySink(maxlen=4096))  # noqa: E731
+
     payload = {}
-    for name, sim in scenarios():
+    for name, sim in scenarios(tracer_factory):
         payload[name] = fingerprint(sim.run())
-        print(f"  {name}")
+        if not args.check:
+            print(f"  {name}")
+
+    if args.check:
+        committed = json.loads(OUT.read_text(encoding="utf-8"))
+        drifted = [
+            name
+            for name in sorted(set(payload) | set(committed))
+            if payload.get(name) != committed.get(name)
+        ]
+        mode = "traced" if args.traced else "untraced"
+        if drifted:
+            print(f"FAIL: {len(drifted)} golden scenario(s) drifted ({mode}):")
+            for name in drifted:
+                print(f"  {name}")
+            return 1
+        print(f"ok: {len(payload)} golden scenarios bit-identical ({mode})")
+        return 0
+
     OUT.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n", "utf-8")
     print(f"wrote {len(payload)} scenarios to {OUT}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())
