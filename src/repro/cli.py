@@ -14,7 +14,11 @@
 - ``run --trace out.jsonl`` — emit the run's structured telemetry
   (control ticks, instance billing, task attempts) as JSONL;
 - ``trace summarize`` — turn a trace into per-stage prediction-error and
-  cost/waste tables.
+  cost/waste tables;
+- ``run --chaos revocations=2,stragglers=0.2`` — inject cloud-level
+  faults (``repro.cloud.faults``); also accepted by ``campaign``;
+- ``robustness`` — the §IV-E degradation sweep, with optional
+  ``--chaos`` cloud-fault axes.
 """
 
 from __future__ import annotations
@@ -67,6 +71,18 @@ def _policy(name: str, site):
     return factories[name]
 
 
+def _chaos(text: str | None):
+    """Parse a ``--chaos`` argument, or None when the flag is absent."""
+    if not text:
+        return None
+    from repro.cloud.faults import parse_chaos_spec
+
+    try:
+        return parse_chaos_spec(text)
+    except ValueError as exc:
+        raise SystemExit(f"bad --chaos value: {exc}") from None
+
+
 def _run(workflow, policy_factory, args) -> RunResult:
     from repro.telemetry import JsonlSink, Tracer
 
@@ -81,6 +97,7 @@ def _run(workflow, policy_factory, args) -> RunResult:
             transfer_model=default_transfer_model(),
             seed=args.seed,
             tracer=Tracer(sink) if sink is not None else None,
+            chaos=_chaos(getattr(args, "chaos", None)),
         ).run()
     finally:
         if sink is not None:
@@ -154,6 +171,14 @@ def cmd_run(args: argparse.Namespace) -> int:
             title=f"{args.workload} (u = {args.charging_unit:.0f}s, seed {args.seed})",
         )
     )
+    if result.cloud_faults:
+        print(
+            "\ncloud faults injected: "
+            + ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(result.cloud_faults.items())
+            )
+        )
     if args.pool_chart:
         from repro.reporting import pool_ascii
 
@@ -340,6 +365,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         save_every=args.save_every,
         trace_dir=args.trace_dir,
+        chaos=_chaos(args.chaos),
     )
     print(
         f"{len(records)} cells in {args.store} "
@@ -352,6 +378,58 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 1 if failed else 0
+
+
+def cmd_robustness(args: argparse.Namespace) -> int:
+    from repro.cloud.faults import NO_CHAOS
+    from repro.experiments.robustness import robustness_experiment
+
+    specs = None
+    if args.workloads:
+        specs = {name: _workload(name) for name in args.workloads}
+    chaos_levels = [NO_CHAOS]
+    chaos_levels += [_chaos(text) for text in (args.chaos or [])]
+    rows = robustness_experiment(
+        specs,
+        noise_levels=tuple(args.noise),
+        fault_levels=tuple(args.faults),
+        chaos_levels=tuple(chaos_levels),
+        charging_unit=args.charging_unit,
+        seed=args.seed,
+    )
+    print(
+        render_table(
+            ["workload", "noise", "faults", "chaos", "wire u", "static u",
+             "advantage", "slowdown", "restarts", "revoked", "blackouts"],
+            [
+                [
+                    row.workflow,
+                    f"{row.noise_cv:g}",
+                    f"{row.fault_probability:g}",
+                    row.chaos_label,
+                    row.wire_units,
+                    row.static_units,
+                    f"{row.cost_advantage:.2f}x",
+                    f"{row.slowdown:.2f}x",
+                    row.wire_restarts,
+                    row.wire_revocations,
+                    row.wire_blackouts,
+                ]
+                for row in rows
+            ],
+            title="robustness under degradation (wire vs full-site)",
+        )
+    )
+    if args.out:
+        import json
+        from dataclasses import asdict
+
+        Path(args.out).write_text(
+            json.dumps([asdict(row) for row in rows], indent=2, sort_keys=True),
+            encoding="utf-8",
+        )
+        print(f"\nwrote {len(rows)} rows to {args.out}")
+    return 0
 
 
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
@@ -431,6 +509,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         metavar="FILE",
         help="write the run's structured telemetry to this JSONL file",
+    )
+    run.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        help=(
+            "inject cloud faults, e.g. "
+            "'revocations=2,stragglers=0.2,blackouts=0.1'"
+        ),
     )
     _add_common_run_args(run)
     run.set_defaults(handler=cmd_run)
@@ -517,7 +603,48 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="write one JSONL telemetry trace per executed cell here",
     )
+    campaign.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        help="apply one cloud-fault spec to every cell in the matrix",
+    )
     campaign.set_defaults(handler=cmd_campaign)
+
+    robustness = sub.add_parser(
+        "robustness",
+        help="wire vs full-site across noise/fault/chaos degradation levels",
+    )
+    robustness.add_argument(
+        "--workloads", nargs="+", help="subset of workloads (default: 2 picks)"
+    )
+    robustness.add_argument(
+        "--noise",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.2, 0.5],
+        help="runtime noise CVs to sweep",
+    )
+    robustness.add_argument(
+        "--faults",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.1],
+        help="task-fault probabilities to sweep",
+    )
+    robustness.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        action="append",
+        help=(
+            "a cloud-fault level to sweep (repeatable); the fault-free "
+            "baseline is always included"
+        ),
+    )
+    robustness.add_argument(
+        "--out", metavar="FILE", help="also write the rows as JSON here"
+    )
+    _add_common_run_args(robustness)
+    robustness.set_defaults(handler=cmd_robustness)
 
     trace = sub.add_parser("trace", help="inspect JSONL telemetry traces")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)

@@ -7,6 +7,13 @@ is what makes the substitution behaviour-preserving (see DESIGN.md).
 """
 
 from repro.cloud.billing import BillingModel
+from repro.cloud.faults import (
+    NO_CHAOS,
+    ChaosInjector,
+    ChaosSpec,
+    RetryPolicy,
+    parse_chaos_spec,
+)
 from repro.cloud.instance import XO_XLARGE, Instance, InstanceState, InstanceType
 from repro.cloud.pool import InstancePool
 from repro.cloud.provisioner import LaunchOrder, Provisioner
@@ -14,13 +21,18 @@ from repro.cloud.site import CloudSite, exogeni_site
 
 __all__ = [
     "BillingModel",
+    "ChaosInjector",
+    "ChaosSpec",
     "CloudSite",
     "Instance",
     "InstancePool",
     "InstanceState",
     "InstanceType",
     "LaunchOrder",
+    "NO_CHAOS",
     "Provisioner",
+    "RetryPolicy",
     "XO_XLARGE",
     "exogeni_site",
+    "parse_chaos_spec",
 ]

@@ -1,0 +1,325 @@
+"""Cloud-level fault injection.
+
+The task-level fault models (:mod:`repro.engine.faults`) kill individual
+attempts; on a real IaaS site the *cloud itself* also fails. Ilyushkin et
+al. show autoscaler rankings invert under exactly these conditions, and
+the Bader et al. survey flags failure-aware prediction as an open gap
+(PAPERS.md), so this module models the cloud failure classes a WIRE
+deployment would face:
+
+- **instance revocation** (spot-style preemption): a RUNNING instance is
+  killed by the provider; every attempt on it is requeued and billing
+  stops at the revocation boundary;
+- **provisioning failures**: an ordered launch comes back failed after
+  its lag instead of usable, and is retried with configurable backoff;
+- **provisioning timeouts**: a launch becomes usable only after a
+  multiple of the nominal lag;
+- **straggler instances**: a per-instance slowdown factor multiplies
+  every execution time realized on it;
+- **monitor blackouts**: control ticks whose kickstart records are
+  delayed (or dropped), starving the online predictor.
+
+A :class:`ChaosSpec` is pure configuration; the engine owns a
+:class:`ChaosInjector` that turns it into concrete draws from a
+dedicated ``"chaos"`` RNG sub-stream (:mod:`repro.util.rng`), so chaos
+runs are a pure function of ``(seed, spec)`` and a disabled spec leaves
+every other stream — and therefore the run — bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.validation import check_in_range, check_non_negative, check_positive
+
+__all__ = [
+    "NO_CHAOS",
+    "ChaosInjector",
+    "ChaosSpec",
+    "RetryPolicy",
+    "parse_chaos_spec",
+]
+
+#: seconds per hour — revocation rates are quoted per instance-hour
+_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff for re-issuing failed provisioning requests.
+
+    After the *n*-th failed attempt the pool waits
+    ``backoff * multiplier**(n-1)`` seconds before ordering a replacement
+    (then the provisioning lag applies again); after ``max_retries``
+    failed retries the order is abandoned and the MAPE loop is left to
+    re-plan capacity on a later tick.
+    """
+
+    max_retries: int = 3
+    backoff: float = 30.0
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.max_retries, int) or self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be an int >= 0, got {self.max_retries!r}"
+            )
+        check_positive("backoff", self.backoff)
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier!r}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before the retry that follows failed attempt ``attempt``."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return self.backoff * self.multiplier ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Cloud-fault configuration for one run (all features default off).
+
+    Parameters
+    ----------
+    revocation_rate:
+        Expected revocations per instance-hour. Each instance draws an
+        exponential time-to-revocation when it becomes RUNNING.
+    provision_failure:
+        Probability that an ordered launch fails: after the provisioning
+        lag the order comes back failed instead of usable. The pool
+        retries it under ``retry``.
+    provision_failure_until:
+        When set, provisioning failures are injected only before this
+        simulation time — the knob the convergence tests (and outage
+        scenarios) use to model a failure window that ends.
+    provision_timeout:
+        Probability that a (non-failed) launch is delayed: it becomes
+        usable after ``lag * provision_timeout_factor`` instead of
+        ``lag``.
+    provision_timeout_factor:
+        Lag multiplier for timed-out launches (>= 1).
+    straggler_probability:
+        Probability that a freshly provisioned instance is a straggler.
+    straggler_slowdown:
+        Execution-time multiplier on straggler instances (>= 1); the
+        runtime model's durations are stretched by this factor there.
+    blackout_probability:
+        Probability that a control tick's kickstart records are missing,
+        starving the predictor for that MAPE iteration.
+    blackout_drops:
+        When False (default) blacked-out records are *delayed*: the next
+        clear tick observes the whole starved window. When True they are
+        *dropped*: the starved windows are never observed.
+    retry:
+        Backoff policy for re-issuing failed provisioning orders.
+    """
+
+    revocation_rate: float = 0.0
+    provision_failure: float = 0.0
+    provision_failure_until: float | None = None
+    provision_timeout: float = 0.0
+    provision_timeout_factor: float = 3.0
+    straggler_probability: float = 0.0
+    straggler_slowdown: float = 2.0
+    blackout_probability: float = 0.0
+    blackout_drops: bool = False
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        check_non_negative("revocation_rate", self.revocation_rate)
+        check_in_range("provision_failure", self.provision_failure, 0.0, 1.0)
+        if self.provision_failure_until is not None:
+            check_non_negative(
+                "provision_failure_until", self.provision_failure_until
+            )
+        check_in_range("provision_timeout", self.provision_timeout, 0.0, 1.0)
+        if self.provision_timeout_factor < 1.0:
+            raise ValueError(
+                "provision_timeout_factor must be >= 1, got "
+                f"{self.provision_timeout_factor!r}"
+            )
+        check_in_range(
+            "straggler_probability", self.straggler_probability, 0.0, 1.0
+        )
+        if self.straggler_slowdown < 1.0:
+            raise ValueError(
+                f"straggler_slowdown must be >= 1, got {self.straggler_slowdown!r}"
+            )
+        check_in_range(
+            "blackout_probability", self.blackout_probability, 0.0, 1.0
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault class is active.
+
+        A disabled spec is contractually zero-cost: the engine skips all
+        chaos wiring (no RNG sub-stream, no events, no extra draws) and
+        the run is bit-identical to one with no chaos argument at all —
+        ``tools/gen_golden_engine.py --check --no-chaos`` enforces this.
+        """
+        return (
+            self.revocation_rate > 0.0
+            or self.provision_failure > 0.0
+            or self.provision_timeout > 0.0
+            or self.straggler_probability > 0.0
+            or self.blackout_probability > 0.0
+        )
+
+    def label(self) -> str:
+        """Compact identifier for experiment rows and file names."""
+        if not self.enabled:
+            return "none"
+        parts: list[str] = []
+        if self.revocation_rate > 0:
+            parts.append(f"rev{self.revocation_rate:g}")
+        if self.provision_failure > 0:
+            parts.append(f"pfail{self.provision_failure:g}")
+        if self.provision_timeout > 0:
+            parts.append(f"ptime{self.provision_timeout:g}")
+        if self.straggler_probability > 0:
+            parts.append(
+                f"strag{self.straggler_probability:g}"
+                f"x{self.straggler_slowdown:g}"
+            )
+        if self.blackout_probability > 0:
+            parts.append(f"blackout{self.blackout_probability:g}")
+        return "+".join(parts)
+
+
+#: the canonical disabled spec (bit-identical to passing no spec at all)
+NO_CHAOS = ChaosSpec()
+
+
+class ChaosInjector:
+    """Turns a :class:`ChaosSpec` into concrete fault draws for one run.
+
+    Draws are made in a fixed, documented order (straggler roll then
+    revocation sample per instance start; one outcome roll per launch
+    order; one blackout roll per control tick) and only for fault classes
+    that are enabled, so a run is reproducible from ``(seed, spec)``.
+    """
+
+    def __init__(self, spec: ChaosSpec, rng: np.random.Generator) -> None:
+        if not spec.enabled:
+            raise ValueError("ChaosInjector requires an enabled ChaosSpec")
+        self.spec = spec
+        self._rng = rng
+
+    # -- per instance start -------------------------------------------
+    def straggler_factor(self) -> float:
+        """Slowdown factor for a freshly provisioned instance (1.0 = none)."""
+        spec = self.spec
+        if spec.straggler_probability <= 0.0:
+            return 1.0
+        if float(self._rng.random()) < spec.straggler_probability:
+            return spec.straggler_slowdown
+        return 1.0
+
+    def revocation_delay(self) -> float | None:
+        """Seconds after start at which the instance is revoked, or None."""
+        rate = self.spec.revocation_rate
+        if rate <= 0.0:
+            return None
+        return float(self._rng.exponential(_HOUR / rate))
+
+    # -- per launch order ---------------------------------------------
+    def provision_outcome(self, now: float) -> str:
+        """Fate of one ordered launch: ``"ok"``, ``"fail"``, ``"timeout"``."""
+        spec = self.spec
+        if spec.provision_failure > 0.0 and (
+            spec.provision_failure_until is None
+            or now < spec.provision_failure_until
+        ):
+            if float(self._rng.random()) < spec.provision_failure:
+                return "fail"
+        if spec.provision_timeout > 0.0:
+            if float(self._rng.random()) < spec.provision_timeout:
+                return "timeout"
+        return "ok"
+
+    # -- per control tick ---------------------------------------------
+    def blackout(self) -> bool:
+        """Whether this tick's kickstart records are missing."""
+        p = self.spec.blackout_probability
+        if p <= 0.0:
+            return False
+        return float(self._rng.random()) < p
+
+
+# ----------------------------------------------------------------------
+# CLI parsing
+# ----------------------------------------------------------------------
+_PARSE_KEYS = {
+    "revocations": ("revocation_rate", float),
+    "revocation-rate": ("revocation_rate", float),
+    "pfail": ("provision_failure", float),
+    "provision-failure": ("provision_failure", float),
+    "pfail-until": ("provision_failure_until", float),
+    "ptimeout": ("provision_timeout", float),
+    "provision-timeout": ("provision_timeout", float),
+    "timeout-factor": ("provision_timeout_factor", float),
+    "stragglers": ("straggler_probability", float),
+    "straggler-probability": ("straggler_probability", float),
+    "slowdown": ("straggler_slowdown", float),
+    "straggler-slowdown": ("straggler_slowdown", float),
+    "blackouts": ("blackout_probability", float),
+    "blackout-probability": ("blackout_probability", float),
+    "drop-records": ("blackout_drops", None),
+    "retries": ("max_retries", int),
+    "backoff": ("backoff", float),
+    "backoff-multiplier": ("multiplier", float),
+}
+
+_RETRY_FIELDS = {"max_retries", "backoff", "multiplier"}
+
+
+def parse_chaos_spec(text: str) -> ChaosSpec:
+    """Parse the CLI's ``--chaos`` argument into a :class:`ChaosSpec`.
+
+    The format is comma-separated ``key=value`` pairs, e.g.::
+
+        revocations=0.5,stragglers=0.2,slowdown=3,blackouts=0.1
+        pfail=0.3,pfail-until=1800,retries=4,backoff=60
+
+    ``drop-records`` is a bare flag (no value). An empty string yields
+    :data:`NO_CHAOS`.
+    """
+    fields: dict[str, object] = {}
+    retry: dict[str, object] = {}
+    for raw in text.split(","):
+        part = raw.strip()
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        key = key.strip().lower()
+        if key not in _PARSE_KEYS:
+            known = ", ".join(sorted(_PARSE_KEYS))
+            raise ValueError(
+                f"unknown chaos key {key!r}; choose from: {known}"
+            )
+        name, cast = _PARSE_KEYS[key]
+        if cast is None:  # bare boolean flag
+            if value:
+                raise ValueError(f"chaos key {key!r} takes no value")
+            parsed: object = True
+        else:
+            if not value:
+                raise ValueError(f"chaos key {key!r} needs a value")
+            try:
+                parsed = cast(value.strip())
+            except ValueError:
+                raise ValueError(
+                    f"invalid value {value.strip()!r} for chaos key {key!r}"
+                ) from None
+        if name in _RETRY_FIELDS:
+            retry[name] = parsed
+        else:
+            fields[name] = parsed
+    if retry:
+        fields["retry"] = RetryPolicy(**retry)  # type: ignore[arg-type]
+    return ChaosSpec(**fields)  # type: ignore[arg-type]

@@ -78,6 +78,14 @@ class Instance:
     #: maintained only when assign/release are called with timestamps
     #: (the engine passes them; standalone unit tests may omit them)
     busy_slot_seconds: float = 0.0
+    #: execution-time multiplier for attempts on this instance (>= 1);
+    #: stays 1.0 unless cloud-fault injection marks it a straggler
+    #: (:mod:`repro.cloud.faults`)
+    slowdown: float = 1.0
+    #: set when the provider revoked (preempted) this instance, as
+    #: opposed to a planned release; billing still stops at
+    #: ``terminated_at``, which is the revocation boundary
+    revoked: bool = False
     # owning pool, if any; notified on state/slot changes so it can keep
     # its free-slot and task-placement indexes current (set by
     # InstancePool.create, None for standalone instances)

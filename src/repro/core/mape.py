@@ -24,7 +24,7 @@ from repro.core.predictor import TaskPredictor
 from repro.core.runstate import PredictionPolicy, RunState, TaskEstimate
 from repro.core.steering import SteerableInstance, SteeringPolicy, resize_pool
 from repro.dag.workflow import Workflow
-from repro.engine.control import Autoscaler, Observation, ScalingDecision
+from repro.engine.control import NO_CHANGE, Autoscaler, Observation, ScalingDecision
 from repro.engine.master import TaskExecState
 from repro.telemetry.records import StagePrediction, TickTelemetry
 
@@ -68,6 +68,11 @@ class MapeController(Autoscaler):
         self._last_slots = 1
         #: per-tick telemetry, appended in tick order
         self.diagnostics: list[TickDiagnostics] = []
+        #: graceful-degradation counters under cloud-fault injection:
+        #: ticks whose kickstart records were blacked out, and shrink
+        #: decisions suppressed on such ticks
+        self.blackout_ticks = 0
+        self.blackout_holds = 0
 
     # ------------------------------------------------------------------
     def _make_predictor(self, workflow: Workflow) -> TaskPredictor:
@@ -98,8 +103,23 @@ class MapeController(Autoscaler):
         self._bind(obs.workflow)
         assert self._predictor is not None and self._lookahead is not None
 
-        # Monitor + Analyze
-        self._predictor.observe_interval(obs.monitor, obs.window_start, obs.now)
+        # Monitor + Analyze. Under a monitoring blackout (cloud-fault
+        # injection) this tick's kickstart records are missing: skip the
+        # learning pass so the per-stage models and transfer estimate
+        # stay at their last-known values instead of training on a
+        # partial window. The engine re-offers the starved window at the
+        # next clear tick (delayed-records mode) or never (dropped).
+        # The run state is still rebuilt — task lifecycle state is the
+        # framework master's own knowledge, not kickstart data — and
+        # revoked capacity needs no special casing here: a revoked
+        # instance is TERMINATED, so it has already left the steerable
+        # set and its requeued tasks are back on the wavefront.
+        if not obs.monitor_blackout:
+            self._predictor.observe_interval(
+                obs.monitor, obs.window_start, obs.now
+            )
+        else:
+            self.blackout_ticks += 1
         run_state = self._predictor.build_run_state(obs.master, obs.monitor, obs.now)
         self._last_run_state = run_state
 
@@ -178,6 +198,14 @@ class MapeController(Autoscaler):
             min_instances=max(1, obs.site.min_instances),
             max_instances=obs.site.max_instances,
         )
+
+        # Never shrink on a stale model: a blackout tick's estimates may
+        # under-state remaining load, and releasing capacity it would
+        # immediately re-order thrashes through the provisioning lag.
+        # Growing (or holding) on last-known data is safe by comparison.
+        if obs.monitor_blackout and decision.terminations:
+            self.blackout_holds += 1
+            decision = NO_CHANGE
 
         self.diagnostics.append(
             TickDiagnostics(

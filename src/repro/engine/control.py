@@ -65,6 +65,9 @@ class Observation:
     ``window_start`` is the time of the previous tick, so
     ``monitor.transfer_times_between(window_start, now)`` yields exactly
     the paper's "observations between the n-1th and nth MAPE iterations".
+    Under chaos monitor blackouts in delayed-records mode it can reach
+    further back: the first clear tick after a blackout is handed the
+    whole starved window at once.
     """
 
     now: float
@@ -77,6 +80,11 @@ class Observation:
     site: CloudSite
     queued_task_ids: tuple[str, ...]
     draining_ids: frozenset[str] = field(default_factory=frozenset)
+    #: True when cloud-fault injection blacked out this tick's kickstart
+    #: records: the monitor's fresh interval data must be treated as
+    #: missing and predictive controllers should fall back to their
+    #: last-known model (:mod:`repro.cloud.faults`)
+    monitor_blackout: bool = False
 
     # ------------------------------------------------------------------
     # convenience views shared by every policy

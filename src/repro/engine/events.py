@@ -31,6 +31,9 @@ class EventKind(enum.Enum):
     STAGE_OUT_DONE = "stage_out_done"  # a task finished writing output
     TASK_FAILED = "task_failed"  # an attempt died mid-execution (fault)
     CONTROLLER_TICK = "controller_tick"  # a MAPE iteration begins
+    INSTANCE_REVOKED = "instance_revoked"  # the provider preempts an instance
+    PROVISION_FAILED = "provision_failed"  # an ordered launch came back failed
+    PROVISION_RETRY = "provision_retry"  # backoff elapsed; re-issue a launch
 
     @property
     def priority(self) -> int:
@@ -42,6 +45,10 @@ class EventKind(enum.Enum):
 #: the per-push cost is one dict hit instead of an enum property call
 _PRIORITY = {kind: 0 for kind in EventKind}
 _PRIORITY[EventKind.INSTANCE_TERMINATE] = 1
+# A revocation at time t must not beat a completion at time t: the task
+# legitimately finished before the provider pulled the plug. Same
+# ordering class as a planned release.
+_PRIORITY[EventKind.INSTANCE_REVOKED] = 1
 _PRIORITY[EventKind.CONTROLLER_TICK] = 2
 
 
@@ -77,6 +84,11 @@ class EventQueue:
     _cancelled: set[int] = field(default_factory=set)
     #: seqs currently in the heap and not cancelled
     _live: set[int] = field(default_factory=set)
+    #: live events grouped by payload, so cancelling everything that
+    #: belongs to one subject (e.g. a revoked instance) is O(events on
+    #: that subject) instead of a full-heap scan; unhashable payloads
+    #: are simply not indexed
+    _by_payload: dict[Any, set[Event]] = field(default_factory=dict)
 
     def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
         """Schedule an event and return it (its ``seq`` allows cancellation)."""
@@ -85,7 +97,21 @@ class EventQueue:
             self._heap, (event.time, _PRIORITY[kind], event.seq, event)
         )
         self._live.add(event.seq)
+        try:
+            self._by_payload.setdefault(payload, set()).add(event)
+        except TypeError:
+            pass  # unhashable payload: not payload-cancellable
         return event
+
+    def _unindex(self, event: Event) -> None:
+        try:
+            bucket = self._by_payload.get(event.payload)
+        except TypeError:
+            return
+        if bucket is not None:
+            bucket.discard(event)
+            if not bucket:
+                del self._by_payload[event.payload]
 
     def cancel(self, event: Event) -> None:
         """Mark ``event`` so it is skipped when popped (lazy deletion).
@@ -97,6 +123,29 @@ class EventQueue:
         if event.seq in self._live:
             self._live.discard(event.seq)
             self._cancelled.add(event.seq)
+            self._unindex(event)
+
+    def cancel_for_payload(
+        self, payload: Any, kind: EventKind | None = None
+    ) -> int:
+        """Cancel every live event whose payload equals ``payload``.
+
+        Returns the number of events cancelled. When ``kind`` is given,
+        only events of that kind are cancelled. This is how a revoked
+        instance retracts its queued completions/terminations without
+        scanning the whole heap.
+        """
+        bucket = self._by_payload.get(payload)
+        if not bucket:
+            return 0
+        victims = [
+            event
+            for event in bucket
+            if kind is None or event.kind is kind
+        ]
+        for event in victims:
+            self.cancel(event)
+        return len(victims)
 
     def pop(self) -> Event:
         """Remove and return the earliest pending event."""
@@ -106,6 +155,7 @@ class EventQueue:
                 self._cancelled.discard(event.seq)
                 continue
             self._live.discard(event.seq)
+            self._unindex(event)
             return event
         raise IndexError("pop from empty EventQueue")
 

@@ -18,6 +18,7 @@ import time as _time
 from dataclasses import dataclass, field
 
 from repro.cloud.billing import BillingModel
+from repro.cloud.faults import ChaosInjector, ChaosSpec
 from repro.cloud.instance import Instance, InstanceState
 from repro.cloud.pool import InstancePool
 from repro.cloud.provisioner import Provisioner
@@ -33,6 +34,7 @@ from repro.engine.scheduler import FifoScheduler
 from repro.engine.transfer import DataTransferModel, NoTransferModel
 from repro.telemetry.metrics import NULL_METRICS, MetricsRegistry
 from repro.telemetry.records import (
+    CloudFaultRecord,
     ControlTickRecord,
     InstanceEventRecord,
     RunMetaRecord,
@@ -83,6 +85,9 @@ class RunResult:
     pool_timeline: list[tuple[float, int]]
     #: full task attempt records
     monitor: Monitor = field(repr=False)
+    #: cloud-fault injection tallies by fault class (empty when chaos is
+    #: disabled; see :mod:`repro.cloud.faults`)
+    cloud_faults: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_task_seconds(self) -> float:
@@ -122,6 +127,13 @@ class Simulation:
     metrics:
         Counter/gauge/histogram registry; defaults to the shared no-op
         registry with the same cached-boolean fast path.
+    chaos:
+        Cloud-fault injection spec (:mod:`repro.cloud.faults`). ``None``
+        or a disabled spec leaves the run bit-identical to one with no
+        chaos wiring at all: no chaos RNG sub-stream is derived (child
+        streams are label-hashed, so the other streams are unaffected
+        either way), no chaos events are scheduled, and every chaos call
+        site is guarded by a single ``is not None`` check.
     """
 
     def __init__(
@@ -142,6 +154,7 @@ class Simulation:
         max_time: float = 1e8,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        chaos: ChaosSpec | None = None,
     ) -> None:
         check_positive("charging_unit", charging_unit)
         check_positive("max_time", max_time)
@@ -176,6 +189,22 @@ class Simulation:
         self._rng_faults = rng.child("faults").generator()
         self._rng_launch = rng.child("launch").generator()
 
+        # Cloud-fault injection: the injector exists only when a fault
+        # class is actually enabled, so `self._chaos_injector is None` is
+        # the zero-cost disabled path (mirroring the `self._trace` guard).
+        self.chaos = chaos
+        if chaos is not None and chaos.enabled:
+            self._chaos_injector: ChaosInjector | None = ChaosInjector(
+                chaos, rng.child("chaos").generator()
+            )
+        else:
+            self._chaos_injector = None
+        #: fault-class -> occurrence count (stays empty without chaos)
+        self._cloud_faults: dict[str, int] = {}
+        #: pending-instance id -> provisioning attempt number, for
+        #: launches that will come back failed
+        self._provision_attempts: dict[str, int] = {}
+
         self.pool = InstancePool(site.itype, self.billing)
         self.provisioner = Provisioner(site, self.pool)
         self.master = FrameworkMaster(workflow)
@@ -199,6 +228,9 @@ class Simulation:
         #: task id -> when it (re)entered the ready queue; populated only
         #: when tracing (feeds TaskAttemptRecord.queue_wait)
         self._ready_at: dict[str, float] = {}
+        #: start of a monitoring window whose records were blacked out
+        #: and are still awaiting delivery (delayed-records mode only)
+        self._observe_from: float | None = None
 
     # ------------------------------------------------------------------
     # public API
@@ -250,6 +282,8 @@ class Simulation:
         for _ in range(initial):
             instance = self.pool.create(now=0.0)
             instance.mark_running(0.0)
+            if self._chaos_injector is not None:
+                self._chaos_instance_started(instance)
             if self._trace:
                 iid = instance.instance_id
                 self.tracer.emit(
@@ -325,6 +359,7 @@ class Simulation:
             events_processed=self._events_processed,
             pool_timeline=list(self._timeline),
             monitor=self.monitor,
+            cloud_faults=dict(self._cloud_faults),
         )
         if self._trace:
             self.tracer.emit(
@@ -361,11 +396,20 @@ class Simulation:
             self._on_task_failed(event.payload)
         elif event.kind is EventKind.CONTROLLER_TICK:
             self._on_controller_tick()
+        elif event.kind is EventKind.INSTANCE_REVOKED:
+            self._on_instance_revoked(event.payload)
+        elif event.kind is EventKind.PROVISION_FAILED:
+            self._on_provision_failed(event.payload)
+        elif event.kind is EventKind.PROVISION_RETRY:
+            self._on_provision_retry(event.payload)
         else:  # pragma: no cover - exhaustive enum
             raise RuntimeError(f"unknown event kind {event.kind}")
 
     def _on_instance_ready(self, instance_id: str) -> None:
-        self.pool.get(instance_id).mark_running(self._now)
+        instance = self.pool.get(instance_id)
+        instance.mark_running(self._now)
+        if self._chaos_injector is not None:
+            self._chaos_instance_started(instance)
         if self._trace:
             self.tracer.emit(
                 InstanceEventRecord(
@@ -393,11 +437,179 @@ class Simulation:
             # free-slot indexes stay consistent
             instance.release(task_id, self._now)
         instance.mark_terminated(self._now)
+        if self._chaos_injector is not None:
+            # a planned release retracts any not-yet-fired revocation
+            self.events.cancel_for_payload(
+                instance_id, kind=EventKind.INSTANCE_REVOKED
+            )
         if self._trace:
             self._emit_instance_end(instance, self._now, "terminated")
         self._draining.discard(instance_id)
         self._record_pool_change(self._now)
         self._dispatch()
+
+    # ------------------------------------------------------------------
+    # cloud-fault handlers (reachable only with an enabled ChaosSpec)
+    # ------------------------------------------------------------------
+    def _chaos_instance_started(self, instance: Instance) -> None:
+        """Per-instance chaos draws, made once when it becomes RUNNING.
+
+        Draw order is fixed (straggler roll, then revocation sample) so a
+        run is a pure function of ``(seed, spec)``.
+        """
+        injector = self._chaos_injector
+        assert injector is not None
+        factor = injector.straggler_factor()
+        iid = instance.instance_id
+        if factor != 1.0:
+            instance.slowdown = factor
+            self._count_fault("stragglers")
+            if self._trace:
+                self.tracer.emit(
+                    CloudFaultRecord(
+                        now=self._now,
+                        fault="straggler",
+                        instance_id=iid,
+                        slowdown=factor,
+                    )
+                )
+        delay = injector.revocation_delay()
+        if delay is not None:
+            # The provider will preempt this instance unless the run (or
+            # a planned release) gets there first.
+            self.events.push(
+                self._now + delay, EventKind.INSTANCE_REVOKED, iid
+            )
+
+    def _on_instance_revoked(self, instance_id: str) -> None:
+        """The provider preempts ``instance_id`` (spot-style revocation).
+
+        Mirrors a planned termination — occupants are killed and requeued
+        — except the instance had no say: any scheduled release is
+        retracted, the instance is flagged ``revoked``, and billing stops
+        at the revocation boundary (``mark_terminated(now)`` caps the
+        billable uptime).
+        """
+        instance = self.pool.get(instance_id)
+        if instance.state is not InstanceState.RUNNING:
+            return  # defensive: planned releases cancel revocation events
+        killed = 0
+        lost_occupancy = 0.0
+        for task_id in sorted(instance.occupants):
+            pending = self._pending_task_event.pop(task_id, None)
+            if pending is not None:
+                self.events.cancel(pending)
+            lost_occupancy += self.monitor.current_attempt(
+                task_id
+            ).occupancy_elapsed(self._now)
+            self.monitor.record_kill(task_id, self._now)
+            if self._trace:
+                self._emit_attempt(task_id, "killed", self._now)
+                self._ready_at[task_id] = self._now
+            self.master.mark_killed(task_id)
+            self.scheduler.push(
+                task_id, self.workflow.stage_of[task_id], requeue=True
+            )
+            instance.release(task_id, self._now)
+            killed += 1
+        if instance_id in self._draining:
+            self.events.cancel_for_payload(
+                instance_id, kind=EventKind.INSTANCE_TERMINATE
+            )
+            self._draining.discard(instance_id)
+        instance.revoked = True
+        instance.mark_terminated(self._now)
+        self._count_fault("revocations")
+        if killed:
+            self._count_fault("revocation_task_kills", killed)
+        if self._metrics_on:
+            self.metrics.counter("cloud.revocations").inc()
+        if self._trace:
+            self._emit_instance_end(instance, self._now, "revoked")
+            _, _, _, _, wasted = self.pool.instance_utilization(
+                instance, self._now
+            )
+            self.tracer.emit(
+                CloudFaultRecord(
+                    now=self._now,
+                    fault="revocation",
+                    instance_id=instance_id,
+                    tasks_killed=killed,
+                    wasted_seconds=wasted,
+                    lost_occupancy=lost_occupancy,
+                )
+            )
+        self._record_pool_change(self._now)
+        self._dispatch()
+
+    def _on_provision_failed(self, instance_id: str) -> None:
+        """An ordered launch came back failed after its lag.
+
+        The pending instance is cancelled (never billed) and, within the
+        retry budget, a replacement is ordered after exponential backoff.
+        """
+        injector = self._chaos_injector
+        assert injector is not None
+        attempt = self._provision_attempts.pop(instance_id, 1)
+        self.pool.get(instance_id).cancel_pending()
+        self._count_fault("provision_failures")
+        if self._trace:
+            self.tracer.emit(
+                InstanceEventRecord(
+                    now=self._now, instance_id=instance_id, event="cancelled"
+                )
+            )
+            self.tracer.emit(
+                CloudFaultRecord(
+                    now=self._now,
+                    fault="provision_failure",
+                    instance_id=instance_id,
+                    attempt=attempt,
+                )
+            )
+        retry = injector.spec.retry
+        if attempt <= retry.max_retries:
+            backoff = retry.delay(attempt)
+            self._count_fault("provision_retries")
+            if self._trace:
+                self.tracer.emit(
+                    CloudFaultRecord(
+                        now=self._now,
+                        fault="provision_retry",
+                        instance_id=instance_id,
+                        attempt=attempt,
+                        backoff=backoff,
+                    )
+                )
+            self.events.push(
+                self._now + backoff, EventKind.PROVISION_RETRY, attempt + 1
+            )
+        else:
+            self._count_fault("provision_abandoned")
+            if self._trace:
+                self.tracer.emit(
+                    CloudFaultRecord(
+                        now=self._now,
+                        fault="provision_abandoned",
+                        instance_id=instance_id,
+                        attempt=attempt,
+                    )
+                )
+
+    def _on_provision_retry(self, attempt: int) -> None:
+        """Backoff elapsed: re-issue one launch as attempt ``attempt``."""
+        orders = self.provisioner.order_launches(1, self._now)
+        if not orders:
+            # The site cap (or a competing MAPE grow) absorbed the slot;
+            # the controller will re-plan capacity on a later tick.
+            self._count_fault("provision_retries_dropped")
+            return
+        if self._metrics_on:
+            self.metrics.counter("instance.launched").inc()
+        self._issue_launch(orders[0], attempt=attempt)
+
+    def _count_fault(self, key: str, n: int = 1) -> None:
+        self._cloud_faults[key] = self._cloud_faults.get(key, 0) + n
 
     def _on_stage_in_done(self, task_id: str) -> None:
         self.master.mark_executing(task_id)
@@ -409,6 +621,11 @@ class Simulation:
         duration = self.runtime_model.execution_time(
             task, instance, attempt, self._rng_runtime
         )
+        if self._chaos_injector is not None and instance.slowdown != 1.0:
+            # Straggler stretch applied outside the runtime model so the
+            # model's RNG draw sequence is identical with chaos off; the
+            # fault model below sees the stretched (real) duration.
+            duration *= instance.slowdown
         failure = self.fault_model.failure_offset(
             task, instance, attempt, duration, self._rng_faults
         )
@@ -470,9 +687,31 @@ class Simulation:
     def _on_controller_tick(self) -> None:
         if self.master.is_done():
             return
+        blackout = False
+        window_start = self._last_tick_time
+        if self._chaos_injector is not None:
+            blackout = self._chaos_injector.blackout()
+            if blackout:
+                self._count_fault("blackouts")
+                if self._trace:
+                    self.tracer.emit(
+                        CloudFaultRecord(now=self._now, fault="monitor_blackout")
+                    )
+                # Delayed-records mode remembers where the starved window
+                # began so the next clear tick can observe all of it at
+                # once; dropped-records mode remembers nothing — those
+                # windows are simply never offered to the predictor.
+                if (
+                    self._observe_from is None
+                    and not self._chaos_injector.spec.blackout_drops
+                ):
+                    self._observe_from = self._last_tick_time
+            elif self._observe_from is not None:
+                window_start = self._observe_from
+                self._observe_from = None
         observation = Observation(
             now=self._now,
-            window_start=self._last_tick_time,
+            window_start=window_start,
             workflow=self.workflow,
             master=self.master,
             monitor=self.monitor,
@@ -481,6 +720,7 @@ class Simulation:
             site=self.site,
             queued_task_ids=self.scheduler.snapshot(),
             draining_ids=frozenset(self._draining),
+            monitor_blackout=blackout,
         )
         pool_before = self.pool.active_size() - len(self._draining)
         started = _time.perf_counter()
@@ -511,23 +751,7 @@ class Simulation:
             if self._metrics_on:
                 self.metrics.counter("instance.launched").inc(decision.launch)
             for order in self.provisioner.order_launches(decision.launch, self._now):
-                ready_at = order.ready_at
-                if self.launch_jitter > 0.0:
-                    lag = order.ready_at - self._now
-                    ready_at = self._now + lag * (
-                        1.0 - self.launch_jitter * float(self._rng_launch.random())
-                    )
-                if self._trace:
-                    self.tracer.emit(
-                        InstanceEventRecord(
-                            now=self._now,
-                            instance_id=order.instance.instance_id,
-                            event="requested",
-                        )
-                    )
-                self.events.push(
-                    ready_at, EventKind.INSTANCE_READY, order.instance.instance_id
-                )
+                self._issue_launch(order)
         applied = 0
         remaining = self.pool.active_size() - len(self._draining)
         for order in decision.terminations:
@@ -544,6 +768,55 @@ class Simulation:
             remaining -= 1
             applied += 1
         return applied
+
+    def _issue_launch(self, order, attempt: int = 1) -> None:
+        """Schedule the arrival of one ordered launch.
+
+        With chaos enabled the order is subjected to a provisioning
+        outcome roll: it may come back failed after its lag (entering the
+        retry/backoff path) or arrive late by the timeout factor.
+        ``attempt`` numbers the order within a retry chain (1 = first
+        try).
+        """
+        ready_at = order.ready_at
+        if self.launch_jitter > 0.0:
+            lag = order.ready_at - self._now
+            ready_at = self._now + lag * (
+                1.0 - self.launch_jitter * float(self._rng_launch.random())
+            )
+        iid = order.instance.instance_id
+        if self._trace:
+            self.tracer.emit(
+                InstanceEventRecord(
+                    now=self._now, instance_id=iid, event="requested"
+                )
+            )
+        injector = self._chaos_injector
+        if injector is None:
+            self.events.push(ready_at, EventKind.INSTANCE_READY, iid)
+            return
+        outcome = injector.provision_outcome(self._now)
+        if outcome == "fail":
+            # The failure is only *detected* once the lag has elapsed —
+            # a real site reports a launch error, not instant rejection.
+            self._provision_attempts[iid] = attempt
+            self.events.push(ready_at, EventKind.PROVISION_FAILED, iid)
+        elif outcome == "timeout":
+            factor = injector.spec.provision_timeout_factor
+            delayed = self._now + (ready_at - self._now) * factor
+            self._count_fault("provision_timeouts")
+            if self._trace:
+                self.tracer.emit(
+                    CloudFaultRecord(
+                        now=self._now,
+                        fault="provision_timeout",
+                        instance_id=iid,
+                        attempt=attempt,
+                    )
+                )
+            self.events.push(delayed, EventKind.INSTANCE_READY, iid)
+        else:
+            self.events.push(ready_at, EventKind.INSTANCE_READY, iid)
 
     # ------------------------------------------------------------------
     # task dispatch

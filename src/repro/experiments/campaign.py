@@ -16,6 +16,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
+from repro.cloud.faults import ChaosSpec
 from repro.cloud.site import CloudSite, exogeni_site
 from repro.engine.control import Autoscaler
 from repro.experiments.harness import run_setting
@@ -184,8 +185,13 @@ def run_campaign(
     site: CloudSite | None = None,
     save_every: int = 1,
     trace_dir: str | Path | None = None,
+    chaos: ChaosSpec | None = None,
 ) -> tuple[list[CellRecord], int]:
     """Fill in the matrix's missing cells; returns (all records, #new).
+
+    ``chaos`` applies one cloud-fault spec (:mod:`repro.cloud.faults`) to
+    every cell; a cell's outcome is a pure function of its key and the
+    spec, so chaos campaigns resume and parallelize like clean ones.
 
     The store is saved after every ``save_every`` completed runs — and
     always flushed on completion *and* on any exception (including
@@ -213,6 +219,7 @@ def run_campaign(
                     if trace_dir is not None
                     else None
                 ),
+                chaos=chaos,
             )
             store.put(record_from_result(key, result))
             executed += 1

@@ -18,6 +18,7 @@ from repro.autoscalers import (
     WireAutoscaler,
     full_site,
 )
+from repro.cloud.faults import ChaosSpec
 from repro.cloud.site import CloudSite, exogeni_site
 from repro.core.config import WireConfig
 from repro.dag.workflow import Workflow
@@ -81,6 +82,7 @@ def run_setting(
     transfer_model: DataTransferModel | None = None,
     max_time: float = 1e8,
     trace_path: str | Path | None = None,
+    chaos: ChaosSpec | None = None,
 ) -> RunResult:
     """Execute one run of one setting.
 
@@ -88,7 +90,10 @@ def run_setting(
     cross-run dataset variability) or an already-generated workflow.
     ``trace_path`` writes the run's structured telemetry as JSONL
     (:mod:`repro.telemetry`); tracing is pure observation, so the run's
-    result is bit-identical with or without it.
+    result is bit-identical with or without it. ``chaos`` injects
+    cloud-level faults (:mod:`repro.cloud.faults`); the spec is plain
+    frozen data, so a cell runs identically in-process and in a
+    parallel-executor worker.
     """
     workflow = (
         workload.generate(seed)
@@ -110,6 +115,7 @@ def run_setting(
             seed=seed,
             max_time=max_time,
             tracer=Tracer(sink) if sink is not None else None,
+            chaos=chaos,
         )
         return simulation.run()
     finally:

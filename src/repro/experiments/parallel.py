@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
+from repro.cloud.faults import ChaosSpec
 from repro.cloud.site import CloudSite, exogeni_site
 from repro.engine.control import Autoscaler
 from repro.experiments.campaign import (
@@ -91,11 +92,15 @@ def _run_cell(
     payload: tuple[str, bytes | str],
     site: CloudSite,
     trace_dir: str | None = None,
+    chaos: ChaosSpec | None = None,
 ) -> CellRecord:
     """Worker entry point: execute one cell, return its summary record.
 
     Each cell traces to its own key-derived file, so concurrent workers
     never share a file handle and a retried attempt overwrites cleanly.
+    ``chaos`` is plain frozen data, so it crosses the process boundary by
+    ordinary pickling and the cell's fault draws are identical to an
+    inline run's.
     """
     mode, blob = payload
     if mode == "pickle":
@@ -111,6 +116,7 @@ def _run_cell(
         trace_path=(
             cell_trace_path(trace_dir, key) if trace_dir is not None else None
         ),
+        chaos=chaos,
     )
     return record_from_result(key, result)
 
@@ -126,6 +132,7 @@ def run_campaign_parallel(
     jobs: int = 1,
     save_every: int = 8,
     trace_dir: str | Path | None = None,
+    chaos: ChaosSpec | None = None,
 ) -> tuple[list[CellRecord], int, list[FailedCell]]:
     """Fill the matrix's missing cells across ``jobs`` worker processes.
 
@@ -153,7 +160,7 @@ def run_campaign_parallel(
         try:
             for key in todo:
                 record, error = _attempt_inline(
-                    key, specs, policies, the_site, the_trace_dir
+                    key, specs, policies, the_site, the_trace_dir, chaos
                 )
                 if record is None:
                     failed.append(FailedCell(key, error or "unknown error"))
@@ -184,6 +191,7 @@ def run_campaign_parallel(
                 payloads[key.policy],
                 the_site,
                 the_trace_dir,
+                chaos,
             )
             futures[future] = key
 
@@ -241,6 +249,7 @@ def _attempt_inline(
     policies: Mapping[str, Callable[[], Autoscaler]],
     site: CloudSite,
     trace_dir: str | None = None,
+    chaos: ChaosSpec | None = None,
 ) -> tuple[CellRecord | None, str | None]:
     """Run one cell inline with the same retry-once semantics as workers."""
     error: str | None = None
@@ -257,6 +266,7 @@ def _attempt_inline(
                     if trace_dir is not None
                     else None
                 ),
+                chaos=chaos,
             )
         except Exception as exc:  # noqa: BLE001 - isolate cell failures
             error = f"{type(exc).__name__}: {exc}"

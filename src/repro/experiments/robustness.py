@@ -8,10 +8,12 @@ sufficient to attain low cost even with imperfect prediction."
 
 This experiment makes the claim quantitative on axes the paper could not
 sweep on a live testbed: multiplicative runtime noise (co-located
-interference, §II-B) and injected task faults. For each degradation
-level it runs wire and full-site and reports wire's cost advantage and
-slowdown — robustness means the cost advantage survives as predictions
-get worse.
+interference, §II-B), injected task faults, and — since the cloud-fault
+layer landed — whole-cloud degradations (instance revocation,
+provisioning failures, stragglers, monitor blackouts) via
+:class:`~repro.cloud.faults.ChaosSpec`. For each degradation level it
+runs wire and full-site and reports wire's cost advantage and slowdown —
+robustness means the cost advantage survives as predictions get worse.
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.autoscalers import WireAutoscaler, full_site
+from repro.cloud.faults import NO_CHAOS, ChaosSpec
 from repro.cloud.site import CloudSite, exogeni_site
 from repro.engine.faults import NoFaults, RandomFaults
 from repro.engine.runtime import PerturbedRuntimeModel
@@ -43,6 +46,12 @@ class RobustnessRow:
     wire_makespan: float
     static_makespan: float
     wire_restarts: int
+    #: compact ChaosSpec label for the cell ("none" without cloud faults)
+    chaos_label: str = "none"
+    #: instance revocations injected into the wire run
+    wire_revocations: int = 0
+    #: monitor-blackout ticks injected into the wire run
+    wire_blackouts: int = 0
 
     @property
     def cost_advantage(self) -> float:
@@ -60,14 +69,17 @@ def robustness_experiment(
     *,
     noise_levels: Sequence[float] = (0.0, 0.2, 0.5),
     fault_levels: Sequence[float] = (0.0, 0.1),
+    chaos_levels: Sequence[ChaosSpec] = (NO_CHAOS,),
     charging_unit: float = 60.0,
     seed: int = 0,
     site: CloudSite | None = None,
 ) -> list[RobustnessRow]:
     """Sweep degradation levels; returns one row per (workload, level).
 
-    Noise and faults are swept jointly along the diagonal-free grid
-    (every noise level crossed with every fault level).
+    Noise, task faults, and cloud faults are swept jointly along the
+    diagonal-free grid (every noise level crossed with every fault level
+    crossed with every :class:`ChaosSpec`). The default chaos axis is the
+    single disabled spec, preserving the pre-chaos grid shape.
     """
     the_site = site or exogeni_site()
     if specs is None:
@@ -78,35 +90,47 @@ def robustness_experiment(
     for wf_name, spec in sorted(specs.items()):
         for cv in noise_levels:
             for fault_p in fault_levels:
-                results = {}
-                for factory in (WireAutoscaler, lambda: full_site(the_site)):
-                    result = Simulation(
-                        spec.generate(seed),
-                        the_site,
-                        factory(),
-                        charging_unit,
-                        transfer_model=default_transfer_model(),
-                        runtime_model=PerturbedRuntimeModel(cv=cv),
-                        fault_model=(
-                            RandomFaults(probability=fault_p)
-                            if fault_p > 0
-                            else NoFaults()
-                        ),
-                        seed=seed,
-                    ).run()
-                    results[result.autoscaler_name] = result
-                wire = results["wire"]
-                static = results["full-site"]
-                rows.append(
-                    RobustnessRow(
-                        workflow=wf_name,
-                        noise_cv=cv,
-                        fault_probability=fault_p,
-                        wire_units=wire.total_units,
-                        static_units=static.total_units,
-                        wire_makespan=wire.makespan,
-                        static_makespan=static.makespan,
-                        wire_restarts=wire.restarts,
+                for chaos in chaos_levels:
+                    results = {}
+                    for factory in (
+                        WireAutoscaler,
+                        lambda: full_site(the_site),
+                    ):
+                        result = Simulation(
+                            spec.generate(seed),
+                            the_site,
+                            factory(),
+                            charging_unit,
+                            transfer_model=default_transfer_model(),
+                            runtime_model=PerturbedRuntimeModel(cv=cv),
+                            fault_model=(
+                                RandomFaults(probability=fault_p)
+                                if fault_p > 0
+                                else NoFaults()
+                            ),
+                            seed=seed,
+                            chaos=chaos,
+                        ).run()
+                        results[result.autoscaler_name] = result
+                    wire = results["wire"]
+                    static = results["full-site"]
+                    rows.append(
+                        RobustnessRow(
+                            workflow=wf_name,
+                            noise_cv=cv,
+                            fault_probability=fault_p,
+                            wire_units=wire.total_units,
+                            static_units=static.total_units,
+                            wire_makespan=wire.makespan,
+                            static_makespan=static.makespan,
+                            wire_restarts=wire.restarts,
+                            chaos_label=chaos.label(),
+                            wire_revocations=wire.cloud_faults.get(
+                                "revocations", 0
+                            ),
+                            wire_blackouts=wire.cloud_faults.get(
+                                "blackouts", 0
+                            ),
+                        )
                     )
-                )
     return rows

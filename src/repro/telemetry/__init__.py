@@ -18,6 +18,7 @@ from repro.telemetry.metrics import (
     NullMetricsRegistry,
 )
 from repro.telemetry.records import (
+    CloudFaultRecord,
     ControlTickRecord,
     InstanceEventRecord,
     RunMetaRecord,
@@ -46,6 +47,7 @@ from repro.telemetry.tracer import NULL_TRACER, Tracer
 __all__ = [
     "NULL_METRICS",
     "NULL_TRACER",
+    "CloudFaultRecord",
     "ControlTickRecord",
     "Counter",
     "Gauge",

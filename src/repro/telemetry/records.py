@@ -20,6 +20,7 @@ from dataclasses import asdict, dataclass, fields
 from typing import Any, ClassVar, Mapping
 
 __all__ = [
+    "CloudFaultRecord",
     "ControlTickRecord",
     "InstanceEventRecord",
     "RunMetaRecord",
@@ -141,7 +142,7 @@ class InstanceEventRecord(TraceRecord):
 
     now: float
     instance_id: str
-    #: "requested", "provisioned", "terminated", or "cancelled"
+    #: "requested", "provisioned", "terminated", "revoked", or "cancelled"
     event: str
     #: charging units billed over the instance's life (terminated only)
     units_charged: int | None = None
@@ -180,6 +181,38 @@ class TaskAttemptRecord(TraceRecord):
 
 
 @dataclass(frozen=True, slots=True)
+class CloudFaultRecord(TraceRecord):
+    """One injected cloud fault, or a degradation reacting to one.
+
+    Emitted by the engine's chaos wiring (:mod:`repro.cloud.faults`).
+    ``fault`` is one of: ``revocation``, ``straggler``,
+    ``provision_failure``, ``provision_retry``, ``provision_abandoned``,
+    ``provision_timeout``, ``monitor_blackout``. Only the fields relevant
+    to the fault class are set; the rest stay ``None``/0.
+    """
+
+    kind: ClassVar[str] = "cloud_fault"
+
+    now: float
+    fault: str
+    #: subject instance (None for monitor blackouts)
+    instance_id: str | None = None
+    #: attempts killed and requeued by a revocation
+    tasks_killed: int = 0
+    #: paid-but-unused seconds of a revoked instance — the billing waste
+    #: attributable to the revocation (its recharge-waste measure)
+    wasted_seconds: float | None = None
+    #: sunk slot-occupancy destroyed by a revocation (work to redo)
+    lost_occupancy: float | None = None
+    #: straggler execution-time multiplier
+    slowdown: float | None = None
+    #: provisioning attempt number within a retry chain (1 = first try)
+    attempt: int | None = None
+    #: backoff delay before the next provisioning retry (seconds)
+    backoff: float | None = None
+
+
+@dataclass(frozen=True, slots=True)
 class RunSummaryRecord(TraceRecord):
     """Aggregate measurements — always the last record of a trace."""
 
@@ -204,6 +237,7 @@ _RECORD_TYPES: dict[str, type[TraceRecord]] = {
         ControlTickRecord,
         InstanceEventRecord,
         TaskAttemptRecord,
+        CloudFaultRecord,
         RunSummaryRecord,
     )
 }

@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.telemetry.records import (
+    CloudFaultRecord,
     ControlTickRecord,
     InstanceEventRecord,
     RunMetaRecord,
@@ -77,6 +78,14 @@ class TraceSummary:
     #: controller branch tallies: grow/shrink/hold
     branch_counts: dict[str, int] = field(default_factory=dict)
     ticks: int = 0
+    #: injected cloud-fault tallies by fault class (chaos runs only)
+    cloud_faults: dict[str, int] = field(default_factory=dict)
+    #: task attempts killed by instance revocations
+    revocation_task_kills: int = 0
+    #: paid-but-unused seconds attributable to revoked instances
+    revocation_wasted_seconds: float = 0.0
+    #: sunk slot-occupancy destroyed by revocations (work redone)
+    revocation_lost_occupancy: float = 0.0
 
     @property
     def idle_fraction(self) -> float | None:
@@ -105,6 +114,10 @@ def summarize_trace(source: str | Path | Iterable[TraceRecord]) -> TraceSummary:
     busy_slot = 0.0
     wasted = 0.0
     queue_waits: list[float] = []
+    cloud_faults: dict[str, int] = {}
+    revocation_kills = 0
+    revocation_wasted = 0.0
+    revocation_lost = 0.0
     #: stage -> list of actual runtimes from completed attempts
     actual: dict[str, list[float]] = {}
     #: stage -> list of (tick mean estimate, model)
@@ -123,12 +136,18 @@ def summarize_trace(source: str | Path | Iterable[TraceRecord]) -> TraceSummary:
                 )
         elif isinstance(record, InstanceEventRecord):
             instance_events[record.event] = instance_events.get(record.event, 0) + 1
-            if record.event == "terminated":
+            if record.event in ("terminated", "revoked"):
                 total_units += record.units_charged or 0
                 slots = meta.slots_per_instance if meta is not None else 1
                 paid_slot += (record.paid_seconds or 0.0) * slots
                 busy_slot += record.busy_slot_seconds or 0.0
                 wasted += record.wasted_seconds or 0.0
+        elif isinstance(record, CloudFaultRecord):
+            cloud_faults[record.fault] = cloud_faults.get(record.fault, 0) + 1
+            if record.fault == "revocation":
+                revocation_kills += record.tasks_killed
+                revocation_wasted += record.wasted_seconds or 0.0
+                revocation_lost += record.lost_occupancy or 0.0
         elif isinstance(record, TaskAttemptRecord):
             task_outcomes[record.outcome] = task_outcomes.get(record.outcome, 0) + 1
             if record.queue_wait is not None:
@@ -186,6 +205,10 @@ def summarize_trace(source: str | Path | Iterable[TraceRecord]) -> TraceSummary:
         ),
         branch_counts=branch_counts,
         ticks=len(ticks),
+        cloud_faults=cloud_faults,
+        revocation_task_kills=revocation_kills,
+        revocation_wasted_seconds=revocation_wasted,
+        revocation_lost_occupancy=revocation_lost,
     )
 
 
@@ -235,10 +258,34 @@ def render_trace_summary(summary: TraceSummary) -> str:
         ],
         ["recharge waste", format_duration(summary.wasted_seconds)],
     ]
-    for event in ("requested", "provisioned", "terminated", "cancelled"):
+    for event in ("requested", "provisioned", "terminated", "revoked", "cancelled"):
         if event in summary.instance_events:
             cost_rows.append([f"instances {event}", summary.instance_events[event]])
     blocks.append(render_table(["cost / waste", "value"], cost_rows))
+
+    if summary.cloud_faults:
+        fault_rows: list[list] = [
+            [fault, count]
+            for fault, count in sorted(summary.cloud_faults.items())
+        ]
+        if summary.revocation_task_kills:
+            fault_rows.append(
+                ["attempts killed by revocation", summary.revocation_task_kills]
+            )
+        if summary.cloud_faults.get("revocation"):
+            fault_rows.append(
+                [
+                    "billing wasted by revocation",
+                    format_duration(summary.revocation_wasted_seconds),
+                ]
+            )
+            fault_rows.append(
+                [
+                    "occupancy lost to revocation",
+                    format_duration(summary.revocation_lost_occupancy),
+                ]
+            )
+        blocks.append(render_table(["cloud fault", "count"], fault_rows))
 
     run_rows: list[list] = [["controller ticks", summary.ticks]]
     for branch in ("grow", "shrink", "hold"):

@@ -1,0 +1,152 @@
+"""Unit tests for the cloud-fault spec layer (repro.cloud.faults)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.cloud.faults import (
+    NO_CHAOS,
+    ChaosInjector,
+    ChaosSpec,
+    RetryPolicy,
+    parse_chaos_spec,
+)
+from repro.util.rng import spawn_rng
+
+
+class TestRetryPolicy:
+    def test_delay_grows_geometrically(self):
+        policy = RetryPolicy(max_retries=3, backoff=10.0, multiplier=2.0)
+        assert policy.delay(1) == pytest.approx(10.0)
+        assert policy.delay(2) == pytest.approx(20.0)
+        assert policy.delay(3) == pytest.approx(40.0)
+
+    def test_delay_rejects_nonpositive_attempt(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.0)
+
+
+class TestChaosSpec:
+    def test_default_is_disabled(self):
+        assert not NO_CHAOS.enabled
+        assert NO_CHAOS.label() == "none"
+
+    def test_any_positive_rate_enables(self):
+        assert ChaosSpec(revocation_rate=0.1).enabled
+        assert ChaosSpec(provision_failure=0.1).enabled
+        assert ChaosSpec(provision_timeout=0.1).enabled
+        assert ChaosSpec(straggler_probability=0.1).enabled
+        assert ChaosSpec(blackout_probability=0.1).enabled
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            ChaosSpec(provision_failure=1.5)
+        with pytest.raises(ValueError):
+            ChaosSpec(straggler_probability=-0.1)
+        with pytest.raises(ValueError):
+            ChaosSpec(revocation_rate=-1.0)
+        with pytest.raises(ValueError):
+            ChaosSpec(straggler_slowdown=0.5)
+
+    def test_label_is_compact_and_stable(self):
+        spec = ChaosSpec(
+            revocation_rate=3.0,
+            provision_failure=0.4,
+            straggler_probability=0.3,
+            straggler_slowdown=2.5,
+        )
+        assert spec.label() == "rev3+pfail0.4+strag0.3x2.5"
+
+    def test_frozen_and_picklable(self):
+        spec = ChaosSpec(revocation_rate=1.0, retry=RetryPolicy(max_retries=5))
+        with pytest.raises(AttributeError):
+            spec.revocation_rate = 2.0  # type: ignore[misc]
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+
+
+class TestParse:
+    def test_parse_round_trip_keys(self):
+        spec = parse_chaos_spec(
+            "revocations=2,pfail=0.3,ptimeout=0.1,stragglers=0.2,"
+            "slowdown=3,blackouts=0.25,retries=5,backoff=12,"
+            "backoff-multiplier=1.5"
+        )
+        assert spec.revocation_rate == pytest.approx(2.0)
+        assert spec.provision_failure == pytest.approx(0.3)
+        assert spec.provision_timeout == pytest.approx(0.1)
+        assert spec.straggler_probability == pytest.approx(0.2)
+        assert spec.straggler_slowdown == pytest.approx(3.0)
+        assert spec.blackout_probability == pytest.approx(0.25)
+        assert spec.retry == RetryPolicy(max_retries=5, backoff=12.0, multiplier=1.5)
+
+    def test_parse_long_names_and_flags(self):
+        spec = parse_chaos_spec(
+            "revocation-rate=1,blackout-probability=0.1,drop-records,"
+            "pfail-until=3600"
+        )
+        assert spec.revocation_rate == pytest.approx(1.0)
+        assert spec.blackout_drops is True
+        assert spec.provision_failure_until == pytest.approx(3600.0)
+
+    def test_parse_rejects_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown chaos key"):
+            parse_chaos_spec("revocations=1,bogus=2")
+
+    def test_parse_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            parse_chaos_spec("pfail=not-a-number")
+
+    def test_parse_empty_is_disabled(self):
+        assert not parse_chaos_spec("").enabled
+
+
+class TestInjector:
+    def test_rejects_disabled_spec(self):
+        with pytest.raises(ValueError):
+            ChaosInjector(NO_CHAOS, spawn_rng(0, "chaos-test"))
+
+    def test_draws_are_deterministic_per_seed(self):
+        spec = ChaosSpec(
+            revocation_rate=2.0,
+            provision_failure=0.5,
+            straggler_probability=0.5,
+            blackout_probability=0.5,
+        )
+
+        def draws(seed):
+            inj = ChaosInjector(spec, spawn_rng(seed, "chaos-test"))
+            return (
+                [inj.straggler_factor() for _ in range(5)],
+                [inj.revocation_delay() for _ in range(5)],
+                [inj.provision_outcome(0.0) for _ in range(5)],
+                [inj.blackout() for _ in range(5)],
+            )
+
+        assert draws(11) == draws(11)
+        assert draws(11) != draws(12)
+
+    def test_provision_failure_window(self):
+        spec = ChaosSpec(provision_failure=1.0, provision_failure_until=100.0)
+        inj = ChaosInjector(spec, spawn_rng(0, "chaos-test"))
+        assert inj.provision_outcome(50.0) == "fail"
+        assert inj.provision_outcome(150.0) == "ok"
+
+    def test_revocation_delay_scales_with_rate(self):
+        fast = ChaosSpec(revocation_rate=100.0)
+        slow = ChaosSpec(revocation_rate=0.01)
+        n = 200
+        mean = lambda inj: sum(inj.revocation_delay() for _ in range(n)) / n
+        assert mean(ChaosInjector(fast, spawn_rng(0, "chaos-test"))) < mean(
+            ChaosInjector(slow, spawn_rng(0, "chaos-test"))
+        )

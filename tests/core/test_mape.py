@@ -52,6 +52,64 @@ class TestMapeIntegration:
             MapeController().predictor
 
 
+class TestBlackoutDegradation:
+    """Monitor blackouts (cloud-fault injection) degrade gracefully:
+    the controller holds its last-known model and never shrinks the pool
+    off stale estimates."""
+
+    def _blackout_run(self, small_site, blackout_from_tick):
+        from repro.cloud.faults import ChaosSpec
+
+        class OnOffInjector:
+            """Real-injector stand-in: blackout from tick N onwards."""
+
+            spec = ChaosSpec(blackout_probability=1e-9)
+
+            def __init__(self) -> None:
+                self.tick = 0
+
+            def straggler_factor(self):
+                return 1.0
+
+            def revocation_delay(self):
+                return None
+
+            def provision_outcome(self, now):
+                return "ok"
+
+            def blackout(self):
+                self.tick += 1
+                return self.tick > blackout_from_tick
+
+        wf = linear_stage_workflow([(8, 120.0), (1, 300.0)])
+        controller = MapeController()
+        sim = Simulation(
+            wf, small_site, controller, 60.0, chaos=OnOffInjector.spec
+        )
+        sim._chaos_injector = OnOffInjector()
+        return Simulation.run(sim), controller
+
+    def test_blackout_ticks_counted_and_model_frozen(self, small_site):
+        result, controller = self._blackout_run(small_site, blackout_from_tick=3)
+        assert result.completed
+        assert controller.blackout_ticks == result.cloud_faults["blackouts"]
+        assert controller.blackout_ticks > 0
+
+    def test_never_shrinks_on_stale_model(self, small_site):
+        # Without blackouts this scenario provably shrinks (the
+        # test_releases_idle_instances case); with every tick blacked
+        # out, shrink decisions must be replaced by holds.
+        clear, clear_ctrl = self._blackout_run(small_site, 10**9)
+        assert clear_ctrl.blackout_ticks == 0
+        assert any(d.terminated > 0 for d in clear_ctrl.diagnostics)
+
+        dark, dark_ctrl = self._blackout_run(small_site, 0)
+        assert dark.completed
+        assert dark_ctrl.blackout_ticks > 0
+        assert all(d.terminated == 0 for d in dark_ctrl.diagnostics)
+        assert dark_ctrl.blackout_holds > 0
+
+
 class TestConfigVariants:
     def test_lookahead_ablation_runs(self, small_site):
         wf = single_stage_workflow(8, runtime=100.0)

@@ -102,6 +102,34 @@ class TestDeterminism:
         assert executed == 16
         assert serial_path.read_bytes() == inline_path.read_bytes()
 
+    def test_chaos_campaign_jobs4_byte_identical_to_serial(
+        self, tmp_path, matrix
+    ):
+        # ChaosSpec is frozen data: the fault draws a worker makes are
+        # identical to an inline run's, so a chaotic campaign store is as
+        # scheduling-independent as a clean one.
+        from repro.cloud.faults import ChaosSpec
+
+        chaos = ChaosSpec(
+            revocation_rate=20.0,
+            provision_failure=0.2,
+            straggler_probability=0.2,
+            blackout_probability=0.2,
+        )
+        serial_path = tmp_path / "serial.json"
+        run_campaign(CampaignStore(serial_path), **matrix, chaos=chaos)
+        parallel_path = tmp_path / "parallel.json"
+        _, executed, failed = run_campaign_parallel(
+            CampaignStore(parallel_path), **matrix, jobs=4, chaos=chaos
+        )
+        assert failed == []
+        assert executed == 16
+        assert serial_path.read_bytes() == parallel_path.read_bytes()
+        # and chaos actually changed outcomes vs a clean campaign
+        clean_path = tmp_path / "clean.json"
+        run_campaign(CampaignStore(clean_path), **matrix)
+        assert clean_path.read_bytes() != serial_path.read_bytes()
+
 
 class TestResume:
     @pytest.mark.parametrize("jobs", [1, 4])

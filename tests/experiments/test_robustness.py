@@ -46,3 +46,47 @@ class TestRobustnessExperiment:
         a = robustness_experiment(**kwargs)
         b = robustness_experiment(**kwargs)
         assert a == b
+
+
+class TestChaosAxis:
+    CHAOS = None  # filled lazily to keep import costs at module level low
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        from repro.cloud.faults import NO_CHAOS, ChaosSpec
+
+        return robustness_experiment(
+            {"tpch6-S": tpch6("S")},
+            noise_levels=(0.0,),
+            fault_levels=(0.0,),
+            chaos_levels=(
+                NO_CHAOS,
+                ChaosSpec(revocation_rate=30.0, blackout_probability=0.3),
+            ),
+            seed=1,
+        )
+
+    def test_grid_gains_a_chaos_dimension(self, rows):
+        assert len(rows) == 2  # 1 workload x 1 noise x 1 fault x 2 chaos
+        assert [r.chaos_label for r in rows] == ["none", "rev30+blackout0.3"]
+
+    def test_clean_cell_reports_no_cloud_faults(self, rows):
+        clean = rows[0]
+        assert clean.wire_revocations == 0
+        assert clean.wire_blackouts == 0
+
+    def test_chaotic_cell_reports_injections(self, rows):
+        chaotic = rows[1]
+        assert chaotic.wire_revocations + chaotic.wire_blackouts > 0
+
+    def test_chaos_axis_deterministic(self):
+        from repro.cloud.faults import ChaosSpec
+
+        kwargs = dict(
+            specs={"tpch6-S": tpch6("S")},
+            noise_levels=(0.0,),
+            fault_levels=(0.0,),
+            chaos_levels=(ChaosSpec(revocation_rate=30.0),),
+            seed=2,
+        )
+        assert robustness_experiment(**kwargs) == robustness_experiment(**kwargs)

@@ -1,0 +1,139 @@
+"""A traced chaotic run emits fault records that summarize coherently."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autoscalers import PureReactiveAutoscaler
+from repro.cloud.faults import ChaosSpec
+from repro.engine import Simulation
+from repro.telemetry import (
+    CloudFaultRecord,
+    MemorySink,
+    Tracer,
+    render_trace_summary,
+    summarize_trace,
+)
+from repro.workloads import single_stage_workflow
+
+SPEC = ChaosSpec(
+    revocation_rate=40.0,
+    provision_failure=0.4,
+    straggler_probability=0.4,
+    blackout_probability=0.3,
+)
+
+
+@pytest.fixture
+def traced_chaos_run(small_site):
+    sink = MemorySink()
+    result = Simulation(
+        single_stage_workflow(16, runtime=80.0),
+        small_site,
+        PureReactiveAutoscaler(),
+        60.0,
+        seed=6,
+        tracer=Tracer(sink),
+        chaos=SPEC,
+    ).run()
+    assert result.cloud_faults.get("revocations"), "seed 6 must inject revocations"
+    return result, sink
+
+
+class TestFaultRecords:
+    def test_tracing_does_not_perturb_the_chaotic_run(self, small_site):
+        def run(tracer):
+            return Simulation(
+                single_stage_workflow(16, runtime=80.0),
+                small_site,
+                PureReactiveAutoscaler(),
+                60.0,
+                seed=6,
+                tracer=tracer,
+                chaos=SPEC,
+            ).run()
+
+        traced = run(Tracer(MemorySink()))
+        bare = run(None)
+        assert traced.makespan == bare.makespan
+        assert traced.total_units == bare.total_units
+        assert traced.cloud_faults == bare.cloud_faults
+
+    def test_stream_carries_one_record_per_injection(self, traced_chaos_run):
+        result, sink = traced_chaos_run
+        faults = [r for r in sink.records if isinstance(r, CloudFaultRecord)]
+        by_kind: dict[str, int] = {}
+        for record in faults:
+            by_kind[record.fault] = by_kind.get(record.fault, 0) + 1
+        # the trace-side names are singular per-record tags
+        expectations = {
+            "revocation": "revocations",
+            "straggler": "stragglers",
+            "provision_failure": "provision_failures",
+            "provision_retry": "provision_retries",
+            "provision_abandoned": "provision_abandoned",
+            "provision_timeout": "provision_timeouts",
+            "monitor_blackout": "blackouts",
+        }
+        for trace_name, engine_name in expectations.items():
+            assert by_kind.get(trace_name, 0) == result.cloud_faults.get(
+                engine_name, 0
+            )
+
+    def test_revocation_records_attribute_waste(self, traced_chaos_run):
+        result, sink = traced_chaos_run
+        revocations = [
+            r
+            for r in sink.records
+            if isinstance(r, CloudFaultRecord) and r.fault == "revocation"
+        ]
+        assert revocations
+        kills = sum(r.tasks_killed for r in revocations)
+        assert kills == result.cloud_faults.get("revocation_task_kills", 0)
+        for record in revocations:
+            assert record.instance_id is not None
+            assert record.wasted_seconds is not None
+            assert record.lost_occupancy is not None
+            assert record.lost_occupancy >= 0.0
+
+
+class TestSummarize:
+    def test_summary_tallies_match_engine_counters(self, traced_chaos_run):
+        result, sink = traced_chaos_run
+        summary = summarize_trace(sink.records)
+        assert summary.cloud_faults.get("revocation", 0) == result.cloud_faults.get(
+            "revocations", 0
+        )
+        assert summary.revocation_task_kills == result.cloud_faults.get(
+            "revocation_task_kills", 0
+        )
+        assert summary.revocation_wasted_seconds >= 0.0
+        assert summary.revocation_lost_occupancy >= 0.0
+
+    def test_revoked_instances_kept_in_cost_aggregation(self, traced_chaos_run):
+        result, sink = traced_chaos_run
+        summary = summarize_trace(sink.records)
+        # end-of-life events are terminated OR revoked; both are billed,
+        # so the per-instance unit tallies must still cover the run total
+        assert summary.total_units == result.total_units
+
+    def test_render_reports_fault_table(self, traced_chaos_run):
+        _, sink = traced_chaos_run
+        text = render_trace_summary(summarize_trace(sink.records))
+        assert "cloud fault" in text
+        assert "revocation" in text
+        assert "attempts killed by revocation" in text
+        assert "billing wasted by revocation" in text
+
+    def test_clean_trace_renders_no_fault_table(self, small_site):
+        sink = MemorySink()
+        Simulation(
+            single_stage_workflow(4, runtime=20.0),
+            small_site,
+            PureReactiveAutoscaler(),
+            60.0,
+            seed=0,
+            tracer=Tracer(sink),
+        ).run()
+        text = render_trace_summary(summarize_trace(sink.records))
+        assert "cloud fault" not in text

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.telemetry import (
+    CloudFaultRecord,
     ControlTickRecord,
     InstanceEventRecord,
     RunMetaRecord,
@@ -77,6 +78,15 @@ ATTEMPT = TaskAttemptRecord(
     input_size=2e7,
 )
 
+CLOUD = CloudFaultRecord(
+    now=120.0,
+    fault="revocation",
+    instance_id="i-3",
+    tasks_killed=2,
+    wasted_seconds=40.0,
+    lost_occupancy=80.0,
+)
+
 SUMMARY = RunSummaryRecord(
     makespan=812.0,
     completed=True,
@@ -93,7 +103,7 @@ SUMMARY = RunSummaryRecord(
 
 class TestRoundTrip:
     @pytest.mark.parametrize(
-        "record", [META, TICK, INSTANCE, ATTEMPT, SUMMARY], ids=lambda r: r.kind
+        "record", [META, TICK, INSTANCE, ATTEMPT, CLOUD, SUMMARY], ids=lambda r: r.kind
     )
     def test_to_json_and_back_is_identity(self, record):
         payload = record.to_json()
@@ -113,6 +123,7 @@ class TestRoundTrip:
         assert TICK.kind == "control_tick"
         assert INSTANCE.kind == "instance_event"
         assert ATTEMPT.kind == "task_attempt"
+        assert CLOUD.kind == "cloud_fault"
         assert SUMMARY.kind == "run_summary"
 
     def test_optional_fields_survive_as_none(self):

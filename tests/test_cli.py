@@ -114,3 +114,90 @@ class TestCommands:
     def test_overhead_command(self, capsys):
         assert main(["overhead"]) == 0
         assert "controller time" in capsys.readouterr().out
+
+
+class TestChaosCommands:
+    def test_run_with_chaos_reports_faults(self, capsys):
+        assert main(
+            [
+                "run",
+                "tpch6-S",
+                "--policy",
+                "pure-reactive",
+                "--chaos",
+                "revocations=40,stragglers=0.4,blackouts=0.3",
+                "--seed",
+                "6",
+            ]
+        ) == 0
+        assert "cloud faults injected" in capsys.readouterr().out
+
+    def test_run_with_disabled_chaos_spec_is_silent(self, capsys):
+        assert main(["run", "tpch6-S", "--chaos", ""]) == 0
+        assert "cloud faults" not in capsys.readouterr().out
+
+    def test_bad_chaos_spec_exits(self):
+        with pytest.raises(SystemExit, match="bad --chaos value"):
+            main(["run", "tpch6-S", "--chaos", "bogus=1"])
+
+    def test_chaos_trace_summarizes_fault_table(self, capsys, tmp_path):
+        trace = tmp_path / "chaos.jsonl"
+        assert main(
+            [
+                "run",
+                "tpch6-S",
+                "--policy",
+                "pure-reactive",
+                "--chaos",
+                "revocations=40,blackouts=0.3",
+                "--seed",
+                "6",
+                "--trace",
+                str(trace),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "cloud fault" in out
+
+    def test_robustness_subcommand(self, capsys, tmp_path):
+        out_file = tmp_path / "rows.json"
+        assert main(
+            [
+                "robustness",
+                "--workloads",
+                "tpch6-S",
+                "--noise",
+                "0.0",
+                "--faults",
+                "0.0",
+                "--chaos",
+                "revocations=30",
+                "--out",
+                str(out_file),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "robustness under degradation" in out
+        assert "none" in out and "rev30" in out
+        assert out_file.exists()
+
+    def test_campaign_with_chaos(self, capsys, tmp_path):
+        store = tmp_path / "store.json"
+        assert main(
+            [
+                "campaign",
+                "--store",
+                str(store),
+                "--workloads",
+                "tpch6-S",
+                "--policies",
+                "pure-reactive",
+                "--charging-units",
+                "60",
+                "--chaos",
+                "revocations=30",
+            ]
+        ) == 0
+        assert store.exists()

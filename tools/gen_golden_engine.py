@@ -9,11 +9,16 @@ it only when a semantic engine change is intended and reviewed:
     PYTHONPATH=src python tools/gen_golden_engine.py            # rewrite
     PYTHONPATH=src python tools/gen_golden_engine.py --check    # verify
     PYTHONPATH=src python tools/gen_golden_engine.py --check --traced
+    PYTHONPATH=src python tools/gen_golden_engine.py --check --no-chaos
 
 ``--check`` re-runs every scenario and exits nonzero on any fingerprint
 drift (the CI gate over the full matrix; the unit suite samples a fast
 subset). ``--traced`` attaches a telemetry tracer to every run, proving
-tracing is pure observation — fingerprints must not move.
+tracing is pure observation — fingerprints must not move. ``--no-chaos``
+passes an all-disabled :class:`~repro.cloud.faults.ChaosSpec` to every
+run, proving the disabled chaos path is zero-cost — fingerprints must
+not move either. ``--diff-out FILE`` writes an expected-vs-actual JSON
+report on drift so CI can upload it as an artifact.
 """
 
 from __future__ import annotations
@@ -40,12 +45,15 @@ OUT = Path(__file__).resolve().parent.parent / "tests" / "engine" / (
 )
 
 
-def scenarios(tracer_factory=None):
+def scenarios(tracer_factory=None, chaos=None):
     """Scenario name -> Simulation factory. Covers dispatch packing,
     terminations with occupants (restarts), faults, and launch jitter.
 
     ``tracer_factory`` attaches a fresh tracer to every simulation (used
-    by ``--traced`` to prove telemetry never perturbs results)."""
+    by ``--traced`` to prove telemetry never perturbs results).
+    ``chaos`` passes a ChaosSpec to every simulation (used by
+    ``--no-chaos`` with a disabled spec to prove the disabled path is
+    zero-cost)."""
     site = exogeni_site()
     specs = table1_specs()
     policies = {
@@ -102,6 +110,7 @@ def scenarios(tracer_factory=None):
             u,
             transfer_model=default_transfer_model(),
             tracer=tracer_factory() if tracer_factory is not None else None,
+            chaos=chaos,
             **kwargs,
         )
 
@@ -141,6 +150,18 @@ def main(argv=None) -> int:
         help="attach a telemetry tracer to every run (tracing must not "
         "change a single fingerprint)",
     )
+    parser.add_argument(
+        "--no-chaos",
+        action="store_true",
+        help="pass a disabled ChaosSpec to every run (the disabled chaos "
+        "path must not change a single fingerprint)",
+    )
+    parser.add_argument(
+        "--diff-out",
+        metavar="FILE",
+        help="on --check failure, write an expected-vs-actual JSON report "
+        "of the drifted scenarios here (for CI artifact upload)",
+    )
     args = parser.parse_args(argv)
 
     tracer_factory = None
@@ -149,8 +170,14 @@ def main(argv=None) -> int:
 
         tracer_factory = lambda: Tracer(MemorySink(maxlen=4096))  # noqa: E731
 
+    chaos = None
+    if args.no_chaos:
+        from repro.cloud.faults import NO_CHAOS
+
+        chaos = NO_CHAOS
+
     payload = {}
-    for name, sim in scenarios(tracer_factory):
+    for name, sim in scenarios(tracer_factory, chaos):
         payload[name] = fingerprint(sim.run())
         if not args.check:
             print(f"  {name}")
@@ -162,11 +189,30 @@ def main(argv=None) -> int:
             for name in sorted(set(payload) | set(committed))
             if payload.get(name) != committed.get(name)
         ]
-        mode = "traced" if args.traced else "untraced"
+        mode = "untraced"
+        if args.traced:
+            mode = "traced"
+        if args.no_chaos:
+            mode += "+no-chaos"
         if drifted:
             print(f"FAIL: {len(drifted)} golden scenario(s) drifted ({mode}):")
             for name in drifted:
                 print(f"  {name}")
+            if args.diff_out:
+                report = {
+                    "mode": mode,
+                    "drifted": {
+                        name: {
+                            "expected": committed.get(name),
+                            "actual": payload.get(name),
+                        }
+                        for name in drifted
+                    },
+                }
+                Path(args.diff_out).write_text(
+                    json.dumps(report, indent=2, sort_keys=True) + "\n", "utf-8"
+                )
+                print(f"wrote drift report to {args.diff_out}")
             return 1
         print(f"ok: {len(payload)} golden scenarios bit-identical ({mode})")
         return 0
