@@ -49,10 +49,33 @@ from repro.experiments.report import (
     render_relative_time,
     render_table1,
 )
+from repro.fleet import DEFAULT_FLEET_WORKLOADS
 from repro.util.formatting import format_duration, render_table
 from repro.workloads import PAPER_PROFILES, table1_specs
 
 __all__ = ["main"]
+
+
+def _non_negative_int(text: str) -> int:
+    """argparse type for seeds: any integer >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for counts (--jobs, --save-every): any integer >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _workload(name: str):
@@ -335,10 +358,6 @@ def cmd_overhead(args: argparse.Namespace) -> int:
 def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.experiments import CampaignStore, run_campaign_parallel
 
-    if args.jobs < 1:
-        raise SystemExit("--jobs must be >= 1")
-    if args.save_every < 1:
-        raise SystemExit("--save-every must be >= 1")
     site = exogeni_site()
     specs = table1_specs()
     if args.workloads:
@@ -432,10 +451,139 @@ def cmd_robustness(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_trace_summarize(args: argparse.Namespace) -> int:
-    from repro.telemetry import render_trace_summary, summarize_trace
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import make_arrivals, run_fleet
 
-    print(render_trace_summary(summarize_trace(args.file)))
+    chaos = _chaos(args.chaos)
+    if args.rates:
+        # Sweep mode: one fleet run per (rate, seed) cell, optionally in
+        # parallel; serial and parallel sweeps return identical rows.
+        from repro.experiments import fleet_experiment, render_fleet_sweep
+
+        rows = fleet_experiment(
+            args.rates,
+            n=args.n,
+            workloads=args.workloads,
+            policy=args.policy,
+            autoscaler=args.autoscaler,
+            charging_unit=args.charging_unit,
+            seeds=tuple(range(args.seed, args.seed + args.repetitions)),
+            jobs=args.jobs,
+            chaos=chaos,
+        )
+        print(render_fleet_sweep(rows))
+        if args.out:
+            import json
+            from dataclasses import asdict
+
+            Path(args.out).write_text(
+                json.dumps([asdict(row) for row in rows], indent=2, sort_keys=True),
+                encoding="utf-8",
+            )
+            print(f"\nwrote {len(rows)} sweep rows to {args.out}")
+        return 0
+
+    try:
+        arrivals = make_arrivals(
+            args.arrival,
+            rate=args.rate,
+            n=args.n,
+            burst_size=args.burst_size,
+            gap=args.gap,
+            times=args.times,
+            workloads=args.workloads,
+        )
+        result = run_fleet(
+            arrivals=arrivals,
+            policy=args.policy,
+            autoscaler=args.autoscaler,
+            charging_unit=args.charging_unit,
+            seed=args.seed,
+            max_active=args.max_active,
+            trace_path=args.trace,
+            chaos=chaos,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    print(
+        render_table(
+            ["tenant", "workload", "prio", "makespan", "queue wait",
+             "slowdown", "cost", "restarts", "done"],
+            [
+                [
+                    t.tenant_id,
+                    t.workload,
+                    t.priority,
+                    format_duration(t.makespan),
+                    f"{t.queue_wait_mean:.1f}s",
+                    f"{t.slowdown:.2f}x",
+                    f"{t.attributed_cost:.2f}",
+                    t.restarts,
+                    "yes" if t.completed else "NO",
+                ]
+                for t in result.tenants
+            ],
+            title=(
+                f"fleet of {result.n_tenants} ({args.arrival} arrivals, "
+                f"{result.allocation_policy} / {result.autoscaler_name}, "
+                f"u = {result.charging_unit:.0f}s, seed {result.seed})"
+            ),
+        )
+    )
+    print(
+        render_table(
+            ["makespan", "units", "cost", "peak", "utilization",
+             "mean slowdown", "restarts", "done"],
+            [[
+                format_duration(result.makespan),
+                result.total_units,
+                f"{result.total_cost:.2f}",
+                result.peak_instances,
+                f"{result.utilization * 100:.0f}%",
+                f"{result.mean_slowdown:.2f}x",
+                result.restarts,
+                "yes" if result.completed else "NO",
+            ]],
+            title="fleet totals",
+        )
+    )
+    if result.cloud_faults:
+        print(
+            "\ncloud faults injected: "
+            + ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(result.cloud_faults.items())
+            )
+        )
+    if args.trace:
+        print(f"\nwrote trace to {args.trace}")
+    if args.summary_json:
+        Path(args.summary_json).write_text(
+            result.to_summary_json() + "\n", encoding="utf-8"
+        )
+        print(f"wrote fleet summary to {args.summary_json}")
+    return 0 if result.completed else 1
+
+
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.telemetry import read_jsonl, render_trace_summary, summarize_trace
+
+    try:
+        records = read_jsonl(args.file)
+    except FileNotFoundError:
+        raise SystemExit(f"trace file not found: {args.file}") from None
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace {args.file}: {exc}") from None
+    except ValueError as exc:
+        # read_jsonl pinpoints the bad line; a trace cut off mid-record
+        # (interrupted run, partial copy) lands here.
+        raise SystemExit(f"truncated or corrupt trace: {exc}") from None
+    if not records:
+        raise SystemExit(
+            f"trace {args.file} contains no records; "
+            "was the run started with --trace?"
+        )
+    print(render_trace_summary(summarize_trace(records)))
     return 0
 
 
@@ -474,7 +622,9 @@ def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
         default=60.0,
         help="billing unit in seconds (paper: 60/900/1800/3600)",
     )
-    parser.add_argument("--seed", type=int, default=0, help="run seed")
+    parser.add_argument(
+        "--seed", type=_non_negative_int, default=0, help="run seed"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -531,39 +681,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser("analyze", help="structural analysis of a workload")
     analyze.add_argument("workload")
-    analyze.add_argument("--seed", type=int, default=0)
+    analyze.add_argument("--seed", type=_non_negative_int, default=0)
     analyze.set_defaults(handler=cmd_analyze)
 
     table1 = sub.add_parser("table1", help="regenerate Table I")
-    table1.add_argument("--seed", type=int, default=0)
+    table1.add_argument("--seed", type=_non_negative_int, default=0)
     table1.set_defaults(handler=cmd_table1)
 
     for name, handler in (("fig2", cmd_fig2), ("fig3", cmd_fig3)):
         fig = sub.add_parser(name, help=f"regenerate Figure {name[-1]}")
         fig.add_argument(
-            "--n-tasks", type=int, nargs="+", default=[10, 100],
+            "--n-tasks", type=_positive_int, nargs="+", default=[10, 100],
             help="stage sizes to sweep",
         )
         fig.set_defaults(handler=handler)
 
     fig4 = sub.add_parser("fig4", help="regenerate Figure 4")
-    fig4.add_argument("--orders", type=int, default=5)
-    fig4.add_argument("--seed", type=int, default=0)
+    fig4.add_argument("--orders", type=_positive_int, default=5)
+    fig4.add_argument("--seed", type=_non_negative_int, default=0)
     fig4.add_argument(
         "--workloads", nargs="+", help="subset of workloads (default: all)"
     )
     fig4.set_defaults(handler=cmd_fig4)
 
     fig5 = sub.add_parser("fig5", help="regenerate Figures 5 and 6")
-    fig5.add_argument("--repetitions", type=int, default=1)
-    fig5.add_argument("--seed", type=int, default=0)
+    fig5.add_argument("--repetitions", type=_positive_int, default=1)
+    fig5.add_argument("--seed", type=_non_negative_int, default=0)
     fig5.add_argument(
         "--workloads", nargs="+", help="subset of workloads (default: all)"
     )
     fig5.set_defaults(handler=cmd_fig5)
 
     overhead = sub.add_parser("overhead", help="regenerate the §IV-F report")
-    overhead.add_argument("--seed", type=int, default=0)
+    overhead.add_argument("--seed", type=_non_negative_int, default=0)
     overhead.set_defaults(handler=cmd_overhead)
 
     campaign = sub.add_parser(
@@ -574,15 +724,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", default="campaign.json", help="campaign store JSON path"
     )
     campaign.add_argument(
-        "--jobs", type=int, default=1, help="worker processes (1 = inline)"
+        "--jobs", type=_positive_int, default=1, help="worker processes (1 = inline)"
     )
     campaign.add_argument(
         "--save-every",
-        type=int,
+        type=_positive_int,
         default=8,
         help="persist the store after this many completed cells",
     )
-    campaign.add_argument("--repetitions", type=int, default=1)
+    campaign.add_argument("--repetitions", type=_positive_int, default=1)
     campaign.add_argument(
         "--workloads", nargs="+", help="subset of workloads (default: all)"
     )
@@ -646,6 +796,94 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_run_args(robustness)
     robustness.set_defaults(handler=cmd_robustness)
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="multi-tenant shared-site simulation with global steering",
+    )
+    fleet.add_argument(
+        "--arrival",
+        choices=["poisson", "bursty", "trace"],
+        default="poisson",
+        help="arrival process for workflow submissions",
+    )
+    fleet.add_argument(
+        "--rate",
+        type=float,
+        default=4.0,
+        help="poisson arrival rate in workflows per hour",
+    )
+    fleet.add_argument(
+        "--n", type=_positive_int, default=4, help="number of submissions"
+    )
+    fleet.add_argument(
+        "--workloads",
+        nargs="+",
+        default=list(DEFAULT_FLEET_WORKLOADS),
+        help="workload names cycled round-robin over submissions",
+    )
+    fleet.add_argument(
+        "--policy",
+        choices=["fifo", "fair-share", "priority"],
+        default="fair-share",
+        help="allocation policy for free slots",
+    )
+    fleet.add_argument(
+        "--autoscaler",
+        choices=["global-wire", "global-static", "global-reactive"],
+        default="global-wire",
+        help="global pool-sizing policy",
+    )
+    fleet.add_argument(
+        "--burst-size", type=_positive_int, default=2,
+        help="submissions per burst (bursty arrivals)",
+    )
+    fleet.add_argument(
+        "--gap", type=float, default=1800.0,
+        help="seconds between bursts (bursty arrivals)",
+    )
+    fleet.add_argument(
+        "--times", type=float, nargs="+",
+        help="explicit submission times in seconds (trace arrivals)",
+    )
+    fleet.add_argument(
+        "--max-active", type=_positive_int,
+        help="admission cap: tenants running concurrently (default: unbounded)",
+    )
+    fleet.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write the fleet's structured telemetry to this JSONL file",
+    )
+    fleet.add_argument(
+        "--summary-json",
+        metavar="FILE",
+        help="write the deterministic fleet summary as JSON here",
+    )
+    fleet.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        help="inject cloud faults, e.g. 'revocations=2,stragglers=0.2'",
+    )
+    fleet.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        help="sweep mode: run one cell per arrival rate instead of one fleet",
+    )
+    fleet.add_argument(
+        "--repetitions", type=_positive_int, default=1,
+        help="sweep mode: seeds per rate (seed, seed+1, ...)",
+    )
+    fleet.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="sweep mode: worker processes (1 = inline)",
+    )
+    fleet.add_argument(
+        "--out", metavar="FILE", help="sweep mode: also write rows as JSON here"
+    )
+    _add_common_run_args(fleet)
+    fleet.set_defaults(handler=cmd_fleet)
+
     trace = sub.add_parser("trace", help="inspect JSONL telemetry traces")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     summarize = trace_sub.add_parser(
@@ -660,7 +898,7 @@ def build_parser() -> argparse.ArgumentParser:
     export = dax_sub.add_parser("export", help="write a workload as DAX")
     export.add_argument("workload")
     export.add_argument("--out", required=True)
-    export.add_argument("--seed", type=int, default=0)
+    export.add_argument("--seed", type=_non_negative_int, default=0)
     export.set_defaults(handler=cmd_dax_export)
     dax_run = dax_sub.add_parser("run", help="autoscale a DAX file")
     dax_run.add_argument("file")

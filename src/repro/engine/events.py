@@ -34,6 +34,7 @@ class EventKind(enum.Enum):
     INSTANCE_REVOKED = "instance_revoked"  # the provider preempts an instance
     PROVISION_FAILED = "provision_failed"  # an ordered launch came back failed
     PROVISION_RETRY = "provision_retry"  # backoff elapsed; re-issue a launch
+    WORKFLOW_ARRIVAL = "workflow_arrival"  # a tenant submits a workflow (fleet)
 
     @property
     def priority(self) -> int:

@@ -41,7 +41,16 @@ from repro.experiments.campaign import (
     record_from_result,
     run_campaign,
 )
-from repro.experiments.parallel import FailedCell, run_campaign_parallel
+from repro.experiments.fleet import (
+    FleetSweepRow,
+    fleet_experiment,
+    render_fleet_sweep,
+)
+from repro.experiments.parallel import (
+    FailedCell,
+    parallel_map,
+    run_campaign_parallel,
+)
 from repro.experiments.motivation import MotivationRow, motivation_experiment
 from repro.experiments.sensitivity import LagSensitivityRow, lag_sensitivity_experiment
 from repro.experiments.robustness import RobustnessRow, robustness_experiment
@@ -59,6 +68,7 @@ __all__ = [
     "CellRecord",
     "CostCell",
     "FailedCell",
+    "FleetSweepRow",
     "LagSensitivityRow",
     "LinearSimResult",
     "MotivationRow",
@@ -69,15 +79,18 @@ __all__ = [
     "cost_experiment",
     "cost_ratio_r_above_u",
     "default_transfer_model",
+    "fleet_experiment",
     "lag_sensitivity_experiment",
     "makespan_r_above_u",
     "missing_cells",
     "motivation_experiment",
     "overhead_experiment",
+    "parallel_map",
     "policy_factories",
     "prediction_experiment",
     "record_from_result",
     "relative_execution_table",
+    "render_fleet_sweep",
     "replay_stage_predictions",
     "robustness_experiment",
     "run_campaign",

@@ -49,10 +49,83 @@ from repro.experiments.campaign import (
 from repro.experiments.harness import policy_factories, run_setting
 from repro.workloads.base import StagedWorkflowSpec
 
-__all__ = ["FailedCell", "run_campaign_parallel"]
+__all__ = ["FailedCell", "parallel_map", "run_campaign_parallel"]
 
 #: one cell is retried at most this many times in total
 _MAX_ATTEMPTS = 2
+
+
+def parallel_map(fn, items: Sequence, *, jobs: int = 1) -> list:
+    """Fan a picklable function over independent items, order-preserving.
+
+    The generic sibling of :func:`run_campaign_parallel` for experiments
+    whose cells aren't campaign records (e.g. the fleet arrival-rate
+    sweep). Results come back in ``items`` order regardless of which
+    worker finished first, so ``jobs=1`` and ``jobs=N`` are
+    result-identical for deterministic ``fn``. Each item is retried once
+    (fresh pool if a worker death broke it); a second failure raises.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if jobs == 1 or len(items) <= 1:
+        results = []
+        for item in items:
+            last: Exception | None = None
+            for _ in range(_MAX_ATTEMPTS):
+                try:
+                    results.append(fn(item))
+                    last = None
+                    break
+                except Exception as exc:  # noqa: BLE001 - retry once
+                    last = exc
+            if last is not None:
+                raise last
+        return results
+
+    out: dict[int, object] = {}
+    attempts = [0] * len(items)
+    executor = ProcessPoolExecutor(max_workers=jobs)
+    try:
+        futures: dict[Future, int] = {}
+
+        def submit(index: int) -> None:
+            attempts[index] += 1
+            futures[executor.submit(fn, items[index])] = index
+
+        for index in range(len(items)):
+            submit(index)
+        while futures:
+            done, _ = wait(futures, return_when=FIRST_COMPLETED)
+            broken = False
+            retry: list[int] = []
+            for future in done:
+                index = futures.pop(future)
+                try:
+                    out[index] = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    retry.append(index)
+                except Exception:
+                    if attempts[index] < _MAX_ATTEMPTS:
+                        retry.append(index)
+                    else:
+                        raise
+            if broken:
+                for future, index in list(futures.items()):
+                    del futures[future]
+                    retry.append(index)
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = ProcessPoolExecutor(max_workers=jobs)
+            for index in sorted(set(retry)):
+                if attempts[index] >= _MAX_ATTEMPTS:
+                    raise RuntimeError(
+                        f"parallel_map item {index} failed twice "
+                        "(worker process died)"
+                    )
+                submit(index)
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    return [out[index] for index in range(len(items))]
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,133 @@
+"""Convenience entry point tying the fleet pieces together.
+
+:func:`run_fleet` is what the CLI, the experiments layer, and the tests
+call: it resolves workload names, builds the arrival process, and runs a
+:class:`~repro.fleet.engine.FleetSimulation` with the paper's default
+models (the same defaults the single-workflow harness uses).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.cloud.faults import ChaosSpec
+from repro.cloud.site import CloudSite, exogeni_site
+from repro.fleet.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+from repro.fleet.autoscalers import FleetAutoscaler, fleet_autoscaler
+from repro.fleet.engine import FleetSimulation
+from repro.fleet.policies import AllocationPolicy, allocation_policy
+from repro.fleet.result import FleetResult
+from repro.telemetry.sinks import JsonlSink
+from repro.telemetry.tracer import Tracer
+from repro.workloads import montage, table1_specs
+
+__all__ = [
+    "DEFAULT_FLEET_WORKLOADS",
+    "fleet_workload_catalog",
+    "make_arrivals",
+    "run_fleet",
+]
+
+#: default workload mix for CLI/experiment fleet runs: two small Table I
+#: profiles with very different shapes (deep staged scan vs. wide
+#: iterative), cycled round-robin over arrivals
+DEFAULT_FLEET_WORKLOADS: tuple[str, ...] = ("tpch6-S", "pagerank-S")
+
+
+def fleet_workload_catalog() -> dict[str, object]:
+    """Every workload name a fleet submission may reference.
+
+    Table I profiles resolve to their spec (realized per-tenant with the
+    submission's workflow seed); montage resolves to a seed-taking
+    callable for the same reason.
+    """
+    catalog: dict[str, object] = dict(table1_specs())
+    catalog["montage-S"] = lambda seed: montage("S", seed=seed)
+    catalog["montage-L"] = lambda seed: montage("L", seed=seed)
+    return catalog
+
+
+def make_arrivals(
+    arrival: str,
+    *,
+    rate: float = 4.0,
+    n: int = 4,
+    burst_size: int = 2,
+    gap: float = 1800.0,
+    times: Sequence[float] | None = None,
+    workloads: Sequence[str] = DEFAULT_FLEET_WORKLOADS,
+) -> ArrivalProcess:
+    """Build an arrival process from CLI-style parameters."""
+    if arrival == "poisson":
+        return PoissonArrivals(rate, n, workloads)
+    if arrival == "bursty":
+        n_bursts = max(1, -(-n // burst_size))  # ceil(n / burst_size)
+        return BurstyArrivals(burst_size, n_bursts, gap, workloads)
+    if arrival == "trace":
+        if not times:
+            raise ValueError("trace arrivals need explicit --times")
+        return TraceArrivals(times, workloads)
+    raise ValueError(
+        f"unknown arrival process {arrival!r} (options: bursty, poisson, trace)"
+    )
+
+
+def run_fleet(
+    *,
+    arrivals: ArrivalProcess,
+    policy: AllocationPolicy | str = "fair-share",
+    autoscaler: FleetAutoscaler | str = "global-wire",
+    charging_unit: float = 900.0,
+    seed: int = 0,
+    site: CloudSite | None = None,
+    workload_catalog: Mapping[str, object] | None = None,
+    transfer_model=None,
+    runtime_model=None,
+    fault_model=None,
+    max_time: float = 1e8,
+    max_active: int | None = None,
+    trace_path: str | Path | None = None,
+    chaos: ChaosSpec | None = None,
+) -> FleetResult:
+    """Run one fleet simulation end to end and return its result."""
+    if isinstance(policy, str):
+        policy = allocation_policy(policy)
+    if isinstance(autoscaler, str):
+        autoscaler = fleet_autoscaler(autoscaler)
+    site = site if site is not None else exogeni_site()
+    catalog = (
+        dict(workload_catalog)
+        if workload_catalog is not None
+        else fleet_workload_catalog()
+    )
+    submissions = arrivals.generate(seed)
+
+    sink = JsonlSink(trace_path) if trace_path is not None else None
+    tracer = Tracer(sink) if sink is not None else None
+    try:
+        sim = FleetSimulation(
+            submissions,
+            catalog,
+            site,
+            autoscaler,
+            policy,
+            charging_unit,
+            transfer_model=transfer_model,
+            runtime_model=runtime_model,
+            fault_model=fault_model,
+            seed=seed,
+            max_time=max_time,
+            max_active=max_active,
+            tracer=tracer,
+            chaos=chaos,
+        )
+        return sim.run()
+    finally:
+        if sink is not None:
+            sink.close()

@@ -1,0 +1,64 @@
+"""Aggregate result of a fleet run."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.fleet.tenant import TenantResult
+
+__all__ = ["FleetResult"]
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Everything a fleet simulation produced.
+
+    ``to_summary_json`` is the canonical byte-deterministic rendering
+    used by the CLI ``--summary-json`` flag and the CI determinism
+    check; it deliberately excludes ``controller_cpu_seconds`` (a
+    wall-clock measurement) so identical seeds yield identical bytes.
+    """
+
+    autoscaler_name: str
+    allocation_policy: str
+    charging_unit: float
+    seed: int
+    n_tenants: int
+    makespan: float
+    completed: bool
+    total_units: float
+    total_cost: float
+    wasted_seconds: float
+    #: cost of instances that never ran any task — billed to the fleet
+    #: operator, not to a tenant (no busy share to key attribution on)
+    unattributed_cost: float
+    utilization: float
+    peak_instances: int
+    instances_launched: int
+    restarts: int
+    ticks: int
+    events_processed: int
+    cloud_faults: int
+    tenants: tuple[TenantResult, ...]
+    controller_cpu_seconds: float = field(default=0.0, compare=False)
+
+    @property
+    def mean_slowdown(self) -> float:
+        if not self.tenants:
+            return 0.0
+        return sum(t.slowdown for t in self.tenants) / len(self.tenants)
+
+    @property
+    def mean_queue_wait(self) -> float:
+        if not self.tenants:
+            return 0.0
+        return sum(t.queue_wait_mean for t in self.tenants) / len(self.tenants)
+
+    def to_summary_json(self) -> str:
+        """Deterministic JSON summary (same seed ⇒ identical bytes)."""
+        payload = asdict(self)
+        del payload["controller_cpu_seconds"]
+        payload["mean_slowdown"] = self.mean_slowdown
+        payload["mean_queue_wait"] = self.mean_queue_wait
+        return json.dumps(payload, sort_keys=True, indent=2)

@@ -20,11 +20,13 @@ from repro.telemetry.metrics import (
 from repro.telemetry.records import (
     CloudFaultRecord,
     ControlTickRecord,
+    FleetTickRecord,
     InstanceEventRecord,
     RunMetaRecord,
     RunSummaryRecord,
     StagePrediction,
     TaskAttemptRecord,
+    TenantRecord,
     TickTelemetry,
     TraceRecord,
     record_from_json,
@@ -50,6 +52,7 @@ __all__ = [
     "CloudFaultRecord",
     "ControlTickRecord",
     "Counter",
+    "FleetTickRecord",
     "Gauge",
     "Histogram",
     "InstanceEventRecord",
@@ -63,6 +66,7 @@ __all__ = [
     "StageErrorRow",
     "StagePrediction",
     "TaskAttemptRecord",
+    "TenantRecord",
     "TickTelemetry",
     "TraceRecord",
     "TraceSink",

@@ -22,11 +22,13 @@ from typing import Any, ClassVar, Mapping
 __all__ = [
     "CloudFaultRecord",
     "ControlTickRecord",
+    "FleetTickRecord",
     "InstanceEventRecord",
     "RunMetaRecord",
     "RunSummaryRecord",
     "StagePrediction",
     "TaskAttemptRecord",
+    "TenantRecord",
     "TickTelemetry",
     "TraceRecord",
     "record_from_json",
@@ -213,6 +215,69 @@ class CloudFaultRecord(TraceRecord):
 
 
 @dataclass(frozen=True, slots=True)
+class FleetTickRecord(TraceRecord):
+    """What one global steering iteration of a fleet run saw and decided.
+
+    The fleet analogue of :class:`ControlTickRecord`: pool sizes and the
+    Algorithm 2 branch are site-wide, and the task-state counts are
+    replaced by tenant-population counts (per-tenant task detail lives in
+    the :class:`TenantRecord` emitted at fleet end).
+    """
+
+    kind: ClassVar[str] = "fleet_tick"
+
+    #: 0-based tick index
+    tick: int
+    now: float
+    #: tenants admitted and not yet finished when the tick fired
+    active_tenants: int
+    #: tenants arrived but held back by the admission cap
+    waiting_tenants: int
+    #: ready tasks queued across all active tenants
+    queued_tasks: int
+    pool_before: int
+    pool_after: int
+    launched: int
+    terminated: int
+    #: Algorithm 2 branch taken: "grow", "shrink", or "hold"
+    branch: str
+    #: Algorithm 3 target p over the summed load; None for non-predictive
+    target_pool: int | None = None
+    #: size of the concatenated upcoming load sum(Q_task); None likewise
+    q_task: int | None = None
+    #: total predicted remaining occupancy over the summed load (seconds)
+    q_remaining: float | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class TenantRecord(TraceRecord):
+    """Final per-tenant metrics of a fleet run (one per tenant, at end).
+
+    ``slowdown`` is response time (finish - submit) over the workflow's
+    zero-contention critical path; ``attributed_*`` are the tenant's
+    proportional-to-busy-share slice of the shared site bill.
+    """
+
+    kind: ClassVar[str] = "tenant"
+
+    now: float
+    tenant_id: str
+    workload: str
+    priority: int
+    submitted_at: float
+    finished_at: float
+    makespan: float
+    slowdown: float
+    queue_wait_mean: float
+    tasks: int
+    restarts: int
+    attributed_cost: float
+    attributed_units: float
+    attributed_wasted_seconds: float
+    completed: bool
+
+
+@dataclass(frozen=True, slots=True)
 class RunSummaryRecord(TraceRecord):
     """Aggregate measurements — always the last record of a trace."""
 
@@ -238,6 +303,8 @@ _RECORD_TYPES: dict[str, type[TraceRecord]] = {
         InstanceEventRecord,
         TaskAttemptRecord,
         CloudFaultRecord,
+        FleetTickRecord,
+        TenantRecord,
         RunSummaryRecord,
     )
 }

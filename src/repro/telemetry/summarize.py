@@ -27,10 +27,12 @@ from typing import Iterable, Sequence
 from repro.telemetry.records import (
     CloudFaultRecord,
     ControlTickRecord,
+    FleetTickRecord,
     InstanceEventRecord,
     RunMetaRecord,
     RunSummaryRecord,
     TaskAttemptRecord,
+    TenantRecord,
     TraceRecord,
 )
 from repro.telemetry.sinks import read_jsonl
@@ -86,6 +88,8 @@ class TraceSummary:
     revocation_wasted_seconds: float = 0.0
     #: sunk slot-occupancy destroyed by revocations (work redone)
     revocation_lost_occupancy: float = 0.0
+    #: per-tenant final metrics, in tenant-id order (fleet traces only)
+    tenants: list[TenantRecord] = field(default_factory=list)
 
     @property
     def idle_fraction(self) -> float | None:
@@ -106,7 +110,8 @@ def summarize_trace(source: str | Path | Iterable[TraceRecord]) -> TraceSummary:
 
     meta: RunMetaRecord | None = None
     summary: RunSummaryRecord | None = None
-    ticks: list[ControlTickRecord] = []
+    ticks: list[ControlTickRecord | FleetTickRecord] = []
+    tenants: list[TenantRecord] = []
     instance_events: dict[str, int] = {}
     task_outcomes: dict[str, int] = {}
     total_units = 0
@@ -134,6 +139,10 @@ def summarize_trace(source: str | Path | Iterable[TraceRecord]) -> TraceSummary:
                 predicted.setdefault(sp.stage_id, []).append(
                     (sp.mean_estimate, sp.model)
                 )
+        elif isinstance(record, FleetTickRecord):
+            ticks.append(record)
+        elif isinstance(record, TenantRecord):
+            tenants.append(record)
         elif isinstance(record, InstanceEventRecord):
             instance_events[record.event] = instance_events.get(record.event, 0) + 1
             if record.event in ("terminated", "revoked"):
@@ -209,6 +218,7 @@ def summarize_trace(source: str | Path | Iterable[TraceRecord]) -> TraceSummary:
         revocation_task_kills=revocation_kills,
         revocation_wasted_seconds=revocation_wasted,
         revocation_lost_occupancy=revocation_lost,
+        tenants=sorted(tenants, key=lambda t: t.tenant_id),
     )
 
 
@@ -286,6 +296,30 @@ def render_trace_summary(summary: TraceSummary) -> str:
                 ]
             )
         blocks.append(render_table(["cloud fault", "count"], fault_rows))
+
+    if summary.tenants:
+        blocks.append(
+            render_table(
+                ["tenant", "workload", "prio", "makespan", "slowdown",
+                 "queue wait", "cost share", "wasted", "restarts", "done"],
+                [
+                    [
+                        t.tenant_id,
+                        t.workload,
+                        t.priority,
+                        format_duration(t.makespan),
+                        f"{t.slowdown:.2f}x",
+                        f"{t.queue_wait_mean:.1f}s",
+                        f"{t.attributed_cost:.2f}",
+                        format_duration(t.attributed_wasted_seconds),
+                        t.restarts,
+                        "yes" if t.completed else "NO",
+                    ]
+                    for t in summary.tenants
+                ],
+                title=f"{title} — per-tenant metrics",
+            )
+        )
 
     run_rows: list[list] = [["controller ticks", summary.ticks]]
     for branch in ("grow", "shrink", "hold"):

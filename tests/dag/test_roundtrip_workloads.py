@@ -1,0 +1,87 @@
+"""Round-trip every bundled workload through both exchange formats.
+
+Each generator family (montage, epigenomics, tpch, pagerank, linear,
+synthetic) must survive ``repro.dag.serialize`` (native JSON) and
+``repro.dag.dax`` (Pegasus XML) with its structure intact: same task
+ids, same edges, same per-task runtimes/executables/sizes. The JSON
+format additionally preserves tasks exactly (frozen dataclass equality)
+and the stage partition; DAX re-infers stages on read, so there we only
+require the structural fields it declares to carry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.dax import read_dax, write_dax
+from repro.dag.serialize import workflow_from_json, workflow_to_json
+from repro.workloads import (
+    chain_workflow,
+    diamond_workflow,
+    epigenomics,
+    fork_join_workflow,
+    linear_stage_workflow,
+    montage,
+    pagerank,
+    random_layered_workflow,
+    single_stage_workflow,
+    tpch1,
+    tpch6,
+)
+
+WORKLOADS = {
+    "montage": lambda: montage("S", seed=0),
+    "epigenomics": lambda: epigenomics("S").generate(0),
+    "tpch1": lambda: tpch1("S").generate(0),
+    "tpch6": lambda: tpch6("S").generate(0),
+    "pagerank": lambda: pagerank("S").generate(0),
+    "linear-single": lambda: single_stage_workflow(12, 30.0),
+    "linear-staged": lambda: linear_stage_workflow([(4, 10.0), (8, 5.0), (2, 20.0)]),
+    "synthetic-chain": lambda: chain_workflow(6),
+    "synthetic-diamond": lambda: diamond_workflow(),
+    "synthetic-forkjoin": lambda: fork_join_workflow(5),
+    "synthetic-random": lambda: random_layered_workflow(seed=3),
+}
+
+
+def assert_same_structure(again, original):
+    """Format-independent structural equality: ids, edges, task fields."""
+    assert set(again.tasks) == set(original.tasks)
+    for task_id, task in original.tasks.items():
+        back = again.task(task_id)
+        assert back.executable == task.executable
+        assert back.runtime == pytest.approx(task.runtime)
+        assert back.input_size == pytest.approx(task.input_size)
+        assert back.output_size == pytest.approx(task.output_size)
+        assert again.parents(task_id) == original.parents(task_id)
+        assert again.children(task_id) == original.children(task_id)
+    assert again.roots == original.roots
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+class TestRoundTrip:
+    def test_json_round_trip(self, name):
+        original = WORKLOADS[name]()
+        again = workflow_from_json(workflow_to_json(original))
+        assert_same_structure(again, original)
+        # Native JSON is lossless: exact task equality and stages too.
+        assert again.name == original.name
+        for task_id, task in original.tasks.items():
+            assert again.task(task_id) == task
+        assert {
+            stage.stage_id: tuple(stage.task_ids) for stage in again.stages
+        } == {
+            stage.stage_id: tuple(stage.task_ids) for stage in original.stages
+        }
+
+    def test_dax_round_trip(self, name):
+        original = WORKLOADS[name]()
+        again = read_dax(write_dax(original))
+        assert again.name == original.name
+        assert_same_structure(again, original)
+
+    def test_json_round_trip_is_stable(self, name):
+        """Serializing the deserialized workflow reproduces the bytes."""
+        original = WORKLOADS[name]()
+        text = workflow_to_json(original)
+        assert workflow_to_json(workflow_from_json(text)) == text

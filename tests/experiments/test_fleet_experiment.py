@@ -1,0 +1,40 @@
+"""Tests for the fleet arrival-rate sweep experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fleet_experiment, render_fleet_sweep
+from repro.experiments.fleet import FleetSweepRow
+
+#: tiny sweep so the multi-process cases stay fast
+SWEEP = dict(n=2, workloads=("tpch6-S",), charging_unit=900.0)
+
+
+class TestSweep:
+    def test_one_row_per_rate_seed_cell(self):
+        rows = fleet_experiment([6.0, 12.0], seeds=(0, 1), **SWEEP)
+        assert len(rows) == 4
+        assert [(r.rate, r.seed) for r in rows] == [
+            (6.0, 0), (6.0, 1), (12.0, 0), (12.0, 1)
+        ]
+        assert all(isinstance(r, FleetSweepRow) for r in rows)
+        assert all(r.completed for r in rows)
+
+    def test_serial_equals_parallel(self):
+        serial = fleet_experiment([6.0, 12.0], seeds=(0,), jobs=1, **SWEEP)
+        parallel = fleet_experiment([6.0, 12.0], seeds=(0,), jobs=2, **SWEEP)
+        assert serial == parallel
+
+    def test_rejects_empty_rates(self):
+        with pytest.raises(ValueError, match="arrival rate"):
+            fleet_experiment([])
+
+    def test_render(self):
+        rows = fleet_experiment([6.0], seeds=(0,), **SWEEP)
+        text = render_fleet_sweep(rows)
+        assert "fleet sweep" in text
+        assert "fair-share" in text
+
+    def test_render_empty(self):
+        assert render_fleet_sweep([]) == "no fleet sweep rows"

@@ -1,0 +1,18 @@
+"""Shared fixtures for the fleet test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import chain_workflow, single_stage_workflow
+
+#: small synthetic catalog so fleet tests run in milliseconds
+SMALL_CATALOG = {
+    "wide": lambda seed: single_stage_workflow(6, 120.0),
+    "deep": lambda seed: chain_workflow(4, 60.0),
+}
+
+
+@pytest.fixture
+def small_catalog():
+    return dict(SMALL_CATALOG)

@@ -1,0 +1,76 @@
+"""Tests for fleet arrival processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import (
+    BurstyArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    make_arrivals,
+)
+
+
+class TestPoisson:
+    def test_count_and_monotone_times(self):
+        subs = PoissonArrivals(6.0, 5, ("tpch6-S",)).generate(seed=1)
+        assert len(subs) == 5
+        times = [s.submit_time for s in subs]
+        assert times == sorted(times)
+        assert times[0] == 0.0
+
+    def test_deterministic_per_seed(self):
+        a = PoissonArrivals(6.0, 4, ("tpch6-S",)).generate(seed=7)
+        b = PoissonArrivals(6.0, 4, ("tpch6-S",)).generate(seed=7)
+        assert a == b
+        c = PoissonArrivals(6.0, 4, ("tpch6-S",)).generate(seed=8)
+        assert a != c
+
+    def test_round_robin_workloads_and_ids(self):
+        subs = PoissonArrivals(6.0, 4, ("a", "b")).generate(seed=0)
+        assert [s.workload for s in subs] == ["a", "b", "a", "b"]
+        assert [s.tenant_id for s in subs] == ["t00", "t01", "t02", "t03"]
+
+    def test_workflow_seeds_differ_per_tenant(self):
+        subs = PoissonArrivals(6.0, 3, ("a",)).generate(seed=0)
+        seeds = {s.workflow_seed for s in subs}
+        assert len(seeds) == 3
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0, 3, ("a",))
+
+
+class TestBursty:
+    def test_burst_structure(self):
+        subs = BurstyArrivals(2, 2, 600.0, ("a",)).generate(seed=0)
+        assert [s.submit_time for s in subs] == [0.0, 0.0, 600.0, 600.0]
+
+
+class TestTrace:
+    def test_explicit_times(self):
+        subs = TraceArrivals((0.0, 5.0, 5.0), ("a",)).generate(seed=0)
+        assert [s.submit_time for s in subs] == [0.0, 5.0, 5.0]
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ValueError):
+            TraceArrivals((5.0, 1.0), ("a",))
+
+
+class TestMakeArrivals:
+    def test_poisson(self):
+        arr = make_arrivals("poisson", rate=6.0, n=3)
+        assert isinstance(arr, PoissonArrivals)
+
+    def test_bursty_ceil_bursts(self):
+        arr = make_arrivals("bursty", n=5, burst_size=2)
+        assert len(arr.generate(0)) >= 5
+
+    def test_trace_needs_times(self):
+        with pytest.raises(ValueError, match="times"):
+            make_arrivals("trace")
+
+    def test_unknown_process(self):
+        with pytest.raises(ValueError, match="unknown arrival"):
+            make_arrivals("lognormal")

@@ -1,0 +1,70 @@
+"""Tests for the fleet-level (global) autoscalers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import exogeni_site
+from repro.fleet import (
+    TraceArrivals,
+    fleet_autoscaler,
+    fleet_autoscaler_factories,
+    run_fleet,
+)
+from repro.workloads import single_stage_workflow
+
+#: three simultaneous wide tenants: 72 task-slots of demand at t=0
+BIG_CATALOG = {"big": lambda seed: single_stage_workflow(24, 600.0)}
+BIG_BURST = TraceArrivals((0.0, 0.0, 0.0), ("big",))
+
+
+def _run(autoscaler, **kwargs):
+    return run_fleet(
+        arrivals=BIG_BURST,
+        workload_catalog=dict(BIG_CATALOG),
+        autoscaler=autoscaler,
+        charging_unit=900.0,
+        seed=0,
+        **kwargs,
+    )
+
+
+class TestGlobalWire:
+    def test_grows_beyond_one_instance_under_load(self):
+        result = _run("global-wire")
+        assert result.completed
+        assert result.peak_instances > 1
+
+    def test_cheaper_than_static_full_site(self):
+        wire = _run("global-wire")
+        static = _run("global-static")
+        assert wire.total_units <= static.total_units
+
+
+class TestGlobalStatic:
+    def test_holds_the_full_site(self):
+        result = _run("global-static")
+        assert result.completed
+        assert result.peak_instances == exogeni_site().max_instances
+
+
+class TestGlobalReactive:
+    def test_tracks_runnable_load(self):
+        result = _run("global-reactive")
+        assert result.completed
+        assert result.peak_instances > 1
+
+
+class TestFactories:
+    def test_factory_names(self):
+        names = set(fleet_autoscaler_factories())
+        assert names == {"global-wire", "global-static", "global-reactive"}
+
+    def test_factory_builds_fresh_instances(self):
+        a = fleet_autoscaler("global-wire")
+        b = fleet_autoscaler("global-wire")
+        assert a is not b
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown fleet autoscaler"):
+            fleet_autoscaler("global-oracle")

@@ -1,0 +1,79 @@
+"""Tests for fleet slot-allocation policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import (
+    FairSharePolicy,
+    FifoPolicy,
+    PriorityPolicy,
+    Submission,
+    TenantRun,
+    allocation_policy,
+)
+from repro.util.rng import RngStream
+from repro.workloads import chain_workflow
+
+
+def _tenant(index, submit_time=0.0, priority=0, occupied=0):
+    rng = RngStream(0, "test").child(f"t{index:02d}")
+    tenant = TenantRun(
+        index=index,
+        submission=Submission(
+            tenant_id=f"t{index:02d}",
+            workload="chain",
+            submit_time=submit_time,
+            workflow_seed=index,
+            priority=priority,
+        ),
+        workflow=chain_workflow(2),
+        rng_transfer=rng.child("transfer").generator(),
+        rng_runtime=rng.child("runtime").generator(),
+        rng_faults=rng.child("faults").generator(),
+    )
+    tenant.occupied_slots = occupied
+    return tenant
+
+
+class TestFifo:
+    def test_earliest_submission_wins(self):
+        early, late = _tenant(0, submit_time=0.0), _tenant(1, submit_time=9.0)
+        assert FifoPolicy().choose([late, early]) is early
+
+    def test_index_breaks_ties(self):
+        a, b = _tenant(0, submit_time=5.0), _tenant(1, submit_time=5.0)
+        assert FifoPolicy().choose([b, a]) is a
+
+
+class TestFairShare:
+    def test_fewest_occupied_slots_wins(self):
+        busy = _tenant(0, occupied=3)
+        idle = _tenant(1, submit_time=100.0, occupied=0)
+        assert FairSharePolicy().choose([busy, idle]) is idle
+
+    def test_falls_back_to_fifo_on_equal_shares(self):
+        a = _tenant(0, submit_time=0.0, occupied=1)
+        b = _tenant(1, submit_time=50.0, occupied=1)
+        assert FairSharePolicy().choose([b, a]) is a
+
+
+class TestPriority:
+    def test_lowest_priority_value_wins(self):
+        urgent = _tenant(0, submit_time=100.0, priority=0)
+        casual = _tenant(1, submit_time=0.0, priority=1)
+        assert PriorityPolicy().choose([casual, urgent]) is urgent
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("fifo", FifoPolicy),
+        ("fair-share", FairSharePolicy),
+        ("priority", PriorityPolicy),
+    ])
+    def test_known_names(self, name, cls):
+        assert isinstance(allocation_policy(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown allocation policy"):
+            allocation_policy("lottery")

@@ -201,3 +201,99 @@ class TestChaosCommands:
             ]
         ) == 0
         assert store.exists()
+
+
+class TestArgumentValidation:
+    """Negative seeds and non-positive counts are argparse errors."""
+
+    @pytest.mark.parametrize("argv", [
+        ["run", "tpch6-S", "--seed", "-1"],
+        ["campaign", "--jobs", "0"],
+        ["campaign", "--jobs", "-2"],
+        ["campaign", "--save-every", "0"],
+        ["campaign", "--repetitions", "0"],
+        ["robustness", "--seed", "-5"],
+        ["compare", "tpch6-S", "--seed", "-1"],
+        ["table1", "--seed", "-1"],
+        ["fleet", "--seed", "-1"],
+        ["fleet", "--jobs", "0"],
+        ["fleet", "--n", "0"],
+    ])
+    def test_rejected_by_parser(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2  # argparse usage error
+        err = capsys.readouterr().err
+        assert "must be >=" in err
+
+    def test_seed_zero_accepted(self):
+        args = build_parser().parse_args(["run", "tpch6-S", "--seed", "0"])
+        assert args.seed == 0
+
+
+class TestTraceSummarizeErrors:
+    """`trace summarize` exits cleanly on empty/truncated/missing traces."""
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(SystemExit, match="contains no records"):
+            main(["trace", "summarize", str(path)])
+
+    def test_truncated_trace(self, tmp_path):
+        path = tmp_path / "trunc.jsonl"
+        path.write_text('{"kind": "run_meta", "now": 0.0', encoding="utf-8")
+        with pytest.raises(SystemExit, match="truncated or corrupt"):
+            main(["trace", "summarize", str(path)])
+
+    def test_missing_trace(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["trace", "summarize", str(tmp_path / "nope.jsonl")])
+
+    def test_garbage_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json at all\n", encoding="utf-8")
+        with pytest.raises(SystemExit, match="bad.jsonl:1"):
+            main(["trace", "summarize", str(path)])
+
+
+class TestFleetCommand:
+    def test_fleet_run(self, capsys):
+        assert main([
+            "fleet", "--arrival", "poisson", "--rate", "6", "--n", "2",
+            "--workloads", "tpch6-S", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "t00" in out and "t01" in out
+        assert "fleet totals" in out
+
+    def test_fleet_summary_json_deterministic(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for path in (a, b):
+            assert main([
+                "fleet", "--n", "2", "--workloads", "tpch6-S",
+                "--seed", "3", "--summary-json", str(path),
+            ]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_fleet_trace_then_summarize(self, capsys, tmp_path):
+        trace = tmp_path / "fleet.jsonl"
+        assert main([
+            "fleet", "--n", "2", "--workloads", "tpch6-S",
+            "--seed", "3", "--trace", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "per-tenant metrics" in out
+
+    def test_fleet_sweep(self, capsys):
+        assert main([
+            "fleet", "--rates", "6", "12", "--n", "2",
+            "--workloads", "tpch6-S", "--jobs", "1",
+        ]) == 0
+        assert "fleet sweep" in capsys.readouterr().out
+
+    def test_fleet_bad_arrival_args(self):
+        with pytest.raises(SystemExit, match="times"):
+            main(["fleet", "--arrival", "trace", "--n", "2"])
