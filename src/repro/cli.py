@@ -121,6 +121,7 @@ def _run(workflow, policy_factory, args) -> RunResult:
             seed=args.seed,
             tracer=Tracer(sink) if sink is not None else None,
             chaos=_chaos(getattr(args, "chaos", None)),
+            validate=getattr(args, "validate", False),
         ).run()
     finally:
         if sink is not None:
@@ -502,6 +503,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             max_active=args.max_active,
             trace_path=args.trace,
             chaos=chaos,
+            validate=args.validate,
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
@@ -563,6 +565,21 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         )
         print(f"wrote fleet summary to {args.summary_json}")
     return 0 if result.completed else 1
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validate.fuzz import main as fuzz_main
+
+    argv = ["--seeds", str(args.seeds), "--kind", args.kind]
+    if args.quick:
+        argv.append("--quick")
+    if args.shallow:
+        argv.append("--shallow")
+    if args.repro_dir:
+        argv.extend(["--repro-dir", args.repro_dir])
+    if args.out:
+        argv.extend(["--out", args.out])
+    return fuzz_main(argv)
 
 
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
@@ -667,6 +684,12 @@ def build_parser() -> argparse.ArgumentParser:
             "inject cloud faults, e.g. "
             "'revocations=2,stragglers=0.2,blackouts=0.1'"
         ),
+    )
+    run.add_argument(
+        "--validate",
+        action="store_true",
+        help="run with the runtime invariant checker attached (aborts "
+        "on the first violated engine invariant)",
     )
     _add_common_run_args(run)
     run.set_defaults(handler=cmd_run)
@@ -865,6 +888,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject cloud faults, e.g. 'revocations=2,stragglers=0.2'",
     )
     fleet.add_argument(
+        "--validate",
+        action="store_true",
+        help="run with the runtime invariant checker attached (aborts "
+        "on the first violated engine invariant)",
+    )
+    fleet.add_argument(
         "--rates",
         type=float,
         nargs="+",
@@ -883,6 +912,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_run_args(fleet)
     fleet.set_defaults(handler=cmd_fleet)
+
+    validate = sub.add_parser(
+        "validate",
+        help="differential-replay invariant fuzzing over scenario grids",
+    )
+    validate.add_argument(
+        "--seeds",
+        type=_positive_int,
+        default=2,
+        metavar="N",
+        help="number of seeds per grid cell (default 2)",
+    )
+    validate.add_argument(
+        "--kind",
+        choices=["single", "fleet", "all"],
+        default="all",
+        help="which scenario grid to sweep (default all)",
+    )
+    validate.add_argument(
+        "--quick",
+        action="store_true",
+        help="trim the grid (fewer workloads/arrivals/chaos specs) for "
+        "fast CI gating",
+    )
+    validate.add_argument(
+        "--shallow",
+        action="store_true",
+        help="check pool indexes only at controller ticks instead of "
+        "after every event (faster, coarser localization)",
+    )
+    validate.add_argument(
+        "--repro-dir",
+        metavar="DIR",
+        help="write a minimal JSON repro per failing scenario here",
+    )
+    validate.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write a JSON summary of every scenario outcome here",
+    )
+    validate.set_defaults(handler=cmd_validate)
 
     trace = sub.add_parser("trace", help="inspect JSONL telemetry traces")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)

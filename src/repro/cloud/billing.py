@@ -44,14 +44,27 @@ class BillingModel:
     def units_charged(self, instance: Instance, now: float) -> int:
         """Charging units billed to ``instance`` as of ``now``.
 
-        An instance that never started costs nothing. A started instance is
-        charged ``ceil(uptime / u)`` units with a minimum of one (starting
-        an instance commits to its first unit).
+        An instance that never started costs nothing. Otherwise the
+        convention is the paper's "recharge" framing, boundary included
+        (it matches :meth:`time_to_next_charge` exactly):
+
+        - a *running* instance is charged for every unit it has entered —
+          at the exact boundary ``t = started_at + k*u`` the new unit has
+          just been charged, so it owes ``k + 1`` units;
+        - a *terminated* instance that released exactly at a boundary
+          never entered the next unit, so it owes ``k`` units (Algorithm 2
+          releases instances precisely there to avoid the recharge), and
+          float noise a few ulps past the boundary is forgiven.
         """
         if instance.started_at is None:
             return 0
         uptime = instance.uptime(now)
-        units = math.ceil((uptime - _BOUNDARY_EPS) / self.charging_unit)
+        if instance.terminated_at is None:
+            units = (
+                math.floor((uptime + _BOUNDARY_EPS) / self.charging_unit) + 1
+            )
+        else:
+            units = math.ceil((uptime - _BOUNDARY_EPS) / self.charging_unit)
         return max(1, units)
 
     def cost(self, instance: Instance, now: float) -> float:
@@ -63,7 +76,10 @@ class BillingModel:
 
         This is the paper's ``r_j`` (Algorithm 2). The value lies in
         ``(0, u]``: at an exact unit boundary the new unit has just been
-        charged, so the *next* charge is a full unit away.
+        charged (the same convention :meth:`units_charged` applies to a
+        running instance), so the *next* charge is a full unit away. For
+        a running instance ``now + time_to_next_charge == paid_until``
+        up to boundary tolerance.
         """
         if instance.started_at is None:
             # A pending instance will be charged its first unit on start;
@@ -82,9 +98,15 @@ class BillingModel:
         return now + self.time_to_next_charge(instance, now)
 
     def paid_until(self, instance: Instance, now: float) -> float:
-        """Absolute time through which ``instance`` is already paid."""
+        """Absolute time through which ``instance`` is already paid.
+
+        A never-started (pending or cancelled) instance has been charged
+        nothing, so its paid-through horizon collapses onto
+        ``requested_at`` — not ``now``, which would falsely claim a
+        pending instance is paid up while billing zero units.
+        """
         if instance.started_at is None:
-            return now
+            return instance.requested_at
         units = self.units_charged(instance, now)
         return instance.started_at + units * self.charging_unit
 

@@ -48,6 +48,23 @@ from repro.util.validation import check_positive
 __all__ = ["RunResult", "Simulation"]
 
 
+def _make_validator(validate: object):
+    """Normalize the ``validate=`` argument of the engines.
+
+    ``None``/``False`` -> no validator (the zero-cost path); ``True`` ->
+    a default raise-mode checker; anything else is assumed to be a
+    checker instance and used as-is. The import is deferred so runs that
+    never validate never load :mod:`repro.validate`.
+    """
+    if validate is None or validate is False:
+        return None
+    if validate is True:
+        from repro.validate.checker import InvariantChecker
+
+        return InvariantChecker()
+    return validate
+
+
 @dataclass
 class RunResult:
     """Everything measured from one workflow run."""
@@ -134,6 +151,14 @@ class Simulation:
         streams are label-hashed, so the other streams are unaffected
         either way), no chaos events are scheduled, and every chaos call
         site is guarded by a single ``is not None`` check.
+    validate:
+        Runtime invariant checking (:mod:`repro.validate`). ``None`` or
+        ``False`` (default) disables it with the same zero-cost contract
+        as chaos — one ``is not None`` check per event, bit-identical
+        results. ``True`` attaches a default raise-mode
+        :class:`~repro.validate.checker.InvariantChecker`; an explicit
+        checker instance is used as-is (pass ``mode="collect"`` to
+        gather violations instead of stopping at the first).
     """
 
     def __init__(
@@ -155,6 +180,7 @@ class Simulation:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         chaos: ChaosSpec | None = None,
+        validate: object = None,
     ) -> None:
         check_positive("charging_unit", charging_unit)
         check_positive("max_time", max_time)
@@ -199,6 +225,11 @@ class Simulation:
             )
         else:
             self._chaos_injector = None
+        # Invariant checking mirrors the chaos contract: the checker
+        # exists only when requested, so `self.validator is None` is the
+        # zero-cost disabled path (lazy import keeps repro.validate out
+        # of undecorated runs entirely).
+        self.validator = _make_validator(validate)
         #: fault-class -> occurrence count (stays empty without chaos)
         self._cloud_faults: dict[str, int] = {}
         #: pending-instance id -> provisioning attempt number, for
@@ -237,7 +268,10 @@ class Simulation:
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
         """Execute the workflow to completion and return measurements."""
+        validator = self.validator
         self._bootstrap()
+        if validator is not None:
+            validator.begin_run(self)
         completed = True
         while not self.master.is_done():
             if not self.events:
@@ -252,7 +286,12 @@ class Simulation:
             self._now = event.time
             self._events_processed += 1
             self._handle(event)
-        return self._finalize(completed)
+            if validator is not None:
+                validator.after_event(self, event)
+        result = self._finalize(completed)
+        if validator is not None:
+            validator.check_final(self, result)
+        return result
 
     # ------------------------------------------------------------------
     # setup / teardown

@@ -83,6 +83,7 @@ def run_setting(
     max_time: float = 1e8,
     trace_path: str | Path | None = None,
     chaos: ChaosSpec | None = None,
+    validate: object = None,
 ) -> RunResult:
     """Execute one run of one setting.
 
@@ -93,7 +94,9 @@ def run_setting(
     result is bit-identical with or without it. ``chaos`` injects
     cloud-level faults (:mod:`repro.cloud.faults`); the spec is plain
     frozen data, so a cell runs identically in-process and in a
-    parallel-executor worker.
+    parallel-executor worker. ``validate`` attaches a runtime invariant
+    checker (:mod:`repro.validate`): ``True`` for the default raise-mode
+    checker, or a configured ``InvariantChecker`` instance.
     """
     workflow = (
         workload.generate(seed)
@@ -116,6 +119,7 @@ def run_setting(
             max_time=max_time,
             tracer=Tracer(sink) if sink is not None else None,
             chaos=chaos,
+            validate=validate,
         )
         return simulation.run()
     finally:

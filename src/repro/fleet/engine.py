@@ -42,6 +42,7 @@ from repro.engine.control import ScalingDecision
 from repro.engine.events import Event, EventKind, EventQueue
 from repro.engine.faults import FaultModel, NoFaults
 from repro.engine.runtime import NominalRuntimeModel, TaskRuntimeModel
+from repro.engine.simulator import _make_validator
 from repro.engine.transfer import DataTransferModel, NoTransferModel
 from repro.fleet.arrivals import Submission
 from repro.fleet.autoscalers import FleetAutoscaler, FleetObservation
@@ -106,6 +107,12 @@ class FleetSimulation:
     chaos:
         Cloud-fault injection (:mod:`repro.cloud.faults`); revocations
         kill whichever tenants occupy the doomed instance.
+    validate:
+        Runtime invariant checking (:mod:`repro.validate`), with the
+        same zero-cost-when-disabled contract as the single-workflow
+        engine: ``None``/``False`` (default) stores no checker and pays
+        one ``is not None`` check per event; ``True`` attaches a default
+        raise-mode checker; a checker instance is used as-is.
 
     Other parameters mirror :class:`~repro.engine.simulator.Simulation`.
     """
@@ -130,6 +137,7 @@ class FleetSimulation:
         max_active: int | None = None,
         tracer: Tracer | None = None,
         chaos: ChaosSpec | None = None,
+        validate: object = None,
     ) -> None:
         check_positive("charging_unit", charging_unit)
         check_positive("max_time", max_time)
@@ -166,6 +174,7 @@ class FleetSimulation:
             )
         else:
             self._chaos_injector = None
+        self.validator = _make_validator(validate)
         self._cloud_faults: dict[str, int] = {}
         self._provision_attempts: dict[str, int] = {}
 
@@ -224,7 +233,10 @@ class FleetSimulation:
     # ------------------------------------------------------------------
     def run(self) -> FleetResult:
         """Execute every submission to completion and return measurements."""
+        validator = self.validator
         self._bootstrap()
+        if validator is not None:
+            validator.begin_run(self)
         completed = True
         while not self._fleet_done():
             if not self.events:
@@ -239,7 +251,12 @@ class FleetSimulation:
             self._now = event.time
             self._events_processed += 1
             self._handle(event)
-        return self._finalize(completed)
+            if validator is not None:
+                validator.after_event(self, event)
+        result = self._finalize(completed)
+        if validator is not None:
+            validator.check_final(self, result)
+        return result
 
     def _fleet_done(self) -> bool:
         return (

@@ -94,8 +94,14 @@ def run_fleet(
     max_active: int | None = None,
     trace_path: str | Path | None = None,
     chaos: ChaosSpec | None = None,
+    validate: object = None,
 ) -> FleetResult:
-    """Run one fleet simulation end to end and return its result."""
+    """Run one fleet simulation end to end and return its result.
+
+    ``validate`` is forwarded to :class:`FleetSimulation` — ``True`` for
+    a default raise-mode invariant checker, or a configured
+    :class:`~repro.validate.InvariantChecker` instance.
+    """
     if isinstance(policy, str):
         policy = allocation_policy(policy)
     if isinstance(autoscaler, str):
@@ -126,6 +132,7 @@ def run_fleet(
             max_active=max_active,
             tracer=tracer,
             chaos=chaos,
+            validate=validate,
         )
         return sim.run()
     finally:

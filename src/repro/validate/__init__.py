@@ -1,0 +1,43 @@
+"""Runtime invariant checking and differential replay.
+
+``repro.validate`` is the engine's self-audit layer: an
+:class:`InvariantChecker` can ride along inside a
+:class:`~repro.engine.simulator.Simulation` or
+:class:`~repro.fleet.engine.FleetSimulation` (the ``validate=``
+constructor argument) and recompute, at event and tick boundaries, every
+piece of incremental bookkeeping the hot path relies on — slot indexes,
+billing, monitor aggregates, task conservation, fleet cost attribution.
+A run without a checker is bit-identical to one built before this module
+existed.
+
+The differential-replay fuzz harness lives in :mod:`repro.validate.fuzz`
+(imported on demand only — it pulls in the experiment harnesses, which
+this package must not do at import time lest it cycle back into the
+engines that lazily import us).
+"""
+
+from repro.validate.checker import InvariantChecker
+from repro.validate.invariants import (
+    InvariantError,
+    Violation,
+    check_billing_instance,
+    check_fleet_attribution,
+    check_monitor_aggregates,
+    check_pool_slots,
+    check_task_conservation,
+    committed_units,
+    occupancy_integral,
+)
+
+__all__ = [
+    "InvariantChecker",
+    "InvariantError",
+    "Violation",
+    "check_billing_instance",
+    "check_fleet_attribution",
+    "check_monitor_aggregates",
+    "check_pool_slots",
+    "check_task_conservation",
+    "committed_units",
+    "occupancy_integral",
+]

@@ -30,18 +30,30 @@ class TestUnitsCharged:
         inst = running_instance()
         assert BillingModel(60.0).units_charged(inst, 0.0) == 1
 
-    def test_unit_boundaries(self):
+    def test_unit_boundaries_running(self):
+        # A running instance is charged every unit it *enters*: at the
+        # exact boundary the new unit has just been charged, matching
+        # time_to_next_charge's documented convention.
         billing = BillingModel(60.0)
         inst = running_instance()
         assert billing.units_charged(inst, 59.0) == 1
-        assert billing.units_charged(inst, 60.0) == 1  # exactly one unit
+        assert billing.units_charged(inst, 60.0) == 2  # boundary: recharged
         assert billing.units_charged(inst, 60.1) == 2
-        assert billing.units_charged(inst, 180.0) == 3
+        assert billing.units_charged(inst, 180.0) == 4  # boundary again
+
+    def test_unit_boundaries_terminated(self):
+        # Releasing exactly at the boundary never enters the next unit
+        # (this is where Algorithm 2 releases instances).
+        billing = BillingModel(60.0)
+        inst = running_instance()
+        inst.mark_terminated(120.0)
+        assert billing.units_charged(inst, 120.0) == 2
 
     def test_float_noise_at_boundary_forgiven(self):
         billing = BillingModel(60.0)
         inst = running_instance()
         # A termination a few ulps past the boundary must not add a unit.
+        inst.mark_terminated(120.0 + 1e-10)
         assert billing.units_charged(inst, 120.0 + 1e-10) == 2
 
     def test_termination_freezes_units(self):

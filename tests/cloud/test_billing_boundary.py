@@ -1,0 +1,124 @@
+"""Boundary-exact billing regression tests.
+
+These pin the reconciled charge-boundary convention (ISSUE 5 satellite):
+at ``t = started_at + k*u`` a *running* instance has just been charged
+its ``k+1``-th unit — the same convention ``time_to_next_charge``
+documents ("at an exact unit boundary the new unit has just been
+charged") — while a *terminated* instance that released exactly at the
+boundary owes ``k`` units. The pre-fix ``units_charged`` treated the
+boundary as not-yet-charged for running instances, contradicting
+``time_to_next_charge`` and leaving ``paid_until == now`` while the next
+charge was claimed to be a full unit away.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import BillingModel, Instance, InstanceType
+
+#: the paper's charging units (§IV-B): 1, 15, 30, 60 minutes
+UNITS = (60.0, 900.0, 1800.0, 3600.0)
+BOUNDARIES = (1, 2, 3)
+
+
+def make_instance(requested_at: float = 0.0) -> Instance:
+    return Instance(
+        instance_id="vm-1",
+        itype=InstanceType(name="t", slots=2),
+        requested_at=requested_at,
+    )
+
+
+def make_running(started_at: float = 0.0) -> Instance:
+    inst = make_instance(requested_at=started_at)
+    inst.mark_running(started_at)
+    return inst
+
+
+@pytest.mark.parametrize("u", UNITS)
+@pytest.mark.parametrize("k", BOUNDARIES)
+class TestExactBoundary:
+    def test_running_units_charged(self, u, k):
+        """At t = started + k*u a running instance owes k+1 units."""
+        billing = BillingModel(u)
+        inst = make_running(started_at=7.0)
+        now = 7.0 + k * u
+        assert billing.units_charged(inst, now) == k + 1
+
+    def test_running_paid_until_covers_new_unit(self, u, k):
+        """paid_until at the boundary extends a full unit past now."""
+        billing = BillingModel(u)
+        inst = make_running(started_at=7.0)
+        now = 7.0 + k * u
+        assert billing.paid_until(inst, now) == pytest.approx(now + u)
+
+    def test_running_next_charge_is_full_unit_away(self, u, k):
+        billing = BillingModel(u)
+        inst = make_running(started_at=7.0)
+        now = 7.0 + k * u
+        assert billing.time_to_next_charge(inst, now) == pytest.approx(u)
+        assert billing.next_charge_time(inst, now) == pytest.approx(now + u)
+
+    def test_running_next_charge_equals_paid_until(self, u, k):
+        """The reconciled invariant: next_charge_time == paid_until.
+
+        This is the cross-check the pre-fix code failed — it reported
+        paid_until == now (unit not yet charged) while next_charge_time
+        said now + u (unit just charged).
+        """
+        billing = BillingModel(u)
+        inst = make_running(started_at=7.0)
+        now = 7.0 + k * u
+        assert billing.next_charge_time(inst, now) == pytest.approx(
+            billing.paid_until(inst, now)
+        )
+
+    def test_terminated_at_boundary_owes_k_units(self, u, k):
+        """Releasing exactly at the boundary avoids the recharge."""
+        billing = BillingModel(u)
+        inst = make_running(started_at=7.0)
+        now = 7.0 + k * u
+        inst.mark_terminated(now)
+        assert billing.units_charged(inst, now) == k
+        assert billing.wasted_time(inst, now) == pytest.approx(0.0, abs=1e-6)
+        assert billing.paid_until(inst, now) == pytest.approx(now)
+
+    def test_terminated_ulps_past_boundary_forgiven(self, u, k):
+        """Float noise a few ulps past the boundary adds no unit."""
+        billing = BillingModel(u)
+        inst = make_running(started_at=7.0)
+        now = 7.0 + k * u + 1e-10
+        inst.mark_terminated(now)
+        assert billing.units_charged(inst, now) == k
+
+    def test_mid_unit_unchanged(self, u, k):
+        """Away from boundaries the two conventions agree."""
+        billing = BillingModel(u)
+        inst = make_running(started_at=7.0)
+        now = 7.0 + k * u + 0.5 * u
+        assert billing.units_charged(inst, now) == k + 1
+        assert billing.paid_until(inst, now) == pytest.approx(
+            7.0 + (k + 1) * u
+        )
+        assert billing.next_charge_time(inst, now) == pytest.approx(
+            billing.paid_until(inst, now)
+        )
+
+
+class TestNeverStartedPaidUntil:
+    def test_pending_paid_until_is_requested_at(self):
+        """A pending instance has paid nothing: paid_until collapses to
+        requested_at, never to ``now`` (the pre-fix value, which claimed
+        an unbilled instance was paid through the present)."""
+        billing = BillingModel(60.0)
+        inst = make_instance(requested_at=42.0)
+        assert billing.paid_until(inst, 500.0) == 42.0
+        assert billing.units_charged(inst, 500.0) == 0
+
+    def test_cancelled_pending_paid_until_is_requested_at(self):
+        billing = BillingModel(60.0)
+        inst = make_instance(requested_at=42.0)
+        inst.cancel_pending()
+        assert billing.paid_until(inst, 500.0) == 42.0
+        assert billing.units_charged(inst, 500.0) == 0

@@ -297,3 +297,32 @@ class TestFleetCommand:
     def test_fleet_bad_arrival_args(self):
         with pytest.raises(SystemExit, match="times"):
             main(["fleet", "--arrival", "trace", "--n", "2"])
+
+
+class TestValidateCommand:
+    def test_run_with_validation_enabled(self, capsys):
+        # the raise-mode checker rides along without changing the output
+        assert main(["run", "tpch6-S", "--validate"]) == 0
+        assert "units" in capsys.readouterr().out
+
+    def test_fleet_with_validation_enabled(self, capsys):
+        assert main([
+            "fleet", "--n", "2", "--workloads", "tpch6-S",
+            "--seed", "3", "--validate",
+        ]) == 0
+        assert "fleet totals" in capsys.readouterr().out
+
+    def test_validate_quick_sweep(self, capsys, tmp_path):
+        out = tmp_path / "summary.json"
+        assert main([
+            "validate", "--quick", "--seeds", "1", "--kind", "single",
+            "--out", str(out),
+        ]) == 0
+        assert "zero violations" in capsys.readouterr().out
+        assert out.exists()
+
+    def test_validate_defaults(self):
+        args = build_parser().parse_args(["validate"])
+        assert args.seeds == 2
+        assert args.kind == "all"
+        assert not args.quick and not args.shallow

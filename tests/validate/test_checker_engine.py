@@ -1,0 +1,235 @@
+"""End-to-end tests: the InvariantChecker attached to real engine runs.
+
+Covers the three contract points of the ``validate=`` wiring:
+
+1. zero cost when disabled — ``sim.validator is None`` and results are
+   bit-identical with/without a checker attached;
+2. clean engines are quiet — full runs (single and fleet, clean and
+   chaotic) report zero violations in collect mode and never raise in
+   raise mode;
+3. real corruptions are caught *mid-run* — a saboteur that drifts an
+   index during the event loop trips raise mode at the next check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autoscalers import PureReactiveAutoscaler, WireAutoscaler
+from repro.cloud import exogeni_site
+from repro.cloud.faults import parse_chaos_spec
+from repro.engine.events import EventKind
+from repro.engine.simulator import Simulation
+from repro.experiments.harness import default_transfer_model
+from repro.fleet.arrivals import PoissonArrivals
+from repro.fleet.autoscalers import fleet_autoscaler
+from repro.fleet.engine import FleetSimulation
+from repro.fleet.policies import allocation_policy
+from repro.validate import InvariantChecker, InvariantError
+from repro.workloads import chain_workflow, single_stage_workflow, table1_specs
+
+
+def make_sim(*, validate=None, chaos=None, policy=WireAutoscaler, seed=0):
+    workflow = table1_specs()["tpch6-S"].generate(seed)
+    return Simulation(
+        workflow,
+        exogeni_site(),
+        policy(),
+        60.0,
+        transfer_model=default_transfer_model(),
+        seed=seed,
+        chaos=chaos,
+        validate=validate,
+    )
+
+
+def make_fleet(*, validate=None, chaos=None, seed=1):
+    catalog = {
+        "wide": lambda seed: single_stage_workflow(6, 120.0),
+        "deep": lambda seed: chain_workflow(4, 60.0),
+    }
+    submissions = PoissonArrivals(12.0, 3, ("wide", "deep")).generate(seed)
+    return FleetSimulation(
+        submissions,
+        catalog,
+        exogeni_site(),
+        fleet_autoscaler("global-wire"),
+        allocation_policy("fair-share"),
+        900.0,
+        seed=seed,
+        chaos=chaos,
+        validate=validate,
+    )
+
+
+def fingerprint(result) -> tuple:
+    return (
+        result.makespan.hex(),
+        result.total_units,
+        result.total_cost.hex(),
+        result.wasted_seconds.hex(),
+        result.utilization.hex(),
+        result.restarts,
+        result.ticks,
+    )
+
+
+class TestDisabledIsFree:
+    def test_default_has_no_validator(self):
+        assert make_sim().validator is None
+        assert make_fleet().validator is None
+
+    def test_false_means_disabled(self):
+        assert make_sim(validate=False).validator is None
+
+    def test_true_builds_raise_mode_checker(self):
+        sim = make_sim(validate=True)
+        assert isinstance(sim.validator, InvariantChecker)
+        assert sim.validator.mode == "raise"
+
+
+class TestCleanRunsAreQuiet:
+    @pytest.mark.parametrize("chaos_text", [None, "revocations=8,stragglers=0.2"])
+    def test_single_collect_mode_zero_violations(self, chaos_text):
+        checker = InvariantChecker(mode="collect")
+        chaos = parse_chaos_spec(chaos_text) if chaos_text else None
+        sim = make_sim(
+            validate=checker, chaos=chaos, policy=PureReactiveAutoscaler, seed=1
+        )
+        result = sim.run()
+        assert result.completed
+        assert checker.violations == []
+        assert checker.events_checked > 0
+        assert checker.ticks_checked > 0
+
+    def test_single_raise_mode_does_not_raise(self):
+        result = make_sim(validate=True).run()
+        assert result.completed
+
+    def test_fleet_collect_mode_zero_violations(self):
+        checker = InvariantChecker(mode="collect")
+        sim = make_fleet(validate=checker)
+        result = sim.run()
+        assert result.completed
+        assert checker.violations == []
+
+    def test_fleet_raise_mode_does_not_raise(self):
+        result = make_fleet(validate=True).run()
+        assert result.completed
+
+    def test_shallow_mode_also_quiet(self):
+        checker = InvariantChecker(mode="collect", deep=False)
+        sim = make_sim(validate=checker)
+        sim.run()
+        assert checker.violations == []
+        # shallow mode checks the pool only at ticks
+        assert checker.ticks_checked < checker.events_checked
+
+
+class TestValidationIsPureObservation:
+    def test_single_run_bit_identical(self):
+        bare = make_sim().run()
+        validated = make_sim(validate=InvariantChecker(mode="collect")).run()
+        assert fingerprint(bare) == fingerprint(validated)
+
+    def test_single_chaos_run_bit_identical(self):
+        chaos = parse_chaos_spec("revocations=8,stragglers=0.2")
+        bare = make_sim(chaos=chaos, policy=PureReactiveAutoscaler, seed=1)
+        validated = make_sim(
+            chaos=chaos,
+            policy=PureReactiveAutoscaler,
+            seed=1,
+            validate=InvariantChecker(mode="collect"),
+        )
+        assert fingerprint(bare.run()) == fingerprint(validated.run())
+
+    def test_fleet_summary_byte_identical(self):
+        bare = make_fleet().run().to_summary_json()
+        validated = (
+            make_fleet(validate=InvariantChecker(mode="collect"))
+            .run()
+            .to_summary_json()
+        )
+        assert bare == validated
+
+
+class _Saboteur(InvariantChecker):
+    """Checker that corrupts the pool once, mid-run, then checks as usual.
+
+    Subclassing the checker is the least invasive way to mutate engine
+    state from inside the event loop at a deterministic point.
+    """
+
+    def __init__(self, corrupt, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._corrupt = corrupt
+        self.fired = False
+
+    def after_event(self, sim, event):
+        if (
+            not self.fired
+            and event.kind is EventKind.CONTROLLER_TICK
+            and sim.pool.running_count() > 0
+        ):
+            self._corrupt(sim)
+            self.fired = True
+        super().after_event(sim, event)
+
+
+class TestCorruptionIsCaught:
+    def test_placement_ghost_raises_mid_run(self):
+        def corrupt(sim):
+            sim.pool._task_instance["ghost"] = next(iter(sim.pool._running_ids))
+
+        checker = _Saboteur(corrupt)
+        with pytest.raises(InvariantError) as excinfo:
+            make_sim(validate=checker).run()
+        assert checker.fired
+        assert excinfo.value.violation.invariant == "pool.placement_index"
+
+    def test_bucket_drift_raises_mid_run(self):
+        def corrupt(sim):
+            for bucket in sim.pool._buckets.values():
+                if bucket:
+                    bucket.pop()
+                    return
+
+        with pytest.raises(InvariantError) as excinfo:
+            make_sim(validate=_Saboteur(corrupt)).run()
+        assert excinfo.value.violation.invariant in (
+            "pool.free_slot_index",
+            "pool.free_slot_total",
+        )
+
+    def test_collect_mode_survives_to_completion(self):
+        def corrupt(sim):
+            sim.pool._task_instance["ghost"] = next(iter(sim.pool._running_ids))
+
+        checker = _Saboteur(corrupt, mode="collect")
+        result = make_sim(validate=checker).run()
+        assert result.completed
+        assert checker.violations
+        assert "pool.placement_index" in {
+            v.invariant for v in checker.violations
+        }
+
+    def test_busy_accounting_drop_raises(self):
+        """Dropping one assign timestamp — the historical undercounting
+        bug shape — trips slots.assign_times at the very next event."""
+
+        def corrupt(sim):
+            for instance in sim.pool:
+                if instance._assign_times:
+                    instance._assign_times.popitem()
+                    return
+
+        checker = _Saboteur(corrupt)
+        with pytest.raises(InvariantError) as excinfo:
+            make_sim(validate=checker, policy=PureReactiveAutoscaler).run()
+        assert excinfo.value.violation.invariant == "slots.assign_times"
+
+
+class TestCheckerConstruction:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            InvariantChecker(mode="explode")

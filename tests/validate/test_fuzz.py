@@ -1,0 +1,141 @@
+"""Tests for the differential-replay fuzz harness (repro.validate.fuzz)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.validate.fuzz import (
+    Outcome,
+    Scenario,
+    dump_repro,
+    fleet_grid,
+    main,
+    run_differential,
+    single_grid,
+)
+from repro.validate.invariants import Violation
+
+
+class TestGrids:
+    def test_single_grid_covers_every_policy(self):
+        grid = list(single_grid([0]))
+        assert {s.policy for s in grid} == {
+            "full-site",
+            "pure-reactive",
+            "reactive-conserving",
+            "wire",
+            "oracle",
+        }
+        assert all(s.kind == "single" for s in grid)
+
+    def test_fleet_grid_covers_arrivals_and_autoscalers(self):
+        grid = list(fleet_grid([0]))
+        assert {s.arrival for s in grid} == {"poisson", "bursty", "trace"}
+        assert {s.fleet_autoscaler for s in grid} == {
+            "global-wire",
+            "global-static",
+            "global-reactive",
+        }
+
+    def test_quick_trims_but_keeps_all_policies(self):
+        quick = list(single_grid([0], quick=True))
+        full = list(single_grid([0]))
+        assert len(quick) < len(full)
+        assert {s.policy for s in quick} == {s.policy for s in full}
+
+    def test_labels_unique(self):
+        grid = list(single_grid([0, 1])) + list(fleet_grid([0, 1]))
+        labels = [s.label for s in grid]
+        assert len(labels) == len(set(labels))
+
+    def test_scenario_json_round_trips(self):
+        scenario = next(iter(single_grid([0])))
+        payload = scenario.to_json()
+        assert Scenario(**payload) == scenario
+
+
+class TestDifferential:
+    def test_single_scenario_ok(self):
+        scenario = Scenario(
+            kind="single", label="t", workload="tpch6-S", policy="wire"
+        )
+        outcome = run_differential(scenario)
+        assert outcome.ok
+        assert outcome.identical
+        assert outcome.violations == []
+        assert outcome.expected == outcome.actual
+
+    def test_chaos_scenario_ok(self):
+        scenario = Scenario(
+            kind="single",
+            label="t",
+            policy="pure-reactive",
+            chaos="revocations=2,stragglers=0.2",
+            seed=1,
+        )
+        assert run_differential(scenario).ok
+
+    def test_fleet_scenario_ok(self):
+        scenario = Scenario(
+            kind="fleet", label="t", arrival="poisson", charging_unit=900.0
+        )
+        outcome = run_differential(scenario)
+        assert outcome.ok
+        # fleet fingerprints are the canonical summary JSON rendering
+        assert isinstance(outcome.expected, str)
+
+    def test_shallow_matches_deep(self):
+        scenario = Scenario(kind="single", label="t")
+        assert run_differential(scenario, deep=False).ok
+
+
+class TestReproDump:
+    def test_dump_writes_reconstructable_json(self, tmp_path):
+        scenario = Scenario(
+            kind="single", label="single/tpch6-S/wire/clean/s0"
+        )
+        outcome = Outcome(
+            scenario=scenario,
+            identical=False,
+            violations=[
+                Violation("pool.free_slot_index", 42.0, "drift", {"k": 1})
+            ],
+            expected={"makespan": "0x1.0p+6"},
+            actual={"makespan": "0x1.8p+6"},
+        )
+        path = dump_repro(outcome, tmp_path)
+        assert path.name == "repro_single_tpch6-S_wire_clean_s0.json"
+        payload = json.loads(path.read_text())
+        assert Scenario(**payload["scenario"]) == scenario
+        assert payload["identical"] is False
+        assert payload["violations"][0]["invariant"] == "pool.free_slot_index"
+        assert payload["expected"] != payload["actual"]
+
+
+class TestMain:
+    def test_quick_single_sweep_passes(self, tmp_path, capsys):
+        out = tmp_path / "summary.json"
+        rc = main(
+            [
+                "--quick",
+                "--seeds",
+                "1",
+                "--kind",
+                "single",
+                "--out",
+                str(out),
+                "--repro-dir",
+                str(tmp_path / "repros"),
+            ]
+        )
+        assert rc == 0
+        summary = json.loads(out.read_text())
+        assert summary["failures"] == 0
+        assert summary["scenarios"] == len(summary["results"])
+        assert all(r["status"] == "ok" for r in summary["results"])
+        # no failures -> no repro files
+        assert not (tmp_path / "repros").exists()
+        assert "zero violations" in capsys.readouterr().out
+
+    def test_quick_fleet_sweep_passes(self):
+        assert main(["--quick", "--seeds", "1", "--kind", "fleet"]) == 0

@@ -10,6 +10,7 @@ it only when a semantic engine change is intended and reviewed:
     PYTHONPATH=src python tools/gen_golden_engine.py --check    # verify
     PYTHONPATH=src python tools/gen_golden_engine.py --check --traced
     PYTHONPATH=src python tools/gen_golden_engine.py --check --no-chaos
+    PYTHONPATH=src python tools/gen_golden_engine.py --check --validate
 
 ``--check`` re-runs every scenario and exits nonzero on any fingerprint
 drift (the CI gate over the full matrix; the unit suite samples a fast
@@ -17,8 +18,11 @@ subset). ``--traced`` attaches a telemetry tracer to every run, proving
 tracing is pure observation — fingerprints must not move. ``--no-chaos``
 passes an all-disabled :class:`~repro.cloud.faults.ChaosSpec` to every
 run, proving the disabled chaos path is zero-cost — fingerprints must
-not move either. ``--diff-out FILE`` writes an expected-vs-actual JSON
-report on drift so CI can upload it as an artifact.
+not move either. ``--validate`` attaches a collect-mode runtime
+invariant checker (:mod:`repro.validate`) to every run: fingerprints
+must not move AND every run must report zero violations. ``--diff-out
+FILE`` writes an expected-vs-actual JSON report on drift so CI can
+upload it as an artifact.
 """
 
 from __future__ import annotations
@@ -45,7 +49,7 @@ OUT = Path(__file__).resolve().parent.parent / "tests" / "engine" / (
 )
 
 
-def scenarios(tracer_factory=None, chaos=None):
+def scenarios(tracer_factory=None, chaos=None, validate_factory=None):
     """Scenario name -> Simulation factory. Covers dispatch packing,
     terminations with occupants (restarts), faults, and launch jitter.
 
@@ -53,7 +57,9 @@ def scenarios(tracer_factory=None, chaos=None):
     by ``--traced`` to prove telemetry never perturbs results).
     ``chaos`` passes a ChaosSpec to every simulation (used by
     ``--no-chaos`` with a disabled spec to prove the disabled path is
-    zero-cost)."""
+    zero-cost). ``validate_factory`` attaches a fresh invariant checker
+    to every simulation (used by ``--validate`` to prove checking is
+    pure observation)."""
     site = exogeni_site()
     specs = table1_specs()
     policies = {
@@ -111,6 +117,7 @@ def scenarios(tracer_factory=None, chaos=None):
             transfer_model=default_transfer_model(),
             tracer=tracer_factory() if tracer_factory is not None else None,
             chaos=chaos,
+            validate=validate_factory() if validate_factory is not None else None,
             **kwargs,
         )
 
@@ -157,6 +164,13 @@ def main(argv=None) -> int:
         "path must not change a single fingerprint)",
     )
     parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="attach a collect-mode invariant checker to every run "
+        "(checking must not change a single fingerprint, and every run "
+        "must report zero violations)",
+    )
+    parser.add_argument(
         "--diff-out",
         metavar="FILE",
         help="on --check failure, write an expected-vs-actual JSON report "
@@ -176,11 +190,28 @@ def main(argv=None) -> int:
 
         chaos = NO_CHAOS
 
+    validate_factory = None
+    if args.validate:
+        from repro.validate import InvariantChecker
+
+        validate_factory = lambda: InvariantChecker(mode="collect")  # noqa: E731
+
     payload = {}
-    for name, sim in scenarios(tracer_factory, chaos):
+    violations = {}
+    for name, sim in scenarios(tracer_factory, chaos, validate_factory):
         payload[name] = fingerprint(sim.run())
+        if args.validate and sim.validator.violations:
+            violations[name] = sim.validator.violations
         if not args.check:
             print(f"  {name}")
+
+    if violations:
+        print(f"FAIL: {len(violations)} scenario(s) reported violations:")
+        for name, found in violations.items():
+            print(f"  {name}:")
+            for v in found[:5]:
+                print(f"    [{v.invariant}] t={v.time:.3f} {v.message}")
+        return 1
 
     if args.check:
         committed = json.loads(OUT.read_text(encoding="utf-8"))
@@ -194,6 +225,8 @@ def main(argv=None) -> int:
             mode = "traced"
         if args.no_chaos:
             mode += "+no-chaos"
+        if args.validate:
+            mode += "+validated"
         if drifted:
             print(f"FAIL: {len(drifted)} golden scenario(s) drifted ({mode}):")
             for name in drifted:

@@ -1,0 +1,21 @@
+#!/usr/bin/env python3
+"""Differential-replay invariant fuzzing (CLI wrapper).
+
+Runs seeded scenario grids — every single-workflow prediction policy and
+fleet arrival/autoscaler combination, with and without chaos — twice
+each: bare, and with a collect-mode invariant checker attached. Fails if
+any validated run diverges byte-for-byte from its bare twin or reports
+an invariant violation; failing scenarios dump minimal JSON repros.
+
+    PYTHONPATH=src python tools/invariant_fuzz.py --quick --seeds 1
+    PYTHONPATH=src python tools/invariant_fuzz.py --seeds 3 --repro-dir /tmp/repros
+
+Equivalent to ``repro validate``. See docs/validation.md.
+"""
+
+import sys
+
+from repro.validate.fuzz import main
+
+if __name__ == "__main__":
+    sys.exit(main())
