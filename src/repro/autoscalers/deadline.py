@@ -28,7 +28,7 @@ import math
 from repro.core.config import WireConfig
 from repro.core.predictor import TaskPredictor
 from repro.core.runstate import RunState
-from repro.core.steering import SteerableInstance, SteeringPolicy
+from repro.core.steering import SteeringPolicy, steer_inputs_for
 from repro.dag.workflow import Workflow
 from repro.engine.control import Autoscaler, Observation, ScalingDecision
 from repro.engine.master import TaskExecState
@@ -132,21 +132,12 @@ class DeadlineAutoscaler(Autoscaler):
         else:
             target = max(1, math.ceil(work / (slots * budget)))
 
-        steer_inputs = []
-        for instance in obs.steerable_instances():
-            r_j = obs.billing.time_to_next_charge(instance, obs.now)
-            cost = 0.0
-            for task_id in instance.occupants:
-                estimate = state.estimates[task_id]
-                if estimate.remaining_occupancy > r_j:
-                    cost = max(cost, estimate.sunk_occupancy + r_j)
-            steer_inputs.append(
-                SteerableInstance(
-                    instance_id=instance.instance_id,
-                    time_to_next_charge=r_j,
-                    restart_cost=cost,
-                )
-            )
+        steer_inputs = steer_inputs_for(
+            obs.steerable_instances(),
+            obs.billing,
+            obs.now,
+            state.estimates.__getitem__,
+        )
         return self._steering.decide_with_target(
             target=target,
             now=obs.now,

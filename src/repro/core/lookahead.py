@@ -11,6 +11,21 @@ current pool: predicted completions free slots, freed slots pull queued
 tasks, completions fire children. Any drift between this projection and
 the framework master's true schedule is tolerated by design — the paper's
 §III-D argues (and §IV-E confirms) the effect is minor.
+
+Incremental projection state
+----------------------------
+The seed implementation re-derived the DAG completion topology (which
+tasks are done, how many unfinished parents each survivor has) from the
+full run state every tick — O(tasks + edges) per projection. The
+simulator now keeps that topology persistently and patches it with the
+completion deltas the predictor records on the
+:class:`~repro.core.runstate.RunState` (``newly_completed`` /
+``completed_count``); virtual-task records are materialized lazily, only
+for tasks the projection actually touches. Whenever the delta view cannot
+be proven consistent (hand-built run states, a skipped tick, a replayed
+snapshot) the simulator falls back to an exact full rebuild — incremental
+≡ from-scratch is a hard invariant, enforced by ``self_check`` mode and
+the property suite in tests/core/test_controller_equivalence.py.
 """
 
 from __future__ import annotations
@@ -20,7 +35,9 @@ import itertools
 from collections import deque
 from dataclasses import dataclass
 
-from repro.core.runstate import RunState
+import numpy as np
+
+from repro.core.runstate import RunState, TaskEstimate
 from repro.dag.workflow import Workflow
 from repro.engine.master import TaskExecState
 
@@ -51,36 +68,202 @@ class VirtualInstance:
     occupants: tuple[str, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class UpcomingLoad:
-    """Output of one lookahead projection."""
+    """Output of one lookahead projection.
+
+    The load is stored as flat parallel columns — ``task_ids`` and the
+    float64 ``remaining`` vector — which is what the vectorized steering
+    path (Algorithm 3's Q_task packing) consumes directly; the historical
+    object view is available lazily through :attr:`tasks`.
+    """
 
     #: target interval start (now + horizon)
     at: float
-    #: tasks expected active at ``at``: virtually running first (soonest
-    #: completion first), then still-queued tasks in FIFO order
-    tasks: tuple[UpcomingTask, ...]
+    #: ids of tasks expected active at ``at``: virtually running first
+    #: (soonest completion first), then still-queued tasks in FIFO order
+    task_ids: tuple[str, ...]
+    #: remaining occupancy per entry of ``task_ids`` (float64 vector)
+    remaining: np.ndarray
     #: per-instance max sunk occupancy of tasks projected onto it at ``at``
     restart_costs: dict[str, float]
     #: True when the projection finishes the whole workflow before ``at``
     workflow_done: bool
 
-
-@dataclass(slots=True)
-class _VirtualTask:
-    task_id: str
-    remaining: float
-    instance_id: str | None = None
-    started_at: float | None = None  # virtual dispatch time
-    initial_sunk: float = 0.0  # real occupancy consumed before `now`
+    @property
+    def tasks(self) -> tuple[UpcomingTask, ...]:
+        """The load as :class:`UpcomingTask` objects (built lazily)."""
+        cached = getattr(self, "_tasks_cache", None)
+        if cached is None:
+            cached = tuple(
+                UpcomingTask(task_id=tid, remaining=rem)
+                for tid, rem in zip(self.task_ids, self.remaining.tolist())
+            )
+            object.__setattr__(self, "_tasks_cache", cached)
+        return cached
 
 
 class LookaheadSimulator:
-    """Projects one control interval ahead from a run-state snapshot."""
+    """Projects one control interval ahead from a run-state snapshot.
 
-    def __init__(self, workflow: Workflow) -> None:
+    ``self_check`` re-derives the persistent completion topology from
+    scratch on every projection and asserts it matches the incrementally
+    patched one (the equivalence invariant); use it in tests and debug
+    runs, not in the hot path.
+    """
+
+    def __init__(self, workflow: Workflow, *, self_check: bool = False) -> None:
         self.workflow = workflow
+        self.self_check = self_check
+        #: incomplete task id -> number of incomplete parents (the
+        #: persistent projection topology; None until first seeded)
+        self._unfinished: dict[str, int] | None = None
+        #: False while ``_unfinished`` aliases a predictor-owned map (an
+        #: adopted ``RunState.unfinished_parents``): the delta-patching
+        #: path must not mutate a dict it does not own
+        self._owns_unfinished = False
+        self._n_completed = 0
+        #: diagnostics: how often the exact fallback ran vs the delta path
+        self.full_rebuilds = 0
+        self.incremental_syncs = 0
 
+    def _sorted_children(self, task_id: str) -> tuple[str, ...]:
+        return self.workflow.sorted_children[task_id]
+
+    # ------------------------------------------------------------------
+    # persistent completion topology
+    # ------------------------------------------------------------------
+    def _rebuild(self, estimates: dict[str, TaskEstimate]) -> None:
+        """Exact from-scratch derivation (fallback and reference)."""
+        self._unfinished, self._n_completed = self._derive(estimates)
+        self._owns_unfinished = True
+        self.full_rebuilds += 1
+
+    def _derive(
+        self, estimates: dict[str, TaskEstimate]
+    ) -> tuple[dict[str, int], int]:
+        phases_map = getattr(estimates, "phases_map", None)
+        if phases_map is not None:
+            return self._derive_bulk(phases_map)
+        completed: set[str] = set()
+        unfinished: dict[str, int] = {}
+        parents_of = self.workflow.parents
+        # lazy run-state mappings expose phase lookups that skip estimate
+        # materialization; plain dicts fall back to the object field
+        phase_of = getattr(estimates, "phase_of", None)
+        if phase_of is None:
+            phase_of = lambda tid: estimates[tid].phase  # noqa: E731
+        for task_id in self.workflow.topological_order():
+            if phase_of(task_id) is TaskExecState.COMPLETED:
+                completed.add(task_id)
+                continue
+            # Topological order guarantees every completed parent is
+            # already in `completed` when its child is visited.
+            unfinished[task_id] = sum(
+                1 for p in parents_of(task_id) if p not in completed
+            )
+        return unfinished, len(completed)
+
+    def _derive_bulk(
+        self, phases_map: "dict[str, TaskExecState]"
+    ) -> tuple[dict[str, int], int]:
+        """:meth:`_derive` from a full phase snapshot, without per-id calls.
+
+        An incomplete task's unfinished-parent count equals its total
+        parent count minus its completed parents, so seeding from the
+        cached totals and walking only the completed tasks' child edges
+        yields the identical dict (order-insensitive arithmetic; dict
+        equality ignores insertion order).
+        """
+        base = self.workflow.parent_counts
+        completed_state = TaskExecState.COMPLETED
+        completed: list[str] = []
+        completed_append = completed.append
+        unfinished: dict[str, int] = {}
+        for task_id, phase in phases_map.items():
+            if phase is completed_state:
+                completed_append(task_id)
+            else:
+                unfinished[task_id] = base[task_id]
+        children_map = self.workflow.children_tuples
+        for task_id in completed:
+            for child in children_map[task_id]:
+                count = unfinished.get(child)
+                if count is not None:
+                    unfinished[child] = count - 1
+        return unfinished, len(completed)
+
+    def _sync(self, run_state: RunState) -> None:
+        """Bring the persistent topology up to ``run_state``.
+
+        Applies the predictor's completion delta when one is available
+        and provably consistent (the completed-count must reconcile);
+        otherwise rebuilds from the estimates — exactly.
+        """
+        adopted = run_state.unfinished_parents
+        if (
+            adopted is not None
+            and run_state.completed_count is not None
+            and len(self.workflow) - len(adopted) == run_state.completed_count
+        ):
+            # The predictor maintains the identical incomplete-task ->
+            # unfinished-parent-count map; adopt its live dict instead of
+            # re-deriving or delta-patching a private copy. The length
+            # reconciliation proves the map still matches this run state:
+            # entries are only ever removed (on completion) and counts only
+            # decrement alongside a removal, so an unchanged length means
+            # an unchanged map. The projection's in-place decrements are
+            # rolled back through its undo log, leaving the shared dict
+            # exactly as the predictor left it.
+            self._unfinished = adopted
+            self._owns_unfinished = False
+            self._n_completed = run_state.completed_count
+            self.incremental_syncs += 1
+            if self.self_check:
+                expect_unfinished, expect_n = self._derive(run_state.estimates)
+                assert self._unfinished == expect_unfinished, (
+                    "adopted projection topology diverged from scratch"
+                )
+                assert self._n_completed == expect_n
+            return
+        newly = run_state.newly_completed
+        unfinished = self._unfinished
+        if (
+            unfinished is None
+            or not self._owns_unfinished
+            or newly is None
+            or run_state.completed_count is None
+        ):
+            self._rebuild(run_state.estimates)
+        else:
+            children_map = self.workflow.children_tuples
+            n = self._n_completed
+            ok = True
+            for task_id in newly:
+                if unfinished.pop(task_id, None) is None:
+                    # a completion we never tracked (replayed or duplicate
+                    # delta) — the incremental view is unprovable
+                    ok = False
+                    break
+                n += 1
+                for child in children_map[task_id]:
+                    count = unfinished.get(child)
+                    if count is not None:
+                        unfinished[child] = count - 1
+            if ok:
+                self._n_completed = n
+            if not ok or self._n_completed != run_state.completed_count:
+                self._rebuild(run_state.estimates)
+            else:
+                self.incremental_syncs += 1
+        if self.self_check:
+            expect_unfinished, expect_n = self._derive(run_state.estimates)
+            assert self._unfinished == expect_unfinished, (
+                "incremental projection topology diverged from scratch"
+            )
+            assert self._n_completed == expect_n
+
+    # ------------------------------------------------------------------
     def project(
         self,
         run_state: RunState,
@@ -98,10 +281,32 @@ class LookaheadSimulator:
         now = run_state.now
         target = now + horizon
         estimates = run_state.estimates
+        # float-only remaining-occupancy lookups (no TaskEstimate build)
+        # when the run state carries a lazy mapping
+        remaining_of = getattr(estimates, "remaining_of", None)
+        if remaining_of is None:
+            remaining_of = (  # noqa: E731
+                lambda tid: estimates[tid].remaining_occupancy
+            )
+
+        self._sync(run_state)
+        assert self._unfinished is not None
+        # The projection loop decrements unfinished-parent counts
+        # destructively. Mutate the persistent topology in place and roll
+        # the decrements back through an undo log afterwards: the log is
+        # O(projected completion edges), far smaller than copying the
+        # whole O(incomplete) dict every tick.
+        unfinished = self._unfinished
+        undo: list[tuple[str, int]] = []
+        seed_completed = self._n_completed
 
         known_instances = {vi.instance_id: vi for vi in instances}
         counter = itertools.count()
-        heap: list[tuple[float, int, str, str]] = []  # (time, seq, kind, id)
+        # (time, seq, kind, id); seq is unique so kind is never compared
+        heap: list[tuple[float, int, int, str]] = []
+        INSTANCE, COMPLETE = 0, 1
+        heappush = heapq.heappush
+        heappop = heapq.heappop
 
         # -- seed instance availability -------------------------------
         free_slots: dict[str, int] = {}
@@ -135,14 +340,18 @@ class LookaheadSimulator:
                 free_slots[vi.instance_id] = vi.slots - len(vi.occupants)
                 mark_available(vi.instance_id)
             else:
-                heapq.heappush(
-                    heap, (vi.available_at, next(counter), "instance", vi.instance_id)
+                heappush(
+                    heap, (vi.available_at, next(counter), INSTANCE, vi.instance_id)
                 )
 
         # -- seed task states ------------------------------------------
-        virtual: dict[str, _VirtualTask] = {}
-        unfinished_parents: dict[str, int] = {}
-        completed: set[str] = set()
+        # Virtual-task records — (remaining, instance_id, started_at,
+        # initial_sunk) tuples, cheap enough for the thousands of events a
+        # projection can replay — are created lazily: up front only for
+        # in-flight tasks (they carry instance/sunk state), and on first
+        # dispatch for queued ones. Untouched tasks never materialize.
+        virtual: dict[str, tuple[float, str | None, float | None, float]] = {}
+        assigned: set[str] = set()
         queue: deque[str] = deque()
         queued_set: set[str] = set()
 
@@ -155,40 +364,60 @@ class LookaheadSimulator:
             else:
                 queue.append(task_id)
 
-        parents_of = self.workflow.parents
-        for task_id in self.workflow.topological_order():
-            estimate = estimates[task_id]
-            if estimate.phase is TaskExecState.COMPLETED:
-                completed.add(task_id)
-                continue
-            # Topological order guarantees every completed parent is
-            # already in `completed` when its child is visited.
-            unfinished_parents[task_id] = sum(
-                1 for p in parents_of(task_id) if p not in completed
+        in_flight = run_state.in_flight
+        if in_flight is None:
+            # exact fallback: derive the slot holders by topological scan,
+            # matching the order the incremental field records them in
+            phase_of = getattr(estimates, "phase_of", None)
+            if phase_of is None:
+                phase_of = lambda tid: estimates[tid].phase  # noqa: E731
+            in_flight = tuple(
+                task_id
+                for task_id in self.workflow.topological_order()
+                if task_id in unfinished and phase_of(task_id).occupies_slot
             )
-            vt = _VirtualTask(task_id=task_id, remaining=estimate.remaining_occupancy)
-            virtual[task_id] = vt
-            if estimate.phase.occupies_slot:
-                if estimate.instance_id in known_instances:
-                    vt.instance_id = estimate.instance_id
-                    vt.started_at = now
-                    vt.initial_sunk = estimate.sunk_occupancy
-                    heapq.heappush(
-                        heap,
-                        (now + vt.remaining, next(counter), "complete", task_id),
-                    )
-                else:
-                    # Its instance is draining/gone: the task will restart.
-                    # Conservatively requeue at the front with full occupancy.
-                    exec_part = estimate.exec_estimate
-                    vt.remaining = (
-                        2 * run_state.transfer_estimate + exec_part
-                    )
-                    enqueue(task_id, front=True)
+        for task_id in in_flight:
+            estimate = estimates[task_id]
+            if estimate.instance_id in known_instances:
+                remaining = estimate.remaining_occupancy
+                virtual[task_id] = (
+                    remaining,
+                    estimate.instance_id,
+                    now,
+                    estimate.sunk_occupancy,
+                )
+                assigned.add(task_id)
+                heappush(
+                    heap, (now + remaining, next(counter), COMPLETE, task_id)
+                )
+            else:
+                # Its instance is draining/gone: the task will restart.
+                # Conservatively requeue at the front with full occupancy.
+                virtual[task_id] = (
+                    2 * run_state.transfer_estimate + estimate.exec_estimate,
+                    None,
+                    None,
+                    0.0,
+                )
+                enqueue(task_id, front=True)
 
         for task_id in queued_task_ids:
-            if task_id in virtual and virtual[task_id].instance_id is None:
-                enqueue(task_id)
+            if (
+                task_id in unfinished
+                and task_id not in assigned
+                and task_id not in queued_set
+            ):
+                queued_set.add(task_id)
+                queue.append(task_id)
+
+        # Pre-resolve the seed queue's remaining occupancies in one bulk
+        # call; tasks enqueued later (children readied mid-projection)
+        # fall back to per-id lookups.
+        remaining_many = getattr(estimates, "remaining_many", None)
+        rem_hint: dict[str, float] = {}
+        if remaining_many is not None and queue:
+            rem_hint = dict(zip(queue, remaining_many(queue)))
+        rem_hint_get = rem_hint.get
 
         # -- projection loop -------------------------------------------
         def dispatch(time: float) -> None:
@@ -198,66 +427,132 @@ class LookaheadSimulator:
                     return
                 task_id = queue.popleft()
                 queued_set.discard(task_id)
-                vt = virtual[task_id]
-                vt.instance_id = slot_host
-                vt.started_at = time
+                vt = virtual.get(task_id)
+                if vt is not None:
+                    remaining = vt[0]
+                else:
+                    remaining = rem_hint_get(task_id)
+                    if remaining is None:
+                        remaining = remaining_of(task_id)
+                virtual[task_id] = (remaining, slot_host, time, 0.0)
                 free_slots[slot_host] -= 1
-                heapq.heappush(
-                    heap, (time + vt.remaining, next(counter), "complete", task_id)
+                heappush(
+                    heap, (time + remaining, next(counter), COMPLETE, task_id)
                 )
 
-        dispatch(now)
-        while heap and heap[0][0] <= target:
-            time, _, kind, payload = heapq.heappop(heap)
-            if kind == "instance":
-                vi = known_instances[payload]
-                free_slots[payload] = vi.slots
-                mark_available(payload)
-            else:  # a predicted task completion
-                vt = virtual[payload]
-                completed.add(payload)
-                del virtual[payload]
-                if vt.instance_id is not None and vt.instance_id in free_slots:
-                    free_slots[vt.instance_id] += 1
-                    mark_available(vt.instance_id)
-                for child in sorted(self.workflow.children(payload)):
-                    if child not in unfinished_parents:
+        projected_done = 0
+        children_cache = self.workflow.sorted_children
+        try:
+            dispatch(now)
+            unfinished_get = unfinished.get
+            undo_append = undo.append
+            virtual_pop = virtual.pop
+            virtual_get = virtual.get
+            queue_append = queue.append
+            queue_popleft = queue.popleft
+            queued_add = queued_set.add
+            queued_discard = queued_set.discard
+            while heap and heap[0][0] <= target:
+                time, _, kind, payload = heappop(heap)
+                if kind == INSTANCE:
+                    vi = known_instances[payload]
+                    free_slots[payload] = vi.slots
+                    mark_available(payload)
+                    dispatch(time)
+                    continue
+                # a predicted task completion
+                host = virtual_pop(payload)[1]
+                projected_done += 1
+                # A non-empty queue proves every slot in the pool is full
+                # (dispatch() always drains one or the other), so the slot
+                # this completion frees is the only free slot anywhere and
+                # the queue head must land exactly there. Inlining that
+                # single dispatch skips the avail-heap round-trip that
+                # otherwise dominates steady-state event cost.
+                busy = bool(queue)
+                for child in children_cache[payload]:
+                    count = unfinished_get(child)
+                    if count is None:
                         continue
-                    unfinished_parents[child] -= 1
-                    if unfinished_parents[child] == 0:
-                        enqueue(child)
-            dispatch(time)
+                    undo_append((child, count))
+                    count -= 1
+                    unfinished[child] = count
+                    if count == 0 and child not in queued_set:
+                        queued_add(child)
+                        queue_append(child)
+                if host is not None and host in free_slots:
+                    if busy:
+                        task_id = queue_popleft()
+                        queued_discard(task_id)
+                        vt = virtual_get(task_id)
+                        if vt is not None:
+                            remaining = vt[0]
+                        else:
+                            remaining = rem_hint_get(task_id)
+                            if remaining is None:
+                                remaining = remaining_of(task_id)
+                        virtual[task_id] = (remaining, host, time, 0.0)
+                        heappush(
+                            heap,
+                            (time + remaining, next(counter), COMPLETE, task_id),
+                        )
+                        continue
+                    free_slots[host] += 1
+                    mark_available(host)
+                elif busy:
+                    # nothing freed and the pool was already full: no
+                    # dispatch can succeed
+                    continue
+                dispatch(time)
+        finally:
+            # roll the projection's decrements back off the persistent
+            # topology (reverse order restores the original values)
+            for child, count in reversed(undo):
+                unfinished[child] = count
 
         # -- snapshot at the target interval start ---------------------
         running: list[tuple[float, str, float]] = []  # (completion, id, remaining)
         restart_costs: dict[str, float] = {
             vi.instance_id: 0.0 for vi in instances
         }
-        for task_id, vt in virtual.items():
-            if vt.instance_id is None:
+        for task_id, (rem, host, started_at, initial_sunk) in virtual.items():
+            if host is None:
                 continue
-            assert vt.started_at is not None
-            completion = vt.started_at + vt.remaining
+            assert started_at is not None
+            completion = started_at + rem
             remaining = max(0.0, completion - target)
             running.append((completion, task_id, remaining))
-            sunk = vt.initial_sunk + (target - vt.started_at)
-            if vt.instance_id in restart_costs:
-                restart_costs[vt.instance_id] = max(
-                    restart_costs[vt.instance_id], sunk
-                )
+            sunk = initial_sunk + (target - started_at)
+            if host in restart_costs:
+                restart_costs[host] = max(restart_costs[host], sunk)
         running.sort()
 
-        upcoming: list[UpcomingTask] = [
-            UpcomingTask(task_id=tid, remaining=rem) for _, tid, rem in running
-        ]
+        task_ids: list[str] = [tid for _, tid, _ in running]
+        remaining_col: list[float] = [rem for _, _, rem in running]
+        if remaining_many is not None:
+            unresolved = [
+                tid
+                for tid in queue
+                if tid not in virtual and tid not in rem_hint
+            ]
+            if unresolved:
+                rem_hint.update(zip(unresolved, remaining_many(unresolved)))
         for task_id in queue:
-            upcoming.append(
-                UpcomingTask(task_id=task_id, remaining=virtual[task_id].remaining)
-            )
+            vt = virtual.get(task_id)
+            if vt is not None:
+                task_ids.append(task_id)
+                remaining_col.append(vt[0])
+                continue
+            remaining = rem_hint_get(task_id)
+            if remaining is None:
+                remaining = remaining_of(task_id)
+            task_ids.append(task_id)
+            remaining_col.append(remaining)
 
         return UpcomingLoad(
             at=target,
-            tasks=tuple(upcoming),
+            task_ids=tuple(task_ids),
+            remaining=np.array(remaining_col, dtype=np.float64),
             restart_costs=restart_costs,
-            workflow_done=len(completed) == len(self.workflow),
+            workflow_done=seed_completed + projected_done == len(self.workflow),
         )

@@ -18,11 +18,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.config import WireConfig
 from repro.core.lookahead import LookaheadSimulator, VirtualInstance
 from repro.core.predictor import TaskPredictor
 from repro.core.runstate import PredictionPolicy, RunState, TaskEstimate
-from repro.core.steering import SteerableInstance, SteeringPolicy, resize_pool
+from repro.core.steering import SteeringPolicy, resize_pool, steer_inputs_for
 from repro.dag.workflow import Workflow
 from repro.engine.control import NO_CHANGE, Autoscaler, Observation, ScalingDecision
 from repro.engine.master import TaskExecState
@@ -148,7 +150,9 @@ class MapeController(Autoscaler):
             load = self._lookahead.project(
                 run_state, virtual, obs.queued_task_ids, horizon=obs.lag
             )
-            upcoming = [t.remaining for t in load.tasks]
+            # flat float64 Q_task column, consumed by the vectorized
+            # Algorithm 3 without per-task object hops
+            upcoming = load.remaining
         else:
             # Ablation: steer from the instantaneous load with no DAG
             # projection — ready/in-flight tasks only.
@@ -163,26 +167,14 @@ class MapeController(Autoscaler):
         # happen: the instance's charge boundary (Algorithm 2 frames c_j "at
         # the interval's start", but releasing at the interval start would
         # already incur the recharge Algorithm 2 exists to avoid — see
-        # DESIGN.md). An occupant predicted to finish before the boundary
-        # contributes nothing; one predicted to outlive it would be killed
-        # with its sunk occupancy grown to the boundary.
-        steer_inputs = []
-        for instance in steerable:
-            r_j = obs.billing.time_to_next_charge(instance, obs.now)
-            cost = 0.0
-            for task_id in instance.occupants:
-                estimate = run_state.estimates[task_id]
-                if estimate.remaining_occupancy > r_j:
-                    cost = max(cost, estimate.sunk_occupancy + r_j)
-            steer_inputs.append(
-                SteerableInstance(
-                    instance_id=instance.instance_id,
-                    time_to_next_charge=r_j,
-                    restart_cost=cost,
-                )
-            )
+        # DESIGN.md).
+        steer_inputs = steer_inputs_for(
+            steerable, obs.billing, obs.now, run_state.estimates.__getitem__
+        )
 
-        self._last_upcoming = list(upcoming)
+        self._last_upcoming = (
+            upcoming.tolist() if isinstance(upcoming, np.ndarray) else list(upcoming)
+        )
         self._last_charging_unit = obs.charging_unit
         self._last_slots = obs.site.itype.slots
 

@@ -42,6 +42,18 @@ class OnlineGradientDescentModel:
         #: gradient steps taken so far
         self.updates = 0
 
+    @property
+    def generation(self) -> int:
+        """Monotonic model-state counter (bumped on every gradient step).
+
+        Coefficients and the feature scale only change inside
+        :meth:`update`, so two evaluations at the same generation are
+        guaranteed identical — the key consumers use to memoize
+        :meth:`predict` results across MAPE ticks (and, content-addressed,
+        across fleet tenants).
+        """
+        return self.updates
+
     # ------------------------------------------------------------------
     def _rescale(self, new_scale: float) -> None:
         """Adopt a larger feature scale without changing predictions.
@@ -69,14 +81,34 @@ class OnlineGradientDescentModel:
         m = len(training_set)
         grad0 = 0.0
         grad1 = 0.0
+        # locals hoisted out of the loop: the full-batch step runs over
+        # every size group each tick, at fleet scale thousands of times
+        a0 = self.alpha0
+        a1 = self.alpha1
+        scale = self.scale
+        coeff = -(2.0 / m)
         for d, t in training_set:
-            dn = d / self.scale
-            residual = t - (self.alpha1 * dn + self.alpha0)
-            grad0 += -(2.0 / m) * residual
-            grad1 += -(2.0 / m) * dn * residual
-        self.alpha0 -= self.learning_rate * grad0
-        self.alpha1 -= self.learning_rate * grad1
+            dn = d / scale
+            residual = t - (a1 * dn + a0)
+            grad0 += coeff * residual
+            grad1 += coeff * dn * residual
+        self.alpha0 = a0 - self.learning_rate * grad0
+        self.alpha1 = a1 - self.learning_rate * grad1
         self.updates += 1
+
+    @staticmethod
+    def predict_from(
+        alpha0: float, alpha1: float, scale: float, input_size: float
+    ) -> float:
+        """:meth:`predict` as a pure function of explicit coefficients.
+
+        The run-state build captures ``(alpha0, alpha1, scale)`` at the
+        tick and evaluates lazily through this single implementation, so a
+        deferred evaluation is bit-identical to one made at capture time
+        no matter how the live model has moved since.
+        """
+        value = alpha0 + alpha1 * (input_size / scale)
+        return max(0.0, value)
 
     def predict(self, input_size: float) -> float:
         """Predicted execution time for a task with ``input_size`` bytes.
@@ -85,8 +117,7 @@ class OnlineGradientDescentModel:
         intercept, and a negative *minimum remaining occupancy* would be
         meaningless downstream.
         """
-        value = self.alpha0 + self.alpha1 * (input_size / self.scale)
-        return max(0.0, value)
+        return self.predict_from(self.alpha0, self.alpha1, self.scale, input_size)
 
     def state_size_bytes(self) -> int:
         """Approximate in-memory footprint: four floats and a counter."""

@@ -58,11 +58,37 @@ class TaskEstimate:
 
 @dataclass
 class RunState:
-    """The controller's annotated snapshot at one MAPE tick."""
+    """The controller's annotated snapshot at one MAPE tick.
+
+    The delta fields (``newly_completed``, ``completed_count``,
+    ``in_flight``) are optional accelerator metadata filled in by
+    :meth:`~repro.core.predictor.TaskPredictor.build_run_state`: they let
+    the lookahead simulator patch its persistent projection state
+    incrementally instead of re-deriving the DAG completion topology from
+    ``estimates`` every tick. A ``RunState`` built by hand (tests, custom
+    policies) can leave them ``None`` — consumers then fall back to the
+    exact from-scratch path.
+    """
 
     now: float
     transfer_estimate: float
     estimates: dict[str, TaskEstimate] = field(default_factory=dict)
+    #: task ids completed since the previous run state built by the same
+    #: predictor, in completion order (None: unknown — force fallback)
+    newly_completed: tuple[str, ...] | None = None
+    #: total completed tasks at this tick (None: unknown)
+    completed_count: int | None = None
+    #: tasks currently occupying slots, in topological order (None: unknown)
+    in_flight: tuple[str, ...] | None = None
+    #: live reference to the predictor's incomplete-task -> unfinished
+    #: parent count map at this tick (None: unknown). Consumers must
+    #: treat it as read-only between ticks; the lookahead simulator
+    #: adopts it directly instead of re-deriving the same map, and rolls
+    #: back any temporary projection decrements through its undo log.
+    unfinished_parents: "dict[str, int] | None" = None
+    #: policy tally pre-counted during the run-state build (internal
+    #: cache consumed by :meth:`policy_counts`)
+    _policy_counts: dict[PredictionPolicy, int] | None = None
 
     def estimate(self, task_id: str) -> TaskEstimate:
         """The annotation for ``task_id``."""
@@ -77,6 +103,8 @@ class RunState:
 
     def policy_counts(self) -> dict[PredictionPolicy, int]:
         """How many estimates each policy produced (diagnostics, Fig 4)."""
+        if self._policy_counts is not None:
+            return dict(self._policy_counts)
         counts: dict[PredictionPolicy, int] = {}
         for estimate in self.estimates.values():
             counts[estimate.policy] = counts.get(estimate.policy, 0) + 1

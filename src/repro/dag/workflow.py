@@ -106,6 +106,33 @@ class Workflow:
         return frozenset(self._children[task_id])
 
     @cached_property
+    def children_tuples(self) -> dict[str, tuple[str, ...]]:
+        """Per-task children as tuples, in :meth:`children`'s iteration order.
+
+        Built once and shared by every per-tick consumer (the predictor's
+        completion-delta walk visits the children of thousands of tasks),
+        avoiding a fresh frozenset copy per call. The tuple order matches
+        what iterating :meth:`children` yields, so swapping a call site to
+        this map cannot reorder any downstream traversal.
+        """
+        return {tid: tuple(frozenset(cs)) for tid, cs in self._children.items()}
+
+    @cached_property
+    def sorted_children(self) -> dict[str, tuple[str, ...]]:
+        """Per-task children as sorted tuples (deterministic traversal).
+
+        The lookahead simulator enqueues newly-ready children in sorted
+        order; sharing one prebuilt map keeps that sort out of the
+        per-projection hot path.
+        """
+        return {tid: tuple(sorted(cs)) for tid, cs in self._children.items()}
+
+    @cached_property
+    def parent_counts(self) -> dict[str, int]:
+        """Per-task total parent count, shared by the tracking rebuilds."""
+        return {tid: len(ps) for tid, ps in self._parents.items()}
+
+    @cached_property
     def roots(self) -> tuple[str, ...]:
         """Task ids with no parents, in topological order."""
         return tuple(t for t in self._topological if not self._parents[t])

@@ -66,6 +66,17 @@ class FrameworkMaster:
         """Current lifecycle state of ``task_id``."""
         return self._state[task_id]
 
+    @property
+    def states(self) -> dict[str, TaskExecState]:
+        """Read-only view of every task's state (bulk consumers; do not
+        mutate — the run-state build reads it once per MAPE tick)."""
+        return self._state
+
+    @property
+    def completed_count(self) -> int:
+        """Number of tasks that have completed so far."""
+        return self._completed_count
+
     def attempts(self, task_id: str) -> int:
         """How many times ``task_id`` has been dispatched."""
         return self._attempts[task_id]

@@ -149,6 +149,11 @@ class Monitor:
         #: duration), appended chronologically in simulation use
         self._transfer_obs: list[tuple[float, int, int, int, float]] = []
         self._transfer_obs_sorted = True
+        #: append-only chronological log of completed attempts (a task
+        #: completes at most once, so entries are unique per task); the
+        #: predictor's incremental run-state build consumes it as a
+        #: completion-delta stream via :meth:`completed_since`
+        self._completed_log: list[TaskAttempt] = []
         self._restarts = 0
         self._failures = 0
 
@@ -233,6 +238,7 @@ class Monitor:
         self._completed_version[stage_id] = (
             self._completed_version.get(stage_id, 0) + 1
         )
+        self._completed_log.append(attempt)
         self._record_transfer_obs(
             attempt, now, _OBS_STAGE_OUT, attempt.stage_out_time or 0.0
         )
@@ -279,12 +285,38 @@ class Monitor:
         """
         return self._completed_version.get(stage_id, 0)
 
+    def completed_log_length(self) -> int:
+        """Cursor position for :meth:`completed_since` (total completions)."""
+        return len(self._completed_log)
+
+    def completed_since(self, cursor: int) -> list[TaskAttempt]:
+        """Completed attempts recorded after ``cursor``, in completion order.
+
+        ``cursor`` is a previous :meth:`completed_log_length` value. The
+        log is append-only and completion is terminal, so the slice is an
+        exact delta stream: every task appears at most once, ever.
+        """
+        return self._completed_log[cursor:]
+
     def running_in_stage(self, stage_id: str) -> list[TaskAttempt]:
         """In-flight attempts in ``stage_id``."""
         running = self._running_by_stage.get(stage_id)
         if not running:
             return []
         return list(running.values())
+
+    def in_flight_task_ids(self) -> list[str]:
+        """Task ids of all in-flight attempts (unordered).
+
+        Served from the per-stage running aggregates in O(in-flight);
+        consumers needing a specific order (the run-state build wants
+        topological) sort the handful of returned ids themselves.
+        """
+        out: list[str] = []
+        for running in self._running_by_stage.values():
+            for attempt in running.values():
+                out.append(attempt.task_id)
+        return out
 
     def stage_has_dispatches(self, stage_id: str) -> bool:
         """Whether any task of ``stage_id`` was ever dispatched."""
@@ -310,6 +342,21 @@ class Monitor:
         hi = bisect_right(obs, t1, key=lambda o: o[0])
         window = sorted(obs[lo:hi], key=lambda o: (o[1], o[2], o[3]))
         return [duration for _, _, _, _, duration in window]
+
+    def transfer_durations_between(self, t0: float, t1: float) -> list[float]:
+        """Transfer durations finishing in ``(t0, t1]``, in log order.
+
+        Same multiset as :meth:`transfer_times_between` without the
+        attempt-order sort — for consumers whose aggregate is
+        order-independent (the ``t̃_data`` median sorts internally).
+        """
+        obs = self._transfer_obs
+        if not self._transfer_obs_sorted:
+            obs.sort(key=lambda o: o[0])
+            self._transfer_obs_sorted = True
+        lo = bisect_right(obs, t0, key=lambda o: o[0])
+        hi = bisect_right(obs, t1, key=lambda o: o[0])
+        return [o[4] for o in obs[lo:hi]]
 
     def total_restarts(self) -> int:
         """Number of killed attempts across the run (wasted work events)."""

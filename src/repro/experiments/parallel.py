@@ -55,18 +55,31 @@ __all__ = ["FailedCell", "parallel_map", "run_campaign_parallel"]
 _MAX_ATTEMPTS = 2
 
 
-def parallel_map(fn, items: Sequence, *, jobs: int = 1) -> list:
+def _run_batch(fn, batch: list) -> list:
+    """Worker entry point for one :func:`parallel_map` chunk."""
+    return [fn(item) for item in batch]
+
+
+def parallel_map(fn, items: Sequence, *, jobs: int = 1, chunk: int | None = None) -> list:
     """Fan a picklable function over independent items, order-preserving.
 
     The generic sibling of :func:`run_campaign_parallel` for experiments
     whose cells aren't campaign records (e.g. the fleet arrival-rate
     sweep). Results come back in ``items`` order regardless of which
     worker finished first, so ``jobs=1`` and ``jobs=N`` are
-    result-identical for deterministic ``fn``. Each item is retried once
-    (fresh pool if a worker death broke it); a second failure raises.
+    result-identical for deterministic ``fn``.
+
+    Items ship in chunks of ``chunk`` per future (default: the smallest
+    size that still gives every worker four waves of work), so the
+    per-item pickling of ``fn`` and the future round-trip amortize across
+    the batch instead of repeating per item. A chunk whose worker raises
+    (or dies, breaking the pool) is retried once as a unit; a second
+    failure raises.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if chunk is not None and chunk < 1:
+        raise ValueError("chunk must be >= 1")
     if jobs == 1 or len(items) <= 1:
         results = []
         for item in items:
@@ -82,17 +95,20 @@ def parallel_map(fn, items: Sequence, *, jobs: int = 1) -> list:
                 raise last
         return results
 
-    out: dict[int, object] = {}
-    attempts = [0] * len(items)
+    if chunk is None:
+        chunk = max(1, -(-len(items) // (jobs * 4)))
+    batches = [list(items[i : i + chunk]) for i in range(0, len(items), chunk)]
+    out: dict[int, list] = {}
+    attempts = [0] * len(batches)
     executor = ProcessPoolExecutor(max_workers=jobs)
     try:
         futures: dict[Future, int] = {}
 
         def submit(index: int) -> None:
             attempts[index] += 1
-            futures[executor.submit(fn, items[index])] = index
+            futures[executor.submit(_run_batch, fn, batches[index])] = index
 
-        for index in range(len(items)):
+        for index in range(len(batches)):
             submit(index)
         while futures:
             done, _ = wait(futures, return_when=FIRST_COMPLETED)
@@ -119,13 +135,13 @@ def parallel_map(fn, items: Sequence, *, jobs: int = 1) -> list:
             for index in sorted(set(retry)):
                 if attempts[index] >= _MAX_ATTEMPTS:
                     raise RuntimeError(
-                        f"parallel_map item {index} failed twice "
+                        f"parallel_map chunk {index} failed twice "
                         "(worker process died)"
                     )
                 submit(index)
     finally:
         executor.shutdown(wait=False, cancel_futures=True)
-    return [out[index] for index in range(len(items))]
+    return [result for index in range(len(batches)) for result in out[index]]
 
 
 @dataclass(frozen=True)
@@ -194,6 +210,27 @@ def _run_cell(
     return record_from_result(key, result)
 
 
+#: per-worker campaign context installed by the pool initializer: the
+#: shared immutable inputs (specs, factory payloads, site, chaos) cross
+#: the process boundary once per worker instead of being re-pickled for
+#: every submitted cell
+_CELL_CTX: tuple | None = None
+
+
+def _init_cell_worker(specs, payloads, site, trace_dir, chaos) -> None:
+    global _CELL_CTX
+    _CELL_CTX = (specs, payloads, site, trace_dir, chaos)
+
+
+def _run_cell_shared(key: CellKey) -> CellRecord:
+    """Worker entry point: one cell against the initializer-shipped context."""
+    assert _CELL_CTX is not None, "campaign worker initializer did not run"
+    specs, payloads, site, trace_dir, chaos = _CELL_CTX
+    return _run_cell(
+        key, specs[key.workflow], payloads[key.policy], site, trace_dir, chaos
+    )
+
+
 def run_campaign_parallel(
     store: CampaignStore,
     specs: Mapping[str, StagedWorkflowSpec],
@@ -251,21 +288,16 @@ def run_campaign_parallel(
     }
     attempts: dict[CellKey, int] = {key: 0 for key in todo}
     pending = list(todo)
-    executor = ProcessPoolExecutor(max_workers=jobs)
+    initargs = (dict(specs), payloads, the_site, the_trace_dir, chaos)
+    executor = ProcessPoolExecutor(
+        max_workers=jobs, initializer=_init_cell_worker, initargs=initargs
+    )
     try:
         futures: dict[Future, CellKey] = {}
 
         def submit(key: CellKey) -> None:
             attempts[key] += 1
-            future = executor.submit(
-                _run_cell,
-                key,
-                specs[key.workflow],
-                payloads[key.policy],
-                the_site,
-                the_trace_dir,
-                chaos,
-            )
+            future = executor.submit(_run_cell_shared, key)
             futures[future] = key
 
         for key in pending:
@@ -306,7 +338,11 @@ def run_campaign_parallel(
                     else:
                         failed.append(FailedCell(key, "worker process died"))
                 executor.shutdown(wait=False, cancel_futures=True)
-                executor = ProcessPoolExecutor(max_workers=jobs)
+                executor = ProcessPoolExecutor(
+                    max_workers=jobs,
+                    initializer=_init_cell_worker,
+                    initargs=initargs,
+                )
             for key in retry:
                 submit(key)
     finally:

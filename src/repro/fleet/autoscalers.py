@@ -18,15 +18,17 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Mapping
 
+import numpy as np
+
 from repro.cloud.billing import BillingModel
 from repro.cloud.instance import Instance
 from repro.cloud.pool import InstancePool
 from repro.cloud.site import CloudSite
 from repro.core.config import WireConfig
 from repro.core.lookahead import LookaheadSimulator, VirtualInstance
-from repro.core.predictor import TaskPredictor
+from repro.core.predictor import SharedEvalCache, TaskPredictor
 from repro.core.runstate import RunState
-from repro.core.steering import SteerableInstance, SteeringPolicy, resize_pool
+from repro.core.steering import SteeringPolicy, resize_pool, steer_inputs_for
 from repro.engine.control import NO_CHANGE, ScalingDecision, TerminationOrder
 from repro.engine.master import TaskExecState
 from repro.fleet.tenant import TenantRun
@@ -138,6 +140,10 @@ class GlobalWireAutoscaler(FleetAutoscaler):
         #: tenant_id -> (predictor, lookahead); tenants bind lazily on
         #: their first observed tick and keep their models run-long
         self._states: dict[str, tuple[TaskPredictor, LookaheadSimulator]] = {}
+        #: one content-addressed OGD evaluation cache for the whole
+        #: fleet: tenants running the same genome at the same model state
+        #: reuse each other's Policy 5 predictions across ticks
+        self._shared_cache = SharedEvalCache()
         self._last_upcoming: list[float] | None = None
         self._last_transfer = 0.0
         self._last_charging_unit = 0.0
@@ -149,7 +155,9 @@ class GlobalWireAutoscaler(FleetAutoscaler):
         state = self._states.get(tenant.tenant_id)
         if state is None:
             state = (
-                TaskPredictor(tenant.workflow, self.config),
+                TaskPredictor(
+                    tenant.workflow, self.config, shared_cache=self._shared_cache
+                ),
                 LookaheadSimulator(tenant.workflow),
             )
             self._states[tenant.tenant_id] = state
@@ -177,7 +185,7 @@ class GlobalWireAutoscaler(FleetAutoscaler):
         if obs.monitor_blackout:
             self.blackout_ticks += 1
 
-        upcoming: list[float] = []
+        upcoming_parts: list[np.ndarray] = []
         run_states: dict[str, RunState] = {}
         transfer_estimates: list[float] = []
         for tenant in obs.tenants:
@@ -228,29 +236,28 @@ class GlobalWireAutoscaler(FleetAutoscaler):
                 tenant.scheduler.snapshot(),
                 horizon=obs.lag,
             )
-            upcoming.extend(t.remaining for t in load.tasks)
+            upcoming_parts.append(load.remaining)
+
+        # per-tenant Q_task columns concatenated in arrival order — the
+        # summed fleet load as one flat float64 vector
+        upcoming = (
+            np.concatenate(upcoming_parts)
+            if upcoming_parts
+            else np.empty(0, dtype=np.float64)
+        )
 
         # Restart cost c_j at the charge boundary, maxed over *all*
         # occupants regardless of owning tenant: releasing an instance
         # kills every tenant's tasks on it alike.
-        steer_inputs = []
-        for instance in steerable:
-            r_j = obs.billing.time_to_next_charge(instance, obs.now)
-            cost = 0.0
-            for scoped in instance.occupants:
-                tenant, local = obs.owner[scoped]
-                estimate = run_states[tenant.tenant_id].estimates[local]
-                if estimate.remaining_occupancy > r_j:
-                    cost = max(cost, estimate.sunk_occupancy + r_j)
-            steer_inputs.append(
-                SteerableInstance(
-                    instance_id=instance.instance_id,
-                    time_to_next_charge=r_j,
-                    restart_cost=cost,
-                )
-            )
+        def estimate_of(scoped: str):
+            tenant, local = obs.owner[scoped]
+            return run_states[tenant.tenant_id].estimates[local]
 
-        self._last_upcoming = list(upcoming)
+        steer_inputs = steer_inputs_for(
+            steerable, obs.billing, obs.now, estimate_of
+        )
+
+        self._last_upcoming = upcoming.tolist()
         self._last_transfer = (
             sum(transfer_estimates) / len(transfer_estimates)
             if transfer_estimates

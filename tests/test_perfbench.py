@@ -55,6 +55,32 @@ def test_check_fails_on_regression(perfbench, fast_scenario, monkeypatch, tmp_pa
     assert perfbench.run_check(jobs=1, repetitions=1, threshold=0.30) == 1
 
 
+def test_check_fails_on_controller_regression(
+    perfbench, fast_scenario, monkeypatch, tmp_path
+):
+    baseline = tmp_path / "BENCH_engine.json"
+    baseline.write_text(
+        json.dumps(
+            {
+                "engine": {
+                    "tpch1-L/wire/u60": {
+                        # events gate passes; the controller gate cannot
+                        # (no real tick runs in a nanosecond)
+                        "events_per_sec": 1.0,
+                        "controller_us_per_tick": 0.001,
+                    }
+                }
+            }
+        ),
+        encoding="utf-8",
+    )
+    monkeypatch.setattr(perfbench, "BENCH_PATH", baseline)
+    assert (
+        perfbench.run_check(jobs=1, repetitions=1, threshold=0.30, ctl_threshold=1.0)
+        == 1
+    )
+
+
 def test_check_requires_committed_baseline(perfbench, monkeypatch, tmp_path):
     monkeypatch.setattr(perfbench, "BENCH_PATH", tmp_path / "missing.json")
     assert perfbench.run_check(jobs=1, repetitions=1, threshold=0.30) == 2

@@ -12,10 +12,12 @@ Modes:
     PYTHONPATH=src python tools/perfbench.py --check    # regression gate
 
 ``--check`` re-measures the engine scenarios and exits nonzero if any
-scenario's events/sec regressed more than ``--threshold`` (default 30%)
-against the committed ``BENCH_engine.json`` — a coarse tripwire for
-accidentally reverting a hot-path optimization, deliberately tolerant of
-machine-to-machine noise.
+scenario's events/sec regressed more than ``--threshold`` (default 30%),
+or any controller time (per-scenario ``controller_us_per_tick`` and the
+fleet's ``fleet_controller_us_per_tick``) grew more than
+``--controller-threshold`` (default 2x), against the committed
+``BENCH_engine.json`` — a coarse tripwire for accidentally reverting a
+hot-path optimization, deliberately tolerant of machine-to-machine noise.
 """
 
 from __future__ import annotations
@@ -29,6 +31,9 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_controller import FULL_FLEET_TENANTS, measure_fleet  # noqa: E402
 
 from repro.cloud.site import exogeni_site  # noqa: E402
 from repro.experiments import (  # noqa: E402
@@ -60,6 +65,15 @@ SEED_WALL_S = {
     "tpch1-L/wire/u60": 0.0276,
 }
 
+#: Pre-overhaul controller cost (µs per MAPE tick, best of 3) measured on
+#: the same reference container immediately before the incremental /
+#: vectorized steering rewrite — the "before" column for the controller
+#: speedup the rewrite is gated on.
+SEED_CONTROLLER_US = {
+    "genome-L/wire/u60": 9744.9,
+    "genome-L/wire/u900": 10900.7,
+}
+
 #: Small campaign matrix for the jobs=1 vs jobs=N wall-clock comparison.
 CAMPAIGN_WORKLOADS = ("tpch1-S", "tpch6-S", "pagerank-S", "genome-S")
 CAMPAIGN_POLICIES = ("wire", "pure-reactive")
@@ -75,6 +89,7 @@ def measure_scenarios(repetitions: int = 3) -> dict[str, dict]:
     out: dict[str, dict] = {}
     for name, workload, policy, unit in SCENARIOS:
         best = None
+        best_ctl = None
         result = None
         for _ in range(repetitions):
             start = time.perf_counter()
@@ -83,7 +98,9 @@ def measure_scenarios(repetitions: int = 3) -> dict[str, dict]:
             )
             wall = time.perf_counter() - start
             best = wall if best is None else min(best, wall)
-        assert result is not None and best is not None
+            ctl = 1e6 * result.controller_cpu_seconds / max(1, result.ticks)
+            best_ctl = ctl if best_ctl is None else min(best_ctl, ctl)
+        assert result is not None and best is not None and best_ctl is not None
         tasks = sum(1 for _ in result.monitor.all_attempts())
         out[name] = {
             "wall_s": round(best, 6),
@@ -92,9 +109,7 @@ def measure_scenarios(repetitions: int = 3) -> dict[str, dict]:
             "ticks": result.ticks,
             "events_per_sec": round(result.events_processed / best, 1),
             "tasks_per_sec": round(tasks / best, 1),
-            "controller_us_per_tick": round(
-                1e6 * result.controller_cpu_seconds / max(1, result.ticks), 1
-            ),
+            "controller_us_per_tick": round(best_ctl, 1),
         }
         print(
             f"  {name}: {best:.3f}s  "
@@ -134,11 +149,51 @@ def measure_campaign(jobs: int, tmp_dir: Path) -> dict[str, float]:
     return out
 
 
+def host_info(jobs: int) -> dict:
+    """Honest host facts, so BENCH numbers are interpretable.
+
+    ``cpus`` is the machine's logical CPU count; ``cpus_visible`` is what
+    this process may actually use (CPU affinity / container quota). When
+    the campaign ran more workers than visible CPUs, the parallel-speedup
+    figure measures oversubscription, not scaling — say so in the record
+    instead of leaving a mysterious sub-1.0 speedup behind.
+    """
+    cpus = os.cpu_count() or 1
+    try:
+        visible = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        visible = cpus
+    info: dict = {"cpus": cpus, "cpus_visible": visible, "campaign_jobs": jobs}
+    if jobs > visible:
+        info["warning"] = (
+            f"campaign ran {jobs} workers on {visible} visible CPUs; "
+            "parallel_speedup reflects oversubscription, not scaling"
+        )
+    return info
+
+
+def measure_fleet_controller(repetitions: int) -> dict:
+    """Best-of-``repetitions`` global-steering cost for the fleet bench."""
+    row = measure_fleet(FULL_FLEET_TENANTS, rounds=repetitions)
+    out = {
+        "tenants": FULL_FLEET_TENANTS,
+        "ticks": row["ticks"],
+        "fleet_controller_us_per_tick": round(row["controller_us_per_tick"], 1),
+    }
+    print(
+        f"  {row['name']}: "
+        f"{out['fleet_controller_us_per_tick']:.0f} us/tick"
+    )
+    return out
+
+
 def run_measure(jobs: int, repetitions: int) -> dict:
     import tempfile
 
     print("engine scenarios:")
     engine = measure_scenarios(repetitions)
+    print("fleet controller:")
+    fleet = measure_fleet_controller(repetitions)
     print("campaign:")
     with tempfile.TemporaryDirectory() as tmp:
         campaign = measure_campaign(jobs, Path(tmp))
@@ -147,12 +202,22 @@ def run_measure(jobs: int, repetitions: int) -> dict:
         for name in SEED_WALL_S
         if name in engine
     }
+    ctl_speedups = {
+        name: round(
+            SEED_CONTROLLER_US[name] / engine[name]["controller_us_per_tick"], 2
+        )
+        for name in SEED_CONTROLLER_US
+        if name in engine
+    }
     jobs_key = f"jobs{jobs}_wall_s"
     payload = {
-        "host": {"cpus": os.cpu_count()},
+        "host": host_info(jobs),
         "engine": engine,
+        "fleet": fleet,
         "seed_baseline_wall_s": SEED_WALL_S,
+        "seed_controller_us_per_tick": SEED_CONTROLLER_US,
         "speedup_vs_seed": speedups,
+        "controller_speedup_vs_seed": ctl_speedups,
         "campaign": {
             "jobs": jobs,
             **campaign,
@@ -166,11 +231,14 @@ def run_measure(jobs: int, repetitions: int) -> dict:
     return payload
 
 
-def run_check(jobs: int, repetitions: int, threshold: float) -> int:
+def run_check(
+    jobs: int, repetitions: int, threshold: float, ctl_threshold: float = 1.0
+) -> int:
     if not BENCH_PATH.exists():
         print(f"no committed baseline at {BENCH_PATH}; run without --check first")
         return 2
-    baseline = json.loads(BENCH_PATH.read_text(encoding="utf-8"))["engine"]
+    committed = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+    baseline = committed["engine"]
     print("engine scenarios:")
     current = measure_scenarios(repetitions)
     failures = []
@@ -184,10 +252,39 @@ def run_check(jobs: int, repetitions: int, threshold: float) -> int:
         print(f"  {name}: {now_eps:.0f} ev/s vs baseline {base_eps:.0f} ({ratio:.2f}x) {status}")
         if ratio < 1.0 - threshold:
             failures.append(name)
+        # Controller gate: a generous multiple, because controller time
+        # is far noisier than whole-run wall clock on shared hosts — the
+        # tripwire is for reintroducing a per-tick quadratic (a 4-10x
+        # jump), not for host weather.
+        base_ctl = baseline[name].get("controller_us_per_tick")
+        if base_ctl:
+            now_ctl = measured["controller_us_per_tick"]
+            cratio = now_ctl / base_ctl
+            cstatus = "ok" if cratio <= 1.0 + ctl_threshold else "REGRESSED"
+            print(
+                f"  {name}: controller {now_ctl:.0f} us/tick vs baseline "
+                f"{base_ctl:.0f} ({cratio:.2f}x) {cstatus}"
+            )
+            if cratio > 1.0 + ctl_threshold:
+                failures.append(f"{name} (controller)")
+    base_fleet = committed.get("fleet", {}).get("fleet_controller_us_per_tick")
+    if base_fleet:
+        print("fleet controller:")
+        now_fleet = measure_fleet_controller(repetitions)[
+            "fleet_controller_us_per_tick"
+        ]
+        fratio = now_fleet / base_fleet
+        fstatus = "ok" if fratio <= 1.0 + ctl_threshold else "REGRESSED"
+        print(
+            f"  fleet: {now_fleet:.0f} us/tick vs baseline {base_fleet:.0f} "
+            f"({fratio:.2f}x) {fstatus}"
+        )
+        if fratio > 1.0 + ctl_threshold:
+            failures.append("fleet (controller)")
     if failures:
-        print(f"FAIL: events/sec regressed >{threshold:.0%} on: {', '.join(failures)}")
+        print(f"FAIL: perf regressed beyond thresholds on: {', '.join(failures)}")
         return 1
-    print("PASS: no events/sec regression beyond threshold")
+    print("PASS: no perf regression beyond thresholds")
     return 0
 
 
@@ -212,11 +309,20 @@ def main(argv: list[str] | None = None) -> int:
         help="--check fails when events/sec drops more than this fraction",
     )
     parser.add_argument(
+        "--controller-threshold",
+        type=float,
+        default=1.0,
+        help="--check fails when controller us/tick grows more than this "
+        "fraction (default 1.0 = 2x, tolerant of host noise)",
+    )
+    parser.add_argument(
         "--out", default=str(BENCH_PATH), help="output path (measure mode)"
     )
     args = parser.parse_args(argv)
     if args.check:
-        return run_check(args.jobs, args.repetitions, args.threshold)
+        return run_check(
+            args.jobs, args.repetitions, args.threshold, args.controller_threshold
+        )
     payload = run_measure(args.jobs, args.repetitions)
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n", "utf-8")
