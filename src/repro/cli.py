@@ -453,9 +453,13 @@ def cmd_robustness(args: argparse.Namespace) -> int:
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
-    from repro.fleet import make_arrivals, run_fleet
+    from repro.fleet import make_arrivals, resume_fleet, run_fleet
 
     chaos = _chaos(args.chaos)
+    if args.checkpoint_every is not None and not args.checkpoint:
+        raise SystemExit("--checkpoint-every requires --checkpoint FILE")
+    if args.stop_after_checkpoint and args.checkpoint_every is None:
+        raise SystemExit("--stop-after-checkpoint requires --checkpoint-every")
     if args.rates:
         # Sweep mode: one fleet run per (rate, seed) cell, optionally in
         # parallel; serial and parallel sweeps return identical rows.
@@ -485,28 +489,57 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         return 0
 
     try:
-        arrivals = make_arrivals(
-            args.arrival,
-            rate=args.rate,
-            n=args.n,
-            burst_size=args.burst_size,
-            gap=args.gap,
-            times=args.times,
-            workloads=args.workloads,
-        )
-        result = run_fleet(
-            arrivals=arrivals,
-            policy=args.policy,
-            autoscaler=args.autoscaler,
-            charging_unit=args.charging_unit,
-            seed=args.seed,
-            max_active=args.max_active,
-            trace_path=args.trace,
-            chaos=chaos,
-            validate=args.validate,
-        )
+        if args.resume:
+            # The checkpoint carries the full engine configuration;
+            # workload/arrival flags are ignored on resume.
+            from repro.checkpoint import CheckpointError
+
+            try:
+                result = resume_fleet(
+                    args.resume,
+                    checkpoint_every=args.checkpoint_every,
+                    checkpoint_path=args.checkpoint,
+                    stop_after_checkpoint=args.stop_after_checkpoint,
+                )
+            except CheckpointError as exc:
+                raise SystemExit(str(exc)) from None
+        else:
+            arrivals = make_arrivals(
+                args.arrival,
+                rate=args.rate,
+                n=args.n,
+                burst_size=args.burst_size,
+                gap=args.gap,
+                times=args.times,
+                workloads=args.workloads,
+            )
+            result = run_fleet(
+                arrivals=arrivals,
+                policy=args.policy,
+                autoscaler=args.autoscaler,
+                charging_unit=args.charging_unit,
+                seed=args.seed,
+                max_active=args.max_active,
+                trace_path=args.trace,
+                chaos=chaos,
+                validate=args.validate,
+                shards=args.shards,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_path=args.checkpoint,
+                stop_after_checkpoint=args.stop_after_checkpoint,
+            )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
+    if result is None:
+        from repro.checkpoint import read_checkpoint_info
+
+        info = read_checkpoint_info(args.checkpoint)
+        print(
+            f"checkpoint written to {args.checkpoint} at tick {info.ticks} "
+            f"(t={info.now:.0f}s, {info.events_processed} events); "
+            f"resume with: repro fleet --resume {args.checkpoint}"
+        )
+        return 0
     print(
         render_table(
             ["tenant", "workload", "prio", "makespan", "queue wait",
@@ -583,17 +616,30 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
-    from repro.telemetry import read_jsonl, render_trace_summary, summarize_trace
+    from repro.telemetry import (
+        read_jsonl,
+        read_jsonl_dir,
+        render_trace_summary,
+        summarize_trace,
+    )
 
     try:
-        records = read_jsonl(args.file)
-    except FileNotFoundError:
+        if Path(args.file).is_dir():
+            # A multi-shard or multi-run trace directory: merge every
+            # per-shard JSONL in timestamp order before summarizing.
+            records = read_jsonl_dir(args.file)
+        else:
+            records = read_jsonl(args.file)
+    except FileNotFoundError as exc:
+        detail = str(exc)
+        if "no .jsonl" in detail:
+            raise SystemExit(detail) from None
         raise SystemExit(f"trace file not found: {args.file}") from None
     except OSError as exc:
         raise SystemExit(f"cannot read trace {args.file}: {exc}") from None
     except ValueError as exc:
-        # read_jsonl pinpoints the bad line; a trace cut off mid-record
-        # (interrupted run, partial copy) lands here.
+        # read_jsonl pinpoints the bad file and line; a trace cut off
+        # mid-record (interrupted run, partial copy) lands here.
         raise SystemExit(f"truncated or corrupt trace: {exc}") from None
     if not records:
         raise SystemExit(
@@ -894,6 +940,37 @@ def build_parser() -> argparse.ArgumentParser:
         "on the first violated engine invariant)",
     )
     fleet.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help="partition the event queue across this many per-site shards "
+        "(bit-identical to 1; see docs/fleet.md)",
+    )
+    fleet.add_argument(
+        "--checkpoint-every",
+        type=_positive_int,
+        metavar="N",
+        help="serialize the engine to --checkpoint every N controller ticks",
+    )
+    fleet.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="checkpoint file written by --checkpoint-every",
+    )
+    fleet.add_argument(
+        "--stop-after-checkpoint",
+        action="store_true",
+        help="exit right after the first checkpoint is written (simulates "
+        "an interrupted run; finish it later with --resume)",
+    )
+    fleet.add_argument(
+        "--resume",
+        metavar="FILE",
+        help="restore a checkpointed fleet run and drive it to completion "
+        "(workload/arrival flags are ignored; results are byte-identical "
+        "to an uninterrupted run)",
+    )
+    fleet.add_argument(
         "--rates",
         type=float,
         nargs="+",
@@ -960,7 +1037,11 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize",
         help="per-stage prediction error and cost/waste report from a trace",
     )
-    summarize.add_argument("file", help="JSONL trace written by run --trace")
+    summarize.add_argument(
+        "file",
+        help="JSONL trace written by run --trace, or a directory of "
+        "per-shard *.jsonl traces (merged in timestamp order)",
+    )
     summarize.set_defaults(handler=cmd_trace_summarize)
 
     dax = sub.add_parser("dax", help="Pegasus DAX import/export")

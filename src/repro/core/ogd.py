@@ -122,3 +122,39 @@ class OnlineGradientDescentModel:
     def state_size_bytes(self) -> int:
         """Approximate in-memory footprint: four floats and a counter."""
         return 5 * 8
+
+    # ------------------------------------------------------------------
+    # checkpoint round-trip
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Complete model state as plain JSON-able data.
+
+        Round-trips through :meth:`load_state_dict`: a restored model is
+        indistinguishable from the original — same coefficients, same
+        feature scale, and the same ``generation`` counter, so every
+        generation-keyed prediction memo keeps its exact semantics.
+        """
+        return {
+            "learning_rate": self.learning_rate,
+            "alpha0": self.alpha0,
+            "alpha1": self.alpha1,
+            "scale": self.scale,
+            "updates": self.updates,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        missing = {"learning_rate", "alpha0", "alpha1", "scale", "updates"} - set(
+            state
+        )
+        if missing:
+            raise ValueError(f"OGD state dict missing keys {sorted(missing)}")
+        check_positive("learning_rate", state["learning_rate"])
+        check_positive("scale", state["scale"])
+        if state["updates"] < 0:
+            raise ValueError(f"updates must be >= 0, got {state['updates']}")
+        self.learning_rate = float(state["learning_rate"])
+        self.alpha0 = float(state["alpha0"])
+        self.alpha1 = float(state["alpha1"])
+        self.scale = float(state["scale"])
+        self.updates = int(state["updates"])

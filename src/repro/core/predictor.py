@@ -680,6 +680,63 @@ class TaskPredictor:
         return self._ogd[stage_id]
 
     # ------------------------------------------------------------------
+    # checkpoint round-trip
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The predictor's *learned* state as plain JSON-able data.
+
+        Covers everything a restored predictor cannot rederive from its
+        workflow and the monitor log: the per-stage OGD coefficients
+        (with their generation counters) and the transfer-time moving
+        median. Derived caches — completed-aggregate accumulators, the
+        Policy 4/5 evaluation memos, run-state cursors — are pure
+        functions of (monitor log, model generation) and are rebuilt on
+        first use after :meth:`load_state_dict`, bit-identically (the
+        PR 6 equivalence suites pin the rebuild paths to the
+        incremental ones).
+        """
+        return {
+            "ogd": {
+                stage_id: model.state_dict()
+                for stage_id, model in sorted(self._ogd.items())
+            },
+            "transfer": self._transfer.state_dict(),
+            "transfer_fallback": self._transfer_fallback,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore learned state captured by :meth:`state_dict`.
+
+        The stage set must match this predictor's workflow. All derived
+        caches and incremental cursors are invalidated so the next tick
+        recomputes them from the attached monitor.
+        """
+        ours = set(self._ogd)
+        theirs = set(state["ogd"])
+        if ours != theirs:
+            raise ValueError(
+                "state dict stages do not match workflow stages: "
+                f"missing {sorted(ours - theirs)}, "
+                f"unexpected {sorted(theirs - ours)}"
+            )
+        for stage_id, model_state in state["ogd"].items():
+            self._ogd[stage_id].load_state_dict(model_state)
+        self._transfer.load_state_dict(state["transfer"])
+        fallback = state["transfer_fallback"]
+        self._transfer_fallback = None if fallback is None else float(fallback)
+        # Drop every derived view; they rebuild from the monitor log.
+        self._completed_cache = {}
+        self._final_estimates = {}
+        self._final_raw = {}
+        self._eval_cache = {}
+        self._acc = {}
+        self._acc_monitor = None
+        self._acc_cursor = 0
+        self._rs_cursor = 0
+        self._rs_monitor = None
+        self._tracking_ok = False
+
+    # ------------------------------------------------------------------
     # the five prediction policies (§III-C)
     # ------------------------------------------------------------------
     def _ingest_completions(self, monitor: Monitor) -> None:

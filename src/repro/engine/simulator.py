@@ -247,6 +247,7 @@ class Simulation:
         )
         self.events = EventQueue()
 
+        self._started = False
         self._now = 0.0
         self._events_processed = 0
         self._draining: set[str] = set()
@@ -266,12 +267,33 @@ class Simulation:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def run(self) -> RunResult:
-        """Execute the workflow to completion and return measurements."""
+    def run(
+        self,
+        *,
+        checkpoint_every: int | None = None,
+        checkpoint_path: object = None,
+        stop_after_checkpoint: bool = False,
+    ) -> RunResult | None:
+        """Execute the workflow to completion and return measurements.
+
+        ``checkpoint_every=N`` serializes the engine to
+        ``checkpoint_path`` at every N-th controller tick (see
+        :mod:`repro.checkpoint`); ``stop_after_checkpoint=True`` returns
+        ``None`` right after the first checkpoint. A restored simulation
+        continues where it stopped and finishes byte-identical to an
+        uninterrupted run.
+        """
+        if checkpoint_every is not None:
+            check_positive("checkpoint_every", checkpoint_every)
+            if checkpoint_path is None:
+                raise ValueError("checkpoint_every requires a checkpoint_path")
+            from repro.checkpoint import save_checkpoint
         validator = self.validator
-        self._bootstrap()
-        if validator is not None:
-            validator.begin_run(self)
+        if not self._started:
+            self._started = True
+            self._bootstrap()
+            if validator is not None:
+                validator.begin_run(self)
         completed = True
         while not self.master.is_done():
             if not self.events:
@@ -288,6 +310,16 @@ class Simulation:
             self._handle(event)
             if validator is not None:
                 validator.after_event(self, event)
+            if (
+                checkpoint_every is not None
+                and event.kind is EventKind.CONTROLLER_TICK
+                and self._ticks > 0
+                and self._ticks % checkpoint_every == 0
+                and not self.master.is_done()
+            ):
+                save_checkpoint(self, checkpoint_path)
+                if stop_after_checkpoint:
+                    return None
         result = self._finalize(completed)
         if validator is not None:
             validator.check_final(self, result)

@@ -37,6 +37,7 @@ from repro.fleet.harness import (
     DEFAULT_FLEET_WORKLOADS,
     fleet_workload_catalog,
     make_arrivals,
+    resume_fleet,
     run_fleet,
 )
 from repro.fleet.policies import (
@@ -47,6 +48,7 @@ from repro.fleet.policies import (
     allocation_policy,
 )
 from repro.fleet.result import FleetResult
+from repro.fleet.shard import ShardedEventQueue, TenantShardRouter, shard_of
 from repro.fleet.tenant import TenantResult, TenantRun
 
 __all__ = [
@@ -65,14 +67,18 @@ __all__ = [
     "GlobalWireAutoscaler",
     "PoissonArrivals",
     "PriorityPolicy",
+    "ShardedEventQueue",
     "Submission",
     "TenantResult",
     "TenantRun",
+    "TenantShardRouter",
     "TraceArrivals",
     "allocation_policy",
     "fleet_autoscaler",
     "fleet_autoscaler_factories",
     "fleet_workload_catalog",
     "make_arrivals",
+    "resume_fleet",
     "run_fleet",
+    "shard_of",
 ]

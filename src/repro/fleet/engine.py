@@ -48,6 +48,7 @@ from repro.fleet.arrivals import Submission
 from repro.fleet.autoscalers import FleetAutoscaler, FleetObservation
 from repro.fleet.policies import AllocationPolicy
 from repro.fleet.result import FleetResult
+from repro.fleet.shard import ShardedEventQueue, TenantShardRouter
 from repro.fleet.tenant import TenantResult, TenantRun
 from repro.telemetry.records import (
     CloudFaultRecord,
@@ -113,6 +114,11 @@ class FleetSimulation:
         engine: ``None``/``False`` (default) stores no checker and pays
         one ``is not None`` check per event; ``True`` attaches a default
         raise-mode checker; a checker instance is used as-is.
+    shards:
+        Partition the event queue across this many per-site shards
+        (:mod:`repro.fleet.shard`); tenants hash onto shards by id and
+        pops run a deterministic cross-shard merge, so any shard count
+        yields bit-identical results to the default single queue.
 
     Other parameters mirror :class:`~repro.engine.simulator.Simulation`.
     """
@@ -138,6 +144,7 @@ class FleetSimulation:
         tracer: Tracer | None = None,
         chaos: ChaosSpec | None = None,
         validate: object = None,
+        shards: int = 1,
     ) -> None:
         check_positive("charging_unit", charging_unit)
         check_positive("max_time", max_time)
@@ -207,9 +214,21 @@ class FleetSimulation:
 
         self.pool = InstancePool(site.itype, self.billing)
         self.provisioner = Provisioner(site, self.pool)
-        self.events = EventQueue()
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        if shards > 1:
+            router = TenantShardRouter.for_tenants(
+                shards, tuple(t.tenant_id for t in self.tenants)
+            )
+            self.events: EventQueue | ShardedEventQueue = ShardedEventQueue(
+                shards, router
+            )
+        else:
+            self.events = EventQueue()
         self.boost_k = boost_k
 
+        self._started = False
         self._now = 0.0
         self._events_processed = 0
         self._arrivals_pending = len(self.tenants)
@@ -231,12 +250,36 @@ class FleetSimulation:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def run(self) -> FleetResult:
-        """Execute every submission to completion and return measurements."""
+    def run(
+        self,
+        *,
+        checkpoint_every: int | None = None,
+        checkpoint_path: object = None,
+        stop_after_checkpoint: bool = False,
+    ) -> FleetResult | None:
+        """Execute every submission to completion and return measurements.
+
+        With ``checkpoint_every=N`` the full engine state is serialized
+        to ``checkpoint_path`` (see :mod:`repro.checkpoint`) at every
+        N-th controller tick — a deterministic cut point: the MAPE epoch
+        barrier, after the tick's decision is applied and validated.
+        ``stop_after_checkpoint=True`` returns ``None`` right after the
+        first checkpoint is written (the CI resume job uses this to
+        simulate an interrupted run). Calling ``run()`` on a restored
+        simulation continues from the cut; the completed run is
+        byte-identical to an uninterrupted one.
+        """
+        if checkpoint_every is not None:
+            check_positive("checkpoint_every", checkpoint_every)
+            if checkpoint_path is None:
+                raise ValueError("checkpoint_every requires a checkpoint_path")
+            from repro.checkpoint import save_checkpoint
         validator = self.validator
-        self._bootstrap()
-        if validator is not None:
-            validator.begin_run(self)
+        if not self._started:
+            self._started = True
+            self._bootstrap()
+            if validator is not None:
+                validator.begin_run(self)
         completed = True
         while not self._fleet_done():
             if not self.events:
@@ -253,6 +296,16 @@ class FleetSimulation:
             self._handle(event)
             if validator is not None:
                 validator.after_event(self, event)
+            if (
+                checkpoint_every is not None
+                and event.kind is EventKind.CONTROLLER_TICK
+                and self._ticks > 0
+                and self._ticks % checkpoint_every == 0
+                and not self._fleet_done()
+            ):
+                save_checkpoint(self, checkpoint_path)
+                if stop_after_checkpoint:
+                    return None
         result = self._finalize(completed)
         if validator is not None:
             validator.check_final(self, result)

@@ -31,6 +31,7 @@ __all__ = [
     "DEFAULT_FLEET_WORKLOADS",
     "fleet_workload_catalog",
     "make_arrivals",
+    "resume_fleet",
     "run_fleet",
 ]
 
@@ -95,12 +96,21 @@ def run_fleet(
     trace_path: str | Path | None = None,
     chaos: ChaosSpec | None = None,
     validate: object = None,
-) -> FleetResult:
+    shards: int = 1,
+    checkpoint_every: int | None = None,
+    checkpoint_path: str | Path | None = None,
+    stop_after_checkpoint: bool = False,
+) -> FleetResult | None:
     """Run one fleet simulation end to end and return its result.
 
     ``validate`` is forwarded to :class:`FleetSimulation` — ``True`` for
     a default raise-mode invariant checker, or a configured
-    :class:`~repro.validate.InvariantChecker` instance.
+    :class:`~repro.validate.InvariantChecker` instance. ``shards``
+    partitions the event queue (any value is bit-identical to 1).
+    ``checkpoint_every``/``checkpoint_path`` serialize the engine every
+    N controller ticks (:mod:`repro.checkpoint`); with
+    ``stop_after_checkpoint`` the run returns ``None`` right after the
+    first checkpoint — resume it with :func:`resume_fleet`.
     """
     if isinstance(policy, str):
         policy = allocation_policy(policy)
@@ -133,8 +143,46 @@ def run_fleet(
             tracer=tracer,
             chaos=chaos,
             validate=validate,
+            shards=shards,
         )
-        return sim.run()
+        return sim.run(
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+            stop_after_checkpoint=stop_after_checkpoint,
+        )
     finally:
         if sink is not None:
             sink.close()
+
+
+def resume_fleet(
+    checkpoint: str | Path,
+    *,
+    checkpoint_every: int | None = None,
+    checkpoint_path: str | Path | None = None,
+    stop_after_checkpoint: bool = False,
+) -> FleetResult | None:
+    """Restore a checkpointed fleet run and drive it to completion.
+
+    The checkpoint carries the whole engine — configuration, event
+    queue(s), RNG streams, predictor state, invariant checker, telemetry
+    cursor — so no other parameters are needed; the completed run is
+    byte-identical to one that was never interrupted. Pass
+    ``checkpoint_every``/``checkpoint_path`` to keep checkpointing the
+    resumed run (defaults to not writing further checkpoints).
+    """
+    from repro.checkpoint import CheckpointError, load_checkpoint
+
+    sim = load_checkpoint(checkpoint)
+    if not isinstance(sim, FleetSimulation):
+        raise CheckpointError(
+            f"{checkpoint} holds a {type(sim).__name__}, not a fleet run"
+        )
+    try:
+        return sim.run(
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+            stop_after_checkpoint=stop_after_checkpoint,
+        )
+    finally:
+        sim.tracer.close()

@@ -1,0 +1,206 @@
+"""Sharded event queues for fleet-scale simulation.
+
+One fleet-wide :class:`~repro.engine.events.EventQueue` is the
+scalability ceiling of :class:`~repro.fleet.engine.FleetSimulation`:
+every tenant's task lifecycle pushes through a single heap, so at
+thousands of tenants each push/pop pays ``log`` of the *whole* fleet's
+pending-event count (plus one ever-growing payload index). The ROADMAP
+north-star — planetary-scale open systems — needs the event storage
+partitioned the way a real deployment is: per site/region, with tenants
+hashed onto shards.
+
+:class:`ShardedEventQueue` does exactly that while keeping the repo's
+non-negotiable: **bit-identical results**. Three properties make the
+sharded queue indistinguishable from the single queue:
+
+- **one global sequence counter.** All shards draw ``seq`` from a shared
+  :func:`itertools.count`, so every event gets the same ``seq`` it would
+  have received from the unsharded queue (pushes happen in the same
+  program order either way).
+- **deterministic K-way merge.** ``pop()`` compares the full ordering
+  key ``(time, kind priority, seq)`` across the live head of every
+  shard and pops the global minimum. Keys are globally unique (shared
+  ``seq``), so the merge reproduces the single-heap total order exactly
+  — sharding changes *where* an event waits, never *when* it fires.
+- **stable tenant→shard hashing.** Routing uses CRC-32 of the tenant id
+  (:func:`shard_of`), not Python's per-process ``hash``, so a layout is
+  reproducible across processes, platforms, and checkpoint/resume.
+  Correctness does not depend on the routing function at all — the merge
+  order is global — only load balance does.
+
+The merge is also the fleet's **lockstep cross-shard clock**: no shard
+may advance past the global minimum key, and because
+``CONTROLLER_TICK`` sorts after every same-time task event (priority 2)
+and routes to the dedicated *site shard* (shard 0, which also owns
+instance lifecycle and provisioning events), every shard is fully
+drained up to the MAPE tick boundary before the controller observes the
+fleet — an epoch barrier per tick, by construction.
+
+Per-shard push/pop tallies (:meth:`ShardedEventQueue.shard_stats`) make
+skew visible; ``tools/perfbench.py`` records ``fleet_events_per_sec`` at
+1/2/4 shards so the scaling stays measured, not asserted.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.events import Event, EventKind, EventQueue
+
+__all__ = ["ShardedEventQueue", "TenantShardRouter", "shard_of"]
+
+
+def shard_of(tenant_id: str, shards: int) -> int:
+    """Stable tenant→shard assignment: CRC-32 of the tenant id.
+
+    Deliberately *not* Python's builtin ``hash`` (randomized per process
+    for strings); CRC-32 gives the same layout in every process, which
+    checkpoint/resume and cross-host CI reproduction rely on.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return zlib.crc32(tenant_id.encode("utf-8")) % shards
+
+
+#: event kinds whose payload is a scoped task id ("t03:stage_2_7")
+_TASK_KINDS = frozenset(
+    (
+        EventKind.STAGE_IN_DONE,
+        EventKind.EXEC_DONE,
+        EventKind.STAGE_OUT_DONE,
+        EventKind.TASK_FAILED,
+    )
+)
+
+
+@dataclass(frozen=True)
+class TenantShardRouter:
+    """Maps ``(kind, payload)`` to a shard index for one fleet layout.
+
+    Task lifecycle events route by the owning tenant's hashed id;
+    ``WORKFLOW_ARRIVAL`` (whose payload is a tenant *index*) routes
+    through a precomputed index table; everything touching shared site
+    infrastructure — instance lifecycle, provisioning, the controller
+    tick — lives on shard 0, the site shard. Frozen and table-driven so
+    it pickles into checkpoints and never drifts between processes.
+    """
+
+    shards: int
+    #: tenant index -> shard (the WORKFLOW_ARRIVAL payload is an index)
+    by_index: tuple[int, ...]
+
+    @classmethod
+    def for_tenants(
+        cls, shards: int, tenant_ids: tuple[str, ...]
+    ) -> "TenantShardRouter":
+        return cls(
+            shards=shards,
+            by_index=tuple(shard_of(tid, shards) for tid in tenant_ids),
+        )
+
+    def route(self, kind: EventKind, payload: Any) -> int:
+        if kind in _TASK_KINDS and isinstance(payload, str):
+            return shard_of(payload.split(":", 1)[0], self.shards)
+        if kind is EventKind.WORKFLOW_ARRIVAL:
+            return self.by_index[payload]
+        return 0
+
+
+class ShardedEventQueue:
+    """N per-shard :class:`EventQueue` heaps behind the EventQueue API.
+
+    Drop-in for :class:`EventQueue` (``push`` / ``pop`` / ``cancel`` /
+    ``cancel_for_payload`` / ``peek_time`` / ``__len__`` / ``__bool__``),
+    with storage partitioned by a :class:`TenantShardRouter` and a
+    deterministic K-way merge on pop. See the module docstring for the
+    bit-identity argument.
+    """
+
+    def __init__(self, shards: int, router: TenantShardRouter) -> None:
+        if shards < 2:
+            raise ValueError(
+                f"a sharded queue needs >= 2 shards, got {shards} "
+                "(use EventQueue directly for 1)"
+            )
+        if router.shards != shards:
+            raise ValueError(
+                f"router is laid out for {router.shards} shards, queue has {shards}"
+            )
+        self.router = router
+        self.queues = [EventQueue() for _ in range(shards)]
+        # One global sequence counter shared by every shard: events get
+        # the same seq they would in a single queue, making ordering
+        # keys globally unique and the merge order exact.
+        counter = self.queues[0]._counter
+        for queue in self.queues[1:]:
+            queue._counter = counter
+        self._pushed = [0] * shards
+        self._popped = [0] * shards
+        #: MAPE epochs completed (CONTROLLER_TICK events popped)
+        self.epochs = 0
+
+    @property
+    def shards(self) -> int:
+        return len(self.queues)
+
+    # ------------------------------------------------------------------
+    # EventQueue API
+    # ------------------------------------------------------------------
+    def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        index = self.router.route(kind, payload)
+        self._pushed[index] += 1
+        return self.queues[index].push(time, kind, payload)
+
+    def cancel(self, event: Event) -> None:
+        self.queues[self.router.route(event.kind, event.payload)].cancel(event)
+
+    def cancel_for_payload(
+        self, payload: Any, kind: EventKind | None = None
+    ) -> int:
+        if kind is not None:
+            queue = self.queues[self.router.route(kind, payload)]
+            return queue.cancel_for_payload(payload, kind)
+        return sum(q.cancel_for_payload(payload, kind) for q in self.queues)
+
+    def pop(self) -> Event:
+        best = -1
+        best_key: tuple[float, int, int] | None = None
+        for index, queue in enumerate(self.queues):
+            key = queue.peek_key()
+            if key is not None and (best_key is None or key < best_key):
+                best_key = key
+                best = index
+        if best < 0:
+            raise IndexError("pop from empty ShardedEventQueue")
+        event = self.queues[best].pop()
+        self._popped[best] += 1
+        if event.kind is EventKind.CONTROLLER_TICK:
+            self.epochs += 1
+        return event
+
+    def peek_time(self) -> float | None:
+        times = [t for t in (q.peek_time() for q in self.queues) if t is not None]
+        return min(times) if times else None
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self.queues)
+
+    def __bool__(self) -> bool:
+        return any(self.queues)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def shard_stats(self) -> list[dict[str, int]]:
+        """Per-shard load counters (for balance reporting and tests)."""
+        return [
+            {
+                "shard": index,
+                "pushed": self._pushed[index],
+                "popped": self._popped[index],
+                "pending": len(queue),
+            }
+            for index, queue in enumerate(self.queues)
+        ]

@@ -99,6 +99,20 @@ class MovingMedian:
     def __len__(self) -> int:
         return len(self._values)
 
+    def state_dict(self) -> dict:
+        """Window size and buffered observations, oldest first."""
+        return {"window": self.window, "values": list(self._values)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        window = state["window"]
+        if not isinstance(window, int) or window < 1:
+            raise ValueError(f"window must be an int >= 1, got {window!r}")
+        self.window = window
+        self._values = deque(
+            (float(v) for v in state["values"]), maxlen=window
+        )
+
 
 def cdf_points(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
     """Empirical CDF of ``values`` as ``(sorted_values, cumulative_prob)``.

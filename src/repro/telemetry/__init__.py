@@ -37,6 +37,7 @@ from repro.telemetry.sinks import (
     NullSink,
     TraceSink,
     read_jsonl,
+    read_jsonl_dir,
 )
 from repro.telemetry.summarize import (
     StageErrorRow,
@@ -73,6 +74,7 @@ __all__ = [
     "TraceSummary",
     "Tracer",
     "read_jsonl",
+    "read_jsonl_dir",
     "record_from_json",
     "summarize_trace",
     "render_trace_summary",

@@ -19,7 +19,14 @@ from pathlib import Path
 
 from repro.telemetry.records import TraceRecord, record_from_json
 
-__all__ = ["JsonlSink", "MemorySink", "NullSink", "TraceSink", "read_jsonl"]
+__all__ = [
+    "JsonlSink",
+    "MemorySink",
+    "NullSink",
+    "TraceSink",
+    "read_jsonl",
+    "read_jsonl_dir",
+]
 
 
 class TraceSink(ABC):
@@ -79,16 +86,52 @@ class JsonlSink(TraceSink):
         self.path = Path(path)
         self._file: io.TextIOWrapper | None = None
         self._emitted = 0
+        #: byte offset to resume at (set on unpickle; see __getstate__)
+        self._resume_offset: int | None = None
 
     def emit(self, record: TraceRecord) -> None:
         if self._file is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._file = self.path.open("w", encoding="utf-8")
+            self._open()
         json.dump(
             record.to_json(), self._file, sort_keys=True, separators=(",", ":")
         )
         self._file.write("\n")
         self._emitted += 1
+
+    def _open(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self._resume_offset is not None:
+            # Resuming a checkpointed run: everything the interrupted
+            # run wrote after the cut is dropped, then appends continue
+            # at the recorded offset — the resumed trace ends up
+            # byte-identical to an uninterrupted one.
+            if not self.path.exists() and self._resume_offset > 0:
+                raise FileNotFoundError(
+                    f"cannot resume trace {self.path}: the file written "
+                    "before the checkpoint is gone"
+                )
+            if self.path.exists():
+                with self.path.open("r+b") as raw:
+                    raw.truncate(self._resume_offset)
+            self._file = self.path.open("a", encoding="utf-8")
+            self._resume_offset = None
+        else:
+            self._file = self.path.open("w", encoding="utf-8")
+
+    def __getstate__(self) -> dict:
+        """Pickle support for checkpointing: detach the file handle.
+
+        The flushed byte offset rides along as the telemetry cursor;
+        :meth:`_open` truncates back to it on the first emit after
+        restore. The live sink is left untouched — a run that
+        checkpoints mid-flight keeps writing through its open handle.
+        """
+        state = self.__dict__.copy()
+        if self._file is not None:
+            self._file.flush()
+            state["_resume_offset"] = self._file.buffer.tell()
+        state["_file"] = None
+        return state
 
     @property
     def emitted(self) -> int:
@@ -122,3 +165,36 @@ def read_jsonl(path: str | Path) -> list[TraceRecord]:
                     f"{path}:{lineno}: malformed trace record: {exc}"
                 ) from exc
     return records
+
+
+def read_jsonl_dir(path: str | Path) -> list[TraceRecord]:
+    """Merge every ``*.jsonl`` trace in a directory, in timestamp order.
+
+    A sharded or multi-run campaign leaves one JSONL file per shard/run;
+    this stitches them into a single record sequence the summarizer can
+    consume. Records sort by their ``now`` field; ``run_meta`` records
+    (no timestamp) lead and ``run_summary`` records trail, and the sort
+    is stable with files visited in sorted-name order, so the merge is
+    deterministic. Raises :class:`FileNotFoundError` when the directory
+    holds no ``*.jsonl`` files, and propagates :func:`read_jsonl`'s
+    :class:`ValueError` (with file/line pinpoint) on malformed records.
+    """
+    directory = Path(path)
+    files = sorted(directory.glob("*.jsonl"))
+    if not files:
+        raise FileNotFoundError(
+            f"no .jsonl trace files in directory {directory}"
+        )
+    merged: list[TraceRecord] = []
+    for file in files:
+        merged.extend(read_jsonl(file))
+
+    def _order(record: TraceRecord) -> tuple[int, float]:
+        now = getattr(record, "now", None)
+        if now is None:
+            # run_meta opens a trace, run_summary closes one
+            return (0, 0.0) if record.kind == "run_meta" else (2, 0.0)
+        return (1, now)
+
+    merged.sort(key=_order)
+    return merged

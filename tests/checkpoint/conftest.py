@@ -1,0 +1,31 @@
+"""Shared fixtures for the checkpoint/resume test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import make_arrivals, run_fleet
+from repro.workloads import chain_workflow, single_stage_workflow
+
+#: tiny synthetic catalog so resume tests run in well under a second
+CATALOG = {
+    "wide": lambda seed: single_stage_workflow(6, 120.0),
+    "deep": lambda seed: chain_workflow(4, 60.0),
+}
+WORKLOADS = tuple(CATALOG)
+
+
+def run_small_fleet(*, seed: int = 5, rate: float = 8.0, n: int = 3, **kwargs):
+    """One small-but-nontrivial fleet run (several ticks, 2+ tenants)."""
+    return run_fleet(
+        arrivals=make_arrivals("poisson", rate=rate, n=n, workloads=WORKLOADS),
+        workload_catalog=dict(CATALOG),
+        charging_unit=900.0,
+        seed=seed,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def small_fleet():
+    return run_small_fleet

@@ -1,0 +1,169 @@
+"""Sharded fleet event queue: routing, merge order, bit-identity.
+
+The load-bearing claim (docs/fleet.md): a fleet partitioned across any
+number of per-site event queues pops events in *exactly* the order the
+single queue would, because all shards share one sequence counter and
+the K-way merge compares the same ``(time, priority, seq)`` key the
+single heap sorts by. Routing therefore only affects load balance —
+never results.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+
+import pytest
+
+from repro.engine.events import EventKind, EventQueue
+from repro.fleet import (
+    ShardedEventQueue,
+    TenantShardRouter,
+    make_arrivals,
+    run_fleet,
+    shard_of,
+)
+
+TENANTS = ("t00", "t01", "t02", "t03", "t04")
+
+
+def router(shards: int) -> TenantShardRouter:
+    return TenantShardRouter.for_tenants(shards, TENANTS)
+
+
+def scripted_events():
+    """A deterministic mix of kinds, ties, and payload shapes."""
+    out = []
+    for i, tenant in enumerate(TENANTS * 4):
+        out.append((60.0 * (i % 7), EventKind.EXEC_DONE, f"{tenant}/w0/s1/t{i}"))
+        out.append((60.0 * (i % 5), EventKind.STAGE_IN_DONE, f"{tenant}/w0/s0/t{i}"))
+    out.append((120.0, EventKind.WORKFLOW_ARRIVAL, 3))
+    out.append((120.0, EventKind.INSTANCE_TERMINATE, "i-0"))
+    out.append((120.0, EventKind.CONTROLLER_TICK, None))
+    out.append((0.0, EventKind.INSTANCE_READY, "i-1"))
+    return out
+
+
+class TestShardOf:
+    def test_crc32_based_and_stable(self):
+        # crc32, not hash(): Python randomizes str hashes per process,
+        # and the shard map must be identical across checkpoint hosts
+        assert shard_of("t03", 4) == zlib.crc32(b"t03") % 4
+        assert shard_of("t03", 4) == shard_of("t03", 4)
+
+    def test_in_range(self):
+        for tenant in TENANTS:
+            for shards in (2, 3, 4, 7):
+                assert 0 <= shard_of(tenant, shards) < shards
+
+
+class TestRouter:
+    def test_task_kinds_route_by_tenant_prefix(self):
+        r = router(4)
+        for kind in (
+            EventKind.STAGE_IN_DONE,
+            EventKind.EXEC_DONE,
+            EventKind.STAGE_OUT_DONE,
+            EventKind.TASK_FAILED,
+        ):
+            assert r.route(kind, "t02/w1/s0/t5") == shard_of("t02", 4)
+
+    def test_arrivals_route_by_tenant_index(self):
+        r = router(4)
+        assert r.route(EventKind.WORKFLOW_ARRIVAL, 2) == shard_of("t02", 4)
+
+    def test_site_events_route_to_shard_zero(self):
+        r = router(4)
+        assert r.route(EventKind.CONTROLLER_TICK, None) == 0
+        assert r.route(EventKind.INSTANCE_TERMINATE, "i-3") == 0
+        assert r.route(EventKind.INSTANCE_READY, "i-3") == 0
+
+
+class TestShardedEventQueue:
+    def test_requires_at_least_two_shards(self):
+        with pytest.raises(ValueError):
+            ShardedEventQueue(1, router(1))
+
+    @pytest.mark.parametrize("shards", [2, 3, 4, 7])
+    def test_pop_order_matches_single_queue(self, shards):
+        single = EventQueue()
+        sharded = ShardedEventQueue(shards, router(shards))
+        for time, kind, payload in scripted_events():
+            single.push(time, kind, payload)
+            sharded.push(time, kind, payload)
+        assert len(sharded) == len(single)
+        while single:
+            a, b = single.pop(), sharded.pop()
+            assert (a.time, a.seq, a.kind, a.payload) == (
+                b.time,
+                b.seq,
+                b.kind,
+                b.payload,
+            )
+        assert not sharded
+
+    def test_cancel_matches_single_queue(self):
+        single = EventQueue()
+        sharded = ShardedEventQueue(3, router(3))
+        singles, shardeds = [], []
+        for time, kind, payload in scripted_events():
+            singles.append(single.push(time, kind, payload))
+            shardeds.append(sharded.push(time, kind, payload))
+        for i in (0, 7, 13):  # cancel the same events on both sides
+            single.cancel(singles[i])
+            sharded.cancel(shardeds[i])
+        single.cancel_for_payload("t01/w0/s0/t1")
+        sharded.cancel_for_payload("t01/w0/s0/t1")
+        assert len(sharded) == len(single)
+        while single:
+            assert single.pop().seq == sharded.pop().seq
+
+    def test_sequence_counter_is_shared(self):
+        sharded = ShardedEventQueue(4, router(4))
+        seqs = [
+            sharded.push(0.0, EventKind.EXEC_DONE, f"{t}/w0/s0/t0").seq
+            for t in TENANTS
+        ]
+        # one global stream, regardless of which shard each landed in
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+    def test_pickle_preserves_shared_counter(self):
+        sharded = ShardedEventQueue(3, router(3))
+        for time, kind, payload in scripted_events():
+            sharded.push(time, kind, payload)
+        restored = pickle.loads(pickle.dumps(sharded))
+        assert len(restored) == len(sharded)
+        # pickle memoization must keep ONE counter for all shards: two
+        # post-restore pushes to different shards get consecutive seqs
+        a = restored.push(1.0, EventKind.EXEC_DONE, "t00/w0/s0/a")
+        b = restored.push(1.0, EventKind.CONTROLLER_TICK, None)
+        assert b.seq == a.seq + 1
+
+    def test_shard_stats_account_for_everything(self):
+        sharded = ShardedEventQueue(3, router(3))
+        for time, kind, payload in scripted_events():
+            sharded.push(time, kind, payload)
+        pushed = len(sharded)
+        ticks = 0
+        while sharded:
+            if sharded.pop().kind is EventKind.CONTROLLER_TICK:
+                ticks += 1
+        stats = sharded.shard_stats()
+        assert sum(s["pushed"] for s in stats) == pushed
+        assert sum(s["popped"] for s in stats) == pushed
+        assert sharded.epochs == ticks == 1
+
+
+class TestEngineBitIdentity:
+    def summary(self, shards: int) -> str:
+        result = run_fleet(
+            arrivals=make_arrivals("poisson", rate=8.0, n=4),
+            charging_unit=900.0,
+            seed=3,
+            shards=shards,
+        )
+        return result.to_summary_json()
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_summary_bytes_identical(self, shards):
+        assert self.summary(shards) == self.summary(1)
