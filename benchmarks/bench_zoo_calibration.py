@@ -1,0 +1,73 @@
+"""Zoo calibration fidelity: fitted specs vs. their source traces.
+
+For every vendored WfCommons instance, fit a generative spec
+(:mod:`repro.zoo.calibrate`) and check that the fitted model reproduces
+the source trace's per-stage statistics — mean runtime and runtime CV —
+within 10% relative error per stage (the moment-matching fit is exact up
+to float rounding, so the margin is generous). Also verifies that a
+realized workflow reproduces the source's stage structure (executables
+and task counts per stage), and benchmarks the import + calibrate path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.formatting import render_table
+from repro.zoo import calibrate, load_instance, zoo_instance_names
+
+#: per-stage relative-error ceiling on mean runtime and runtime CV
+TOLERANCE = 0.10
+
+
+def test_calibration_fidelity(save_report):
+    rows = []
+    for name in zoo_instance_names():
+        workflow = load_instance(name)
+        result = calibrate(workflow, name=f"zoo/{name}")
+        for fit in result.stages:
+            assert fit.mean_rel_err <= TOLERANCE, (
+                f"{name}/{fit.stage_id}: mean runtime off by "
+                f"{fit.mean_rel_err:.1%} (> {TOLERANCE:.0%})"
+            )
+            assert fit.cv_rel_err <= TOLERANCE, (
+                f"{name}/{fit.stage_id}: runtime CV off by "
+                f"{fit.cv_rel_err:.1%} (> {TOLERANCE:.0%})"
+            )
+        rows.append(
+            [
+                name,
+                len(workflow),
+                len(result.stages),
+                f"{result.max_mean_rel_err * 100:.3f}%",
+                f"{result.max_cv_rel_err * 100:.3f}%",
+            ]
+        )
+    save_report(
+        "zoo_calibration",
+        render_table(
+            ["instance", "tasks", "stages", "max mean err", "max cv err"],
+            rows,
+            title=f"zoo calibration fidelity (tolerance {TOLERANCE:.0%}/stage)",
+        ),
+    )
+
+
+@pytest.mark.parametrize("name", zoo_instance_names())
+def test_realized_structure_matches_source(name):
+    """A seed-0 realization has the source's per-stage shape."""
+    workflow = load_instance(name)
+    generated = calibrate(workflow).spec.generate(0)
+    assert [(s.executable, s.size) for s in generated.stages] == [
+        (s.executable, s.size) for s in workflow.stages
+    ]
+
+
+def test_import_and_calibrate_speed(benchmark):
+    """Importing + calibrating every vendored instance should be cheap."""
+
+    def full_sweep():
+        return [calibrate(load_instance(n)) for n in zoo_instance_names()]
+
+    results = benchmark(full_sweep)
+    assert len(results) == len(zoo_instance_names())

@@ -18,7 +18,11 @@
 - ``run --chaos revocations=2,stragglers=0.2`` — inject cloud-level
   faults (``repro.cloud.faults``); also accepted by ``campaign``;
 - ``robustness`` — the §IV-E degradation sweep, with optional
-  ``--chaos`` cloud-fault axes.
+  ``--chaos`` cloud-fault axes;
+- ``zoo list/describe/import/calibrate`` — the real-workflow zoo
+  (:mod:`repro.zoo`): WfCommons ingestion and trace calibration.
+  Every workload-name argument accepts the full registry, including
+  ``zoo/<instance>`` calibrated workloads.
 """
 
 from __future__ import annotations
@@ -79,11 +83,33 @@ def _positive_int(text: str) -> int:
 
 
 def _workload(name: str):
-    specs = table1_specs()
-    if name not in specs:
-        known = ", ".join(sorted(specs))
-        raise SystemExit(f"unknown workload {name!r}; choose one of: {known}")
-    return specs[name]
+    """Resolve a workload name via the central registry.
+
+    One code path for every subcommand: Table I names, montage, and
+    ``zoo/<instance>`` all resolve here, and an unknown name exits with
+    the registry's available-name listing instead of a traceback.
+    """
+    from repro.zoo.registry import UnknownWorkloadError, resolve_workload
+
+    try:
+        return resolve_workload(name)
+    except UnknownWorkloadError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _check_workload_names(names) -> None:
+    """Validate registry names without resolving (calibrating) them.
+
+    Fleet catalogs resolve lazily at submission time; this pre-flight
+    check turns a bad ``--workloads`` entry into the same clean
+    available-name exit as :func:`_workload`.
+    """
+    from repro.zoo.registry import UnknownWorkloadError, available_workloads
+
+    known = set(available_workloads())
+    for name in names:
+        if name not in known:
+            raise SystemExit(str(UnknownWorkloadError(name)))
 
 
 def _policy(name: str, site):
@@ -386,6 +412,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         save_every=args.save_every,
         trace_dir=args.trace_dir,
         chaos=_chaos(args.chaos),
+        validate=args.validate,
     )
     print(
         f"{len(records)} cells in {args.store} "
@@ -456,6 +483,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     from repro.fleet import make_arrivals, resume_fleet, run_fleet
 
     chaos = _chaos(args.chaos)
+    if not args.resume:
+        _check_workload_names(args.workloads)
     if args.checkpoint_every is not None and not args.checkpoint:
         raise SystemExit("--checkpoint-every requires --checkpoint FILE")
     if args.stop_after_checkpoint and args.checkpoint_every is None:
@@ -650,6 +679,146 @@ def cmd_trace_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _zoo_workflow(source: str):
+    """Load a zoo source: a vendored instance name or a JSON file path."""
+    from repro.zoo import load_instance, read_wfcommons_file
+
+    path = Path(source)
+    if path.suffix == ".json" or path.is_file():
+        try:
+            return read_wfcommons_file(path)
+        except FileNotFoundError:
+            raise SystemExit(f"no such WfCommons file: {source}") from None
+        except ValueError as exc:
+            raise SystemExit(f"cannot import {source}: {exc}") from None
+    from repro.zoo.registry import UnknownWorkloadError
+
+    try:
+        return load_instance(source)
+    except UnknownWorkloadError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def cmd_zoo_list(args: argparse.Namespace) -> int:
+    from repro.workloads import summarize_workflow
+    from repro.zoo import load_instance, zoo_instance_names
+    from repro.zoo.registry import ZOO_PREFIX, available_workloads
+
+    rows = []
+    for name in zoo_instance_names():
+        summary = summarize_workflow(load_instance(name))
+        rows.append(
+            [
+                ZOO_PREFIX + name,
+                summary.total_tasks,
+                summary.n_stages,
+                f"{summary.aggregate_exec_hours:.3f}h",
+                f"{summary.total_input_gb:.2f} GB",
+            ]
+        )
+    print(
+        render_table(
+            ["workload", "tasks", "stages", "aggregate", "input"],
+            rows,
+            title="zoo workloads (calibrated WfCommons instances)",
+        )
+    )
+    builtin = [n for n in available_workloads() if not n.startswith(ZOO_PREFIX)]
+    print("\nbuiltin workloads: " + ", ".join(builtin))
+    return 0
+
+
+def cmd_zoo_describe(args: argparse.Namespace) -> int:
+    from repro.dag import critical_path_length, depth
+    from repro.workloads import summarize_workflow
+    from repro.zoo import calibrate
+
+    workflow = _zoo_workflow(args.instance)
+    summary = summarize_workflow(workflow)
+    result = calibrate(workflow)
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["tasks", summary.total_tasks],
+                ["stages", summary.n_stages],
+                ["DAG depth (levels)", depth(workflow)],
+                ["aggregate execution", f"{summary.aggregate_exec_hours:.3f}h"],
+                ["critical path", format_duration(critical_path_length(workflow))],
+                ["total input data", f"{summary.total_input_gb:.2f} GB"],
+            ],
+            title=workflow.name,
+        )
+    )
+    print()
+    print(
+        render_table(
+            ["stage", "executable", "tasks", "linkage", "mean exec",
+             "cv", "size dep"],
+            [
+                [
+                    fit.stage_id,
+                    fit.executable,
+                    fit.count,
+                    fit.linkage,
+                    f"{fit.source_mean:.2f}s",
+                    f"{fit.source_cv:.3f}",
+                    f"{fit.size_dependence:.2f}",
+                ]
+                for fit in result.stages
+            ],
+            title="per-stage trace statistics",
+        )
+    )
+    return 0
+
+
+def cmd_zoo_import(args: argparse.Namespace) -> int:
+    workflow = _zoo_workflow(args.file)
+    print(
+        f"imported {workflow.name!r}: {len(workflow)} tasks, "
+        f"{len(workflow.stages)} stages, "
+        f"{sum(len(workflow.parents(t)) for t in workflow.tasks)} edges"
+    )
+    if args.dax:
+        from repro.dag.dax import write_dax_file
+
+        write_dax_file(workflow, args.dax)
+        print(f"wrote {len(workflow)} jobs to {args.dax}")
+    return 0
+
+
+def cmd_zoo_calibrate(args: argparse.Namespace) -> int:
+    from repro.zoo import calibrate, render_calibration, scale_spec, spec_to_json
+
+    workflow = _zoo_workflow(args.instance)
+    result = calibrate(workflow)
+    if args.report:
+        print(render_calibration(result))
+        print(
+            f"\nmax relative error: mean {result.max_mean_rel_err * 100:.2f}%, "
+            f"cv {result.max_cv_rel_err * 100:.2f}%"
+        )
+    else:
+        print(
+            f"calibrated {result.source_name!r}: {len(result.stages)} stages, "
+            f"max mean err {result.max_mean_rel_err * 100:.2f}%, "
+            f"max cv err {result.max_cv_rel_err * 100:.2f}%"
+        )
+    spec = result.spec
+    if args.scale is not None:
+        try:
+            spec = scale_spec(spec, args.scale)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        tasks = sum(t.count for t in spec.templates)
+        print(f"scaled x{args.scale:g}: {tasks} tasks")
+    if args.out:
+        Path(args.out).write_text(spec_to_json(spec) + "\n", encoding="utf-8")
+        print(f"wrote spec to {args.out}")
+    return 0
+
+
 def cmd_dax_export(args: argparse.Namespace) -> int:
     from repro.dag.dax import write_dax_file
 
@@ -826,6 +995,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos",
         metavar="SPEC",
         help="apply one cloud-fault spec to every cell in the matrix",
+    )
+    campaign.add_argument(
+        "--validate",
+        action="store_true",
+        help="run every cell with the runtime invariant checker attached",
     )
     campaign.set_defaults(handler=cmd_campaign)
 
@@ -1043,6 +1217,52 @@ def build_parser() -> argparse.ArgumentParser:
         "per-shard *.jsonl traces (merged in timestamp order)",
     )
     summarize.set_defaults(handler=cmd_trace_summarize)
+
+    zoo = sub.add_parser(
+        "zoo",
+        help="real-workflow zoo: WfCommons import, calibration, registry",
+    )
+    zoo_sub = zoo.add_subparsers(dest="zoo_command", required=True)
+    zoo_list = zoo_sub.add_parser(
+        "list", help="list the zoo instances and every registry workload"
+    )
+    zoo_list.set_defaults(handler=cmd_zoo_list)
+    zoo_describe = zoo_sub.add_parser(
+        "describe", help="structural + per-stage statistics of an instance"
+    )
+    zoo_describe.add_argument(
+        "instance", help="vendored instance name or WfCommons JSON path"
+    )
+    zoo_describe.set_defaults(handler=cmd_zoo_describe)
+    zoo_import = zoo_sub.add_parser(
+        "import", help="import a WfCommons JSON file (validates the DAG)"
+    )
+    zoo_import.add_argument("file", help="WfCommons JSON path")
+    zoo_import.add_argument(
+        "--dax", metavar="FILE", help="also export the workflow as Pegasus DAX"
+    )
+    zoo_import.set_defaults(handler=cmd_zoo_import)
+    zoo_calibrate = zoo_sub.add_parser(
+        "calibrate", help="fit a generative spec to an instance's trace"
+    )
+    zoo_calibrate.add_argument(
+        "instance", help="vendored instance name or WfCommons JSON path"
+    )
+    zoo_calibrate.add_argument(
+        "--report",
+        action="store_true",
+        help="print the fitted-vs-source per-stage table",
+    )
+    zoo_calibrate.add_argument(
+        "--scale",
+        type=float,
+        metavar="F",
+        help="scale per-stage task counts by this factor before writing",
+    )
+    zoo_calibrate.add_argument(
+        "--out", metavar="FILE", help="write the fitted spec as JSON here"
+    )
+    zoo_calibrate.set_defaults(handler=cmd_zoo_calibrate)
 
     dax = sub.add_parser("dax", help="Pegasus DAX import/export")
     dax_sub = dax.add_subparsers(dest="dax_command", required=True)

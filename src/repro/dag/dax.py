@@ -23,7 +23,7 @@ from pathlib import Path
 from xml.dom import minidom
 
 from repro.dag.task import Task
-from repro.dag.workflow import Workflow
+from repro.dag.workflow import CycleError, Workflow
 
 __all__ = ["read_dax", "read_dax_file", "write_dax", "write_dax_file"]
 
@@ -63,9 +63,42 @@ def read_dax(text: str, *, default_runtime: float = 1.0) -> Workflow:
                     continue
                 parent_id = parent.get("ref")
                 if not parent_id:
-                    raise ValueError("<parent> element without ref attribute")
+                    raise ValueError(
+                        f"<parent> element under <child ref={child_id!r}> "
+                        "without ref attribute"
+                    )
                 edges.append((parent_id, child_id))
-    return Workflow(name, tasks, edges)
+    _check_edge_refs(name, tasks, edges)
+    try:
+        return Workflow(name, tasks, edges)
+    except CycleError as exc:
+        # Re-raise with DAX vocabulary; CycleError already names the
+        # first jobs on the unresolvable cycle.
+        raise CycleError(f"DAX document {name!r} is not acyclic: {exc}") from None
+
+
+def _check_edge_refs(
+    name: str, tasks: list[Task], edges: list[tuple[str, str]]
+) -> None:
+    """Reject dangling ``<child>``/``<parent>`` refs, naming the ref.
+
+    Validated here — before :class:`Workflow` construction — so a broken
+    DAX fails with the offending XML reference instead of a generic
+    graph error (or, worse, partway through topological iteration).
+    """
+    known = {task.task_id for task in tasks}
+    for parent_id, child_id in edges:
+        if child_id not in known:
+            raise ValueError(
+                f"DAX document {name!r}: <child ref={child_id!r}> "
+                "references a job that is not declared"
+            )
+        if parent_id not in known:
+            raise ValueError(
+                f"DAX document {name!r}: <parent ref={parent_id!r}> under "
+                f"<child ref={child_id!r}> references a job that is not "
+                "declared"
+            )
 
 
 def _parse_job(element: ET.Element, default_runtime: float) -> Task:

@@ -5,7 +5,7 @@ The paper analyzes the scaling algorithm on a stage of N identical tasks
 initial pool 1) by narrative; this module captures the closed forms that
 narrative implies, so the simulator can be verified against them.
 
-For **R >= U** the dynamics are exact:
+For **R >= U** the dynamics are exact once R/U clears ~1.1:
 
 - the pool grows one instance per U/N from 2U/N and reaches N at time U
   (all tasks started by then, the last at time U);
@@ -22,6 +22,13 @@ hence
 At R/U = 1.5 these give the paper's stated bounds 1.33x and 1.67x
 exactly, and both converge to 1 as R/U grows — Figure 2's shape is a
 theorem, not an artifact.
+
+Just above R = U the narrative's growth arithmetic can break for some
+N: Algorithm 3 packs several barely-over-U tasks onto one instance's
+successive charging units, so the pool plateaus below N, finishing
+*cheaper* than ``N * ceil(R/U)`` but later than ``U + R`` (observed at
+N = 7, R/U <= 1.07). The closed forms above describe the
+one-task-per-instance regime, which holds for R/U >= ~1.1.
 
 For **R < U** no clean closed form exists (packing granularity
 ``ceil(U/R)`` interacts with the growth phase and with boundary-time

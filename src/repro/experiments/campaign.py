@@ -150,9 +150,12 @@ def cell_trace_path(trace_dir: str | Path, key: CellKey) -> Path:
     The filename encodes the full cell key, so a re-run (or a retried
     worker attempt) deterministically overwrites the same file and a
     parallel campaign's trace directory is identical to a serial one.
+    Path separators in workload names (``zoo/<instance>``) flatten to
+    ``-`` so every trace lands directly in ``trace_dir``.
     """
+    workflow = key.workflow.replace("/", "-")
     return Path(trace_dir) / (
-        f"{key.workflow}__{key.policy}__u{key.charging_unit:g}"
+        f"{workflow}__{key.policy}__u{key.charging_unit:g}"
         f"__s{key.seed}.jsonl"
     )
 
@@ -186,12 +189,16 @@ def run_campaign(
     save_every: int = 1,
     trace_dir: str | Path | None = None,
     chaos: ChaosSpec | None = None,
+    validate: object = None,
 ) -> tuple[list[CellRecord], int]:
     """Fill in the matrix's missing cells; returns (all records, #new).
 
     ``chaos`` applies one cloud-fault spec (:mod:`repro.cloud.faults`) to
     every cell; a cell's outcome is a pure function of its key and the
     spec, so chaos campaigns resume and parallelize like clean ones.
+    ``validate`` attaches the runtime invariant checker to every cell
+    (pure observation in pass-mode; raise-mode aborts the campaign on
+    the first violated engine invariant).
 
     The store is saved after every ``save_every`` completed runs — and
     always flushed on completion *and* on any exception (including
@@ -220,6 +227,7 @@ def run_campaign(
                     else None
                 ),
                 chaos=chaos,
+                validate=validate,
             )
             store.put(record_from_result(key, result))
             executed += 1

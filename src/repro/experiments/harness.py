@@ -98,10 +98,14 @@ def run_setting(
     checker (:mod:`repro.validate`): ``True`` for the default raise-mode
     checker, or a configured ``InvariantChecker`` instance.
     """
+    # Duck-typed realization: anything that is not already a concrete
+    # Workflow and can generate(seed) counts as a spec — covers
+    # StagedWorkflowSpec as well as the registry's generator adapters
+    # (repro.zoo.registry.GeneratorSpec / LazyZooSpec).
     workflow = (
-        workload.generate(seed)
-        if isinstance(workload, StagedWorkflowSpec)
-        else workload
+        workload
+        if isinstance(workload, Workflow)
+        else workload.generate(seed)
     )
     sink = JsonlSink(trace_path) if trace_path is not None else None
     try:

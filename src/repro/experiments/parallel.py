@@ -182,6 +182,7 @@ def _run_cell(
     site: CloudSite,
     trace_dir: str | None = None,
     chaos: ChaosSpec | None = None,
+    validate: object = None,
 ) -> CellRecord:
     """Worker entry point: execute one cell, return its summary record.
 
@@ -206,6 +207,7 @@ def _run_cell(
             cell_trace_path(trace_dir, key) if trace_dir is not None else None
         ),
         chaos=chaos,
+        validate=validate,
     )
     return record_from_result(key, result)
 
@@ -217,17 +219,23 @@ def _run_cell(
 _CELL_CTX: tuple | None = None
 
 
-def _init_cell_worker(specs, payloads, site, trace_dir, chaos) -> None:
+def _init_cell_worker(specs, payloads, site, trace_dir, chaos, validate) -> None:
     global _CELL_CTX
-    _CELL_CTX = (specs, payloads, site, trace_dir, chaos)
+    _CELL_CTX = (specs, payloads, site, trace_dir, chaos, validate)
 
 
 def _run_cell_shared(key: CellKey) -> CellRecord:
     """Worker entry point: one cell against the initializer-shipped context."""
     assert _CELL_CTX is not None, "campaign worker initializer did not run"
-    specs, payloads, site, trace_dir, chaos = _CELL_CTX
+    specs, payloads, site, trace_dir, chaos, validate = _CELL_CTX
     return _run_cell(
-        key, specs[key.workflow], payloads[key.policy], site, trace_dir, chaos
+        key,
+        specs[key.workflow],
+        payloads[key.policy],
+        site,
+        trace_dir,
+        chaos,
+        validate,
     )
 
 
@@ -243,6 +251,7 @@ def run_campaign_parallel(
     save_every: int = 8,
     trace_dir: str | Path | None = None,
     chaos: ChaosSpec | None = None,
+    validate: object = None,
 ) -> tuple[list[CellRecord], int, list[FailedCell]]:
     """Fill the matrix's missing cells across ``jobs`` worker processes.
 
@@ -270,7 +279,7 @@ def run_campaign_parallel(
         try:
             for key in todo:
                 record, error = _attempt_inline(
-                    key, specs, policies, the_site, the_trace_dir, chaos
+                    key, specs, policies, the_site, the_trace_dir, chaos, validate
                 )
                 if record is None:
                     failed.append(FailedCell(key, error or "unknown error"))
@@ -288,7 +297,7 @@ def run_campaign_parallel(
     }
     attempts: dict[CellKey, int] = {key: 0 for key in todo}
     pending = list(todo)
-    initargs = (dict(specs), payloads, the_site, the_trace_dir, chaos)
+    initargs = (dict(specs), payloads, the_site, the_trace_dir, chaos, validate)
     executor = ProcessPoolExecutor(
         max_workers=jobs, initializer=_init_cell_worker, initargs=initargs
     )
@@ -359,6 +368,7 @@ def _attempt_inline(
     site: CloudSite,
     trace_dir: str | None = None,
     chaos: ChaosSpec | None = None,
+    validate: object = None,
 ) -> tuple[CellRecord | None, str | None]:
     """Run one cell inline with the same retry-once semantics as workers."""
     error: str | None = None
@@ -376,6 +386,7 @@ def _attempt_inline(
                     else None
                 ),
                 chaos=chaos,
+                validate=validate,
             )
         except Exception as exc:  # noqa: BLE001 - isolate cell failures
             error = f"{type(exc).__name__}: {exc}"

@@ -25,7 +25,6 @@ from repro.fleet.policies import AllocationPolicy, allocation_policy
 from repro.fleet.result import FleetResult
 from repro.telemetry.sinks import JsonlSink
 from repro.telemetry.tracer import Tracer
-from repro.workloads import montage, table1_specs
 
 __all__ = [
     "DEFAULT_FLEET_WORKLOADS",
@@ -44,14 +43,16 @@ DEFAULT_FLEET_WORKLOADS: tuple[str, ...] = ("tpch6-S", "pagerank-S")
 def fleet_workload_catalog() -> dict[str, object]:
     """Every workload name a fleet submission may reference.
 
-    Table I profiles resolve to their spec (realized per-tenant with the
-    submission's workflow seed); montage resolves to a seed-taking
-    callable for the same reason.
+    Delegates to the central registry (:mod:`repro.zoo.registry`): Table
+    I profiles resolve to their spec (realized per-tenant with the
+    submission's workflow seed), montage to a seed-taking generator
+    adapter, and ``zoo/<instance>`` names to lazily-calibrated specs.
+    All entries are picklable, so the catalog crosses sweep-worker
+    process boundaries.
     """
-    catalog: dict[str, object] = dict(table1_specs())
-    catalog["montage-S"] = lambda seed: montage("S", seed=seed)
-    catalog["montage-L"] = lambda seed: montage("L", seed=seed)
-    return catalog
+    from repro.zoo.registry import workload_catalog
+
+    return workload_catalog()
 
 
 def make_arrivals(

@@ -8,6 +8,7 @@ variability, Observation 2).
 
 from repro.workloads.base import (
     BlockSizes,
+    EmpiricalSizes,
     FixedSize,
     SizeModel,
     StagedWorkflowSpec,
@@ -32,6 +33,7 @@ from repro.workloads.tpch import tpch1, tpch6, tpch_transfer_model
 
 __all__ = [
     "BlockSizes",
+    "EmpiricalSizes",
     "FixedSize",
     "PAPER_PROFILES",
     "PaperProfile",

@@ -33,6 +33,7 @@ from repro.util.validation import check_non_negative, check_positive
 
 __all__ = [
     "BlockSizes",
+    "EmpiricalSizes",
     "FixedSize",
     "SizeModel",
     "StageTemplate",
@@ -139,6 +140,33 @@ class ZipfSizes:
         multiples = rng.zipf(self.alpha, size=count).astype(float)
         multiples = np.minimum(multiples, self.cap_multiple)
         return multiples * self.base_bytes
+
+
+@dataclass(frozen=True)
+class EmpiricalSizes:
+    """Resample input sizes from an observed set of per-task sizes.
+
+    The size model of calibrated specs (:mod:`repro.zoo.calibrate`): a
+    trace's per-stage input sizes are kept verbatim. Sampling exactly
+    ``len(sizes)`` tasks returns the observed sizes in their original
+    order — so a calibrated stage regenerated at scale 1 reproduces the
+    source stage's size moments exactly — while any other count draws a
+    bootstrap resample from the same empirical distribution.
+    """
+
+    sizes: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.sizes:
+            raise ValueError("EmpiricalSizes needs at least one observed size")
+        for value in self.sizes:
+            check_non_negative("sizes", value)
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        observed = np.asarray(self.sizes, dtype=float)
+        if count == observed.size:
+            return observed.copy()
+        return rng.choice(observed, size=count, replace=True)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,65 @@
+"""Real-workflow zoo: WfCommons ingestion, calibration, and the registry.
+
+WIRE's evaluation rests on five synthetic Table I workloads, but the
+paper's core claims (Observations 1-2: intra-stage skew and cross-run
+variability) are about *real* workflow behavior. This package closes
+that gap in three layers:
+
+- :mod:`repro.zoo.wfcommons` parses WfCommons-format JSON instances
+  (the community archive format behind Montage, Epigenomics, Cycles,
+  Seismology, BLAST, ...) into :class:`~repro.dag.workflow.Workflow`
+  objects, complementing the Pegasus DAX round-trip in
+  :mod:`repro.dag.dax`. A handful of small instances are vendored under
+  ``repro/zoo/data/``.
+- :mod:`repro.zoo.calibrate` fits a *generative*
+  :class:`~repro.workloads.StagedWorkflowSpec` to an imported trace —
+  per-stage task counts, runtime means, lognormal skew,
+  ``size_dependence``, and linkage — via stage clustering + moment
+  matching, so any ingested DAG becomes a reusable workload at
+  arbitrary scale factors.
+- :mod:`repro.zoo.registry` unifies the builtin Table I specs with
+  zoo-calibrated specs (``zoo/<instance>`` names) behind one
+  :func:`resolve_workload` entry point, shared by ``repro
+  run/campaign/robustness/fleet`` and the fleet workload catalog.
+"""
+
+from repro.zoo.calibrate import (
+    CalibrationResult,
+    StageFit,
+    calibrate,
+    render_calibration,
+    scale_spec,
+    spec_from_json,
+    spec_to_json,
+)
+from repro.zoo.registry import (
+    UnknownWorkloadError,
+    available_workloads,
+    calibrated_spec,
+    load_instance,
+    resolve_workload,
+    workload_catalog,
+    zoo_instance_names,
+    zoo_instance_path,
+)
+from repro.zoo.wfcommons import read_wfcommons, read_wfcommons_file
+
+__all__ = [
+    "CalibrationResult",
+    "StageFit",
+    "UnknownWorkloadError",
+    "available_workloads",
+    "calibrate",
+    "calibrated_spec",
+    "load_instance",
+    "read_wfcommons",
+    "read_wfcommons_file",
+    "render_calibration",
+    "resolve_workload",
+    "scale_spec",
+    "spec_from_json",
+    "spec_to_json",
+    "workload_catalog",
+    "zoo_instance_names",
+    "zoo_instance_path",
+]

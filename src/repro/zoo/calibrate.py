@@ -1,0 +1,408 @@
+"""Trace calibration: fit a generative spec to an imported workflow.
+
+Turns one concrete workflow instance (e.g. a WfCommons import) into a
+:class:`~repro.workloads.StagedWorkflowSpec` by stage clustering +
+moment matching, so a single observed trace becomes a *generative*
+workload: different seeds realize fresh runs with the same per-stage
+statistics (the paper's cross-run variability, Observation 2), and the
+spec can be re-scaled to larger task counts.
+
+The fit, per inferred stage (:attr:`Workflow.stages`):
+
+- ``mean_exec`` — the stage's sample mean runtime (moment matching of
+  the first moment: the generative model's runtime is
+  ``mean_exec * size_scale * lognormal_noise`` with both factors having
+  unit mean, so the model mean equals ``mean_exec`` exactly);
+- ``size_dependence`` — from the least-squares slope of runtime on
+  input size: ``d = slope * mean(size) / mean(runtime)``, clipped to
+  [0, 1]. This is the fraction of runtime variance explained by size,
+  i.e. ``d = corr(r, s) * cv(r) / cv(s)``;
+- ``cv`` — the lognormal-noise coefficient of variation solved so the
+  model's *total* runtime CV matches the sample CV:
+  ``cv_total^2 = cv_size^2 + cv^2 + cv_size^2 * cv^2`` (independent
+  multiplicative factors), where ``cv_size = d * cv(s)`` is the
+  size-driven part. When ``d`` is not clipped this makes the model CV
+  equal the sample CV *exactly*;
+- sizes — kept verbatim as :class:`~repro.workloads.EmpiricalSizes`
+  (or :class:`~repro.workloads.FixedSize` when degenerate), so the
+  size moments that feed the decomposition are reproduced exactly;
+- ``linkage`` — inferred from the parent structure against the
+  previous stage (``all`` / ``one_to_one`` / ``block``). A stage DAG
+  that is not a chain is approximated by its topological stage order
+  (per-stage statistics are unaffected; only the dependency shape is
+  coarsened).
+
+Calibration is pure deterministic arithmetic over the trace — no RNG —
+so calibrating the same instance twice yields byte-identical specs
+(:func:`spec_to_json`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from math import sqrt
+
+import numpy as np
+
+from repro.dag.workflow import Workflow
+from repro.util.formatting import render_table
+from repro.workloads.base import (
+    BlockSizes,
+    EmpiricalSizes,
+    FixedSize,
+    SizeModel,
+    StagedWorkflowSpec,
+    StageTemplate,
+    UniformSizes,
+    ZipfSizes,
+)
+
+__all__ = [
+    "CalibrationResult",
+    "StageFit",
+    "calibrate",
+    "render_calibration",
+    "scale_spec",
+    "spec_from_json",
+    "spec_to_json",
+]
+
+#: CVs below this are treated as "no skew" when forming relative errors
+_CV_FLOOR = 1e-9
+
+
+@dataclass(frozen=True)
+class StageFit:
+    """Fitted-vs-source statistics for one stage."""
+
+    stage_id: str
+    executable: str
+    count: int
+    linkage: str
+    #: source trace statistics
+    source_mean: float
+    source_cv: float
+    #: fitted template parameters
+    mean_exec: float
+    noise_cv: float
+    size_dependence: float
+    #: model-implied statistics (what regenerating reproduces in
+    #: expectation): mean and total CV of the fitted generative model
+    model_mean: float
+    model_cv: float
+
+    @property
+    def mean_rel_err(self) -> float:
+        """|model mean - source mean| / source mean."""
+        return abs(self.model_mean - self.source_mean) / max(
+            self.source_mean, _CV_FLOOR
+        )
+
+    @property
+    def cv_rel_err(self) -> float:
+        """Relative error of the model's total runtime CV vs the source.
+
+        Stages with (near-)zero source skew compare absolutely: the fit
+        is exact when the model CV is also (near-)zero.
+        """
+        if self.source_cv < _CV_FLOOR:
+            return 0.0 if self.model_cv < _CV_FLOOR else self.model_cv
+        return abs(self.model_cv - self.source_cv) / self.source_cv
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """A fitted spec plus its per-stage fit report."""
+
+    name: str
+    source_name: str
+    spec: StagedWorkflowSpec
+    stages: tuple[StageFit, ...]
+
+    @property
+    def max_mean_rel_err(self) -> float:
+        """Worst per-stage mean-runtime relative error."""
+        return max(fit.mean_rel_err for fit in self.stages)
+
+    @property
+    def max_cv_rel_err(self) -> float:
+        """Worst per-stage runtime-CV relative error."""
+        return max(fit.cv_rel_err for fit in self.stages)
+
+
+def calibrate(workflow: Workflow, *, name: str | None = None) -> CalibrationResult:
+    """Fit a generative spec to ``workflow``; see the module docstring.
+
+    ``name`` names the resulting spec (default: the workflow's name
+    with a ``-calibrated`` suffix).
+    """
+    spec_name = name or f"{workflow.name}-calibrated"
+    templates: list[StageTemplate] = []
+    fits: list[StageFit] = []
+    previous_ids: tuple[str, ...] | None = None
+    for stage in workflow.stages:
+        tasks = [workflow.task(tid) for tid in stage.task_ids]
+        runtimes = np.array([t.runtime for t in tasks], dtype=float)
+        sizes = np.array([t.input_size for t in tasks], dtype=float)
+        outputs = np.array([t.output_size for t in tasks], dtype=float)
+
+        mean_r = float(runtimes.mean())
+        cv_r = float(runtimes.std() / mean_r) if mean_r > 0 else 0.0
+        mean_s = float(sizes.mean())
+        d = _fit_size_dependence(runtimes, sizes)
+        cv_size = d * float(sizes.std() / mean_s) if mean_s > 0 else 0.0
+        # Solve the lognormal-noise CV from the variance decomposition
+        # of a product of independent unit-mean factors.
+        noise_var = max(cv_r**2 - cv_size**2, 0.0) / (1.0 + cv_size**2)
+        noise_cv = sqrt(noise_var)
+        model_cv = sqrt((1.0 + cv_size**2) * (1.0 + noise_var) - 1.0)
+
+        linkage = _infer_linkage(workflow, stage.task_ids, previous_ids)
+        out_fraction = (
+            float(outputs.mean() / mean_s) if mean_s > 0 else 1.0
+        )
+        templates.append(
+            StageTemplate(
+                executable=stage.executable,
+                count=len(tasks),
+                # generate() floors runtimes at 0.05 s; so do we
+                mean_exec=max(mean_r, 0.05),
+                cv=noise_cv,
+                size_model=_fit_size_model(sizes),
+                output_fraction=out_fraction,
+                linkage=linkage,
+                size_dependence=d,
+            )
+        )
+        fits.append(
+            StageFit(
+                stage_id=stage.stage_id,
+                executable=stage.executable,
+                count=len(tasks),
+                linkage=linkage,
+                source_mean=mean_r,
+                source_cv=cv_r,
+                mean_exec=max(mean_r, 0.05),
+                noise_cv=noise_cv,
+                size_dependence=d,
+                model_mean=max(mean_r, 0.05),
+                model_cv=model_cv,
+            )
+        )
+        previous_ids = stage.task_ids
+    return CalibrationResult(
+        name=spec_name,
+        source_name=workflow.name,
+        spec=StagedWorkflowSpec(name=spec_name, templates=tuple(templates)),
+        stages=tuple(fits),
+    )
+
+
+def _fit_size_dependence(runtimes: np.ndarray, sizes: np.ndarray) -> float:
+    """Least-squares ``size_dependence`` in [0, 1]; 0 when degenerate."""
+    if runtimes.size < 2:
+        return 0.0
+    mean_r, mean_s = float(runtimes.mean()), float(sizes.mean())
+    var_s = float(sizes.var())
+    if mean_r <= 0 or mean_s <= 0 or var_s <= 0:
+        return 0.0
+    slope = float(np.cov(runtimes, sizes, bias=True)[0, 1]) / var_s
+    return float(np.clip(slope * mean_s / mean_r, 0.0, 1.0))
+
+
+def _fit_size_model(sizes: np.ndarray) -> SizeModel:
+    """Empirical sizes, collapsed to :class:`FixedSize` when degenerate."""
+    if sizes.size == 0:
+        return FixedSize(0.0)
+    if sizes.size == 1 or float(sizes.std()) == 0.0:
+        return FixedSize(float(sizes[0]))
+    return EmpiricalSizes(tuple(float(s) for s in sizes))
+
+
+def _infer_linkage(
+    workflow: Workflow,
+    stage_tasks: tuple[str, ...],
+    previous_ids: tuple[str, ...] | None,
+) -> str:
+    """Classify this stage's dependency pattern on the previous one.
+
+    ``one_to_one`` — equal disjoint contiguous shares of the previous
+    stage (per-chunk pipelines); ``block`` — a disjoint contiguous
+    partition with uneven shares (hierarchical merges); ``all`` —
+    everything else (stage barrier; also the chain approximation for
+    parents outside the previous stage).
+    """
+    if not previous_ids:
+        return "all"
+    prev_set = set(previous_ids)
+    count = len(stage_tasks)
+    parent_sets = [set(workflow.parents(tid)) & prev_set for tid in stage_tasks]
+    if all(ps == prev_set for ps in parent_sets):
+        return "all"
+    covered: set[str] = set()
+    for ps in parent_sets:
+        if not ps or ps & covered:
+            return "all"
+        covered |= ps
+    if covered != prev_set:
+        return "all"
+    share, remainder = divmod(len(previous_ids), count)
+    if remainder == 0 and all(len(ps) == share for ps in parent_sets):
+        return "one_to_one"
+    return "block"
+
+
+def scale_spec(spec: StagedWorkflowSpec, factor: float) -> StagedWorkflowSpec:
+    """A spec with per-stage task counts scaled by ``factor`` (>= 1 task).
+
+    ``one_to_one`` linkages whose divisibility breaks under rounding
+    fall back to ``block`` (contiguous shares), preserving the pipeline
+    shape as closely as integer counts allow.
+    """
+    if factor <= 0:
+        raise ValueError(f"scale factor must be > 0, got {factor}")
+    templates: list[StageTemplate] = []
+    prev_count: int | None = None
+    for template in spec.templates:
+        count = max(1, round(template.count * factor))
+        linkage = template.linkage
+        if (
+            linkage == "one_to_one"
+            and prev_count is not None
+            and prev_count % count != 0
+        ):
+            linkage = "block"
+        templates.append(
+            StageTemplate(
+                executable=template.executable,
+                count=count,
+                mean_exec=template.mean_exec,
+                cv=template.cv,
+                size_model=template.size_model,
+                output_fraction=template.output_fraction,
+                linkage=linkage,
+                size_dependence=template.size_dependence,
+            )
+        )
+        prev_count = count
+    return StagedWorkflowSpec(
+        name=f"{spec.name}-x{factor:g}", templates=tuple(templates)
+    )
+
+
+def render_calibration(result: CalibrationResult) -> str:
+    """The fitted-vs-source per-stage report as a text table."""
+    rows = [
+        [
+            fit.stage_id,
+            fit.count,
+            fit.linkage,
+            f"{fit.source_mean:.2f}",
+            f"{fit.model_mean:.2f}",
+            f"{fit.mean_rel_err * 100:.2f}%",
+            f"{fit.source_cv:.3f}",
+            f"{fit.model_cv:.3f}",
+            f"{fit.cv_rel_err * 100:.2f}%",
+            f"{fit.size_dependence:.2f}",
+        ]
+        for fit in result.stages
+    ]
+    return render_table(
+        ["stage", "tasks", "linkage", "mean(src)", "mean(fit)", "err",
+         "cv(src)", "cv(fit)", "err", "size dep"],
+        rows,
+        title=f"calibration of {result.source_name} -> spec {result.name!r}",
+    )
+
+
+# ----------------------------------------------------------------------
+# spec serialization (deterministic: byte-identical for equal specs)
+# ----------------------------------------------------------------------
+_SPEC_FORMAT_VERSION = 1
+
+
+def _size_model_to_obj(model: SizeModel) -> dict:
+    if isinstance(model, FixedSize):
+        return {"type": "fixed", "nbytes": model.nbytes}
+    if isinstance(model, EmpiricalSizes):
+        return {"type": "empirical", "sizes": list(model.sizes)}
+    if isinstance(model, UniformSizes):
+        return {"type": "uniform", "low": model.low, "high": model.high}
+    if isinstance(model, BlockSizes):
+        return {
+            "type": "block",
+            "total_bytes": model.total_bytes,
+            "block_bytes": model.block_bytes,
+        }
+    if isinstance(model, ZipfSizes):
+        return {
+            "type": "zipf",
+            "base_bytes": model.base_bytes,
+            "alpha": model.alpha,
+            "cap_multiple": model.cap_multiple,
+        }
+    raise ValueError(
+        f"cannot serialize size model of type {type(model).__name__}"
+    )
+
+
+def _size_model_from_obj(obj: dict) -> SizeModel:
+    kind = obj.get("type")
+    if kind == "fixed":
+        return FixedSize(float(obj["nbytes"]))
+    if kind == "empirical":
+        return EmpiricalSizes(tuple(float(s) for s in obj["sizes"]))
+    if kind == "uniform":
+        return UniformSizes(float(obj["low"]), float(obj["high"]))
+    if kind == "block":
+        return BlockSizes(float(obj["total_bytes"]), float(obj["block_bytes"]))
+    if kind == "zipf":
+        return ZipfSizes(
+            float(obj["base_bytes"]), float(obj["alpha"]), float(obj["cap_multiple"])
+        )
+    raise ValueError(f"unknown size model type {kind!r}")
+
+
+def spec_to_json(spec: StagedWorkflowSpec) -> str:
+    """Serialize a spec as deterministic JSON (sorted keys, 2-space)."""
+    payload = {
+        "format_version": _SPEC_FORMAT_VERSION,
+        "name": spec.name,
+        "templates": [
+            {
+                "executable": t.executable,
+                "count": t.count,
+                "mean_exec": t.mean_exec,
+                "cv": t.cv,
+                "size_model": _size_model_to_obj(t.size_model),
+                "output_fraction": t.output_fraction,
+                "linkage": t.linkage,
+                "size_dependence": t.size_dependence,
+            }
+            for t in spec.templates
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def spec_from_json(text: str) -> StagedWorkflowSpec:
+    """Parse a document produced by :func:`spec_to_json`."""
+    payload = json.loads(text)
+    version = payload.get("format_version")
+    if version != _SPEC_FORMAT_VERSION:
+        raise ValueError(f"unsupported spec format version {version!r}")
+    templates = tuple(
+        StageTemplate(
+            executable=t["executable"],
+            count=int(t["count"]),
+            mean_exec=float(t["mean_exec"]),
+            cv=float(t["cv"]),
+            size_model=_size_model_from_obj(t["size_model"]),
+            output_fraction=float(t["output_fraction"]),
+            linkage=t["linkage"],
+            size_dependence=float(t["size_dependence"]),
+        )
+        for t in payload["templates"]
+    )
+    return StagedWorkflowSpec(name=payload["name"], templates=templates)

@@ -1,0 +1,183 @@
+"""Central workload registry: one name space for every experiment axis.
+
+Every entry point that takes a workload name — ``repro run``,
+``compare``, ``analyze``, ``campaign``, ``robustness``, ``fleet``, the
+fleet workload catalog, and the experiment sweeps — resolves it here:
+
+- builtin Table I names (``genome-S`` ... ``pagerank-L``) resolve to
+  their :class:`~repro.workloads.StagedWorkflowSpec`;
+- ``montage-S``/``montage-L`` resolve to seed-taking generator
+  adapters;
+- ``zoo/<instance>`` names resolve to specs calibrated on demand from
+  the vendored WfCommons instances under ``repro/zoo/data/``
+  (:mod:`repro.zoo.calibrate`); calibration is cached per process.
+
+Unknown names raise :class:`UnknownWorkloadError`, whose message lists
+every available name — the CLI turns that into a clean exit instead of
+a traceback, and there is exactly one code path doing so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+
+from repro.dag.workflow import Workflow
+from repro.workloads import montage, table1_specs
+from repro.workloads.base import StagedWorkflowSpec
+from repro.zoo.calibrate import calibrate
+from repro.zoo.wfcommons import read_wfcommons_file
+
+__all__ = [
+    "GeneratorSpec",
+    "LazyZooSpec",
+    "UnknownWorkloadError",
+    "ZOO_PREFIX",
+    "available_workloads",
+    "calibrated_spec",
+    "load_instance",
+    "resolve_workload",
+    "workload_catalog",
+    "zoo_instance_names",
+    "zoo_instance_path",
+]
+
+#: registry prefix for calibrated zoo workloads: ``zoo/<instance>``
+ZOO_PREFIX = "zoo/"
+
+_DATA_DIR = Path(__file__).resolve().parent / "data"
+
+
+class UnknownWorkloadError(ValueError):
+    """An unrecognized workload name, listing what is available."""
+
+    def __init__(self, name: str) -> None:
+        self.workload = name
+        known = ", ".join(available_workloads())
+        super().__init__(f"unknown workload {name!r}; choose one of: {known}")
+
+
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """A named seed-taking workflow generator (duck-types ``generate``).
+
+    Wraps generator functions that are not
+    :class:`~repro.workloads.StagedWorkflowSpec` instances (montage's
+    direct DAG builder) behind the spec interface the experiment layers
+    expect. Frozen and picklable, so it crosses campaign/fleet worker
+    process boundaries.
+    """
+
+    name: str
+    scale: str
+
+    def generate(self, seed: int = 0) -> Workflow:
+        return montage(self.scale, seed=seed)
+
+    def __call__(self, seed: int = 0) -> Workflow:
+        return self.generate(seed)
+
+
+@dataclass(frozen=True)
+class LazyZooSpec:
+    """A zoo workload that calibrates on first generation.
+
+    Fleet catalogs carry one entry per registry name; resolving every
+    zoo instance eagerly at catalog construction would import and
+    calibrate workloads the run never submits. This wrapper defers to
+    the per-process :func:`calibrated_spec` cache at ``generate`` time.
+    Frozen and picklable (it carries only the instance name).
+    """
+
+    instance: str
+
+    @property
+    def name(self) -> str:
+        return ZOO_PREFIX + self.instance
+
+    def generate(self, seed: int = 0) -> Workflow:
+        return calibrated_spec(self.instance).generate(seed)
+
+    def __call__(self, seed: int = 0) -> Workflow:
+        return self.generate(seed)
+
+
+def zoo_instance_names() -> tuple[str, ...]:
+    """Sorted names of the vendored WfCommons instances."""
+    if not _DATA_DIR.is_dir():  # pragma: no cover - packaging error
+        return ()
+    return tuple(sorted(p.stem for p in _DATA_DIR.glob("*.json")))
+
+
+def zoo_instance_path(name: str) -> Path:
+    """Path of the vendored instance ``name`` (with or without prefix)."""
+    stem = name[len(ZOO_PREFIX):] if name.startswith(ZOO_PREFIX) else name
+    path = _DATA_DIR / f"{stem}.json"
+    if not path.is_file():
+        raise UnknownWorkloadError(name)
+    return path
+
+
+def load_instance(name: str) -> Workflow:
+    """Import the vendored instance ``name`` as a concrete workflow."""
+    return read_wfcommons_file(zoo_instance_path(name))
+
+
+@lru_cache(maxsize=None)
+def _calibrated_spec_cached(stem: str) -> StagedWorkflowSpec:
+    return calibrate(load_instance(stem), name=ZOO_PREFIX + stem).spec
+
+
+def calibrated_spec(name: str) -> StagedWorkflowSpec:
+    """The spec calibrated from instance ``name`` (cached per process).
+
+    ``name`` may carry the ``zoo/`` prefix or not; both forms hit the
+    same cache entry. Calibration is deterministic (no RNG), so the
+    cache can never go stale within a process and equal names yield
+    identical specs across processes.
+    """
+    stem = name[len(ZOO_PREFIX):] if name.startswith(ZOO_PREFIX) else name
+    return _calibrated_spec_cached(stem)
+
+
+def _builtin_catalog() -> dict[str, object]:
+    catalog: dict[str, object] = dict(table1_specs())
+    catalog["montage-S"] = GeneratorSpec("montage-S", "S")
+    catalog["montage-L"] = GeneratorSpec("montage-L", "L")
+    return catalog
+
+
+def available_workloads() -> tuple[str, ...]:
+    """Every resolvable workload name, sorted (builtin first, then zoo)."""
+    builtin = tuple(sorted(_builtin_catalog()))
+    zoo = tuple(ZOO_PREFIX + name for name in zoo_instance_names())
+    return builtin + zoo
+
+
+def resolve_workload(name: str):
+    """Resolve ``name`` to a workload with a ``generate(seed)`` method.
+
+    Builtin names return their spec; ``zoo/<instance>`` names return
+    the spec calibrated from the vendored instance. Raises
+    :class:`UnknownWorkloadError` (listing the available names) for
+    anything else.
+    """
+    builtin = _builtin_catalog()
+    if name in builtin:
+        return builtin[name]
+    if name.startswith(ZOO_PREFIX):
+        return calibrated_spec(name)
+    raise UnknownWorkloadError(name)
+
+
+def workload_catalog() -> dict[str, object]:
+    """Name -> workload mapping over the full registry (fleet catalogs).
+
+    Builtin entries resolve eagerly (plain specs); zoo entries are
+    :class:`LazyZooSpec` wrappers that calibrate on first use.
+    """
+    catalog = _builtin_catalog()
+    for name in zoo_instance_names():
+        catalog[ZOO_PREFIX + name] = LazyZooSpec(name)
+    return catalog

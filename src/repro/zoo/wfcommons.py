@@ -1,0 +1,209 @@
+"""WfCommons JSON importer.
+
+WfCommons (wfcommons.org) is the community archive of real workflow
+execution instances — Montage, Epigenomics, Cycles, Seismology, BLAST
+and dozens more — exchanged as JSON documents following the WfFormat
+schema. This module reads the subset needed to turn an instance into a
+:class:`~repro.dag.workflow.Workflow`: task ids, parent/child edges,
+measured runtimes, and per-task input/output bytes.
+
+Two schema layouts are supported:
+
+- the *flat* layout (WfFormat <= 1.3): ``workflow.tasks`` (or the
+  legacy ``workflow.jobs``) with per-task ``runtimeInSeconds`` (or
+  ``runtime``), ``parents``/``children``, and an inline ``files`` list
+  carrying ``link`` (``input``/``output``) and ``sizeInBytes``;
+- the *split* layout (WfFormat >= 1.4): ``workflow.specification.tasks``
+  with ``inputFiles``/``outputFiles`` referencing
+  ``workflow.specification.files`` by id, and runtimes in
+  ``workflow.execution.tasks``.
+
+Unknown fields are ignored (real instances carry machine specs,
+energy counters, command lines, ...). Structural errors — duplicate
+task ids, parent/child references to undeclared tasks, dependency
+cycles — raise :class:`ValueError` naming the offending task/ref, the
+same validation contract as :func:`repro.dag.dax.read_dax`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.dag.task import Task
+from repro.dag.workflow import CycleError, Workflow
+
+__all__ = ["read_wfcommons", "read_wfcommons_file"]
+
+#: trailing WfCommons instance counters stripped to recover the
+#: executable name: ``blastall_00003`` / ``mProject_ID0002`` -> base
+_COUNTER_SUFFIX = re.compile(r"(_ID\d+|_\d+)$")
+
+
+def read_wfcommons(text: str, *, default_runtime: float = 1.0) -> Workflow:
+    """Parse a WfCommons JSON document into a :class:`Workflow`.
+
+    Tasks without a recorded runtime get ``default_runtime`` seconds.
+    Raises :class:`ValueError` on documents that are not WfCommons
+    shaped, declare duplicate task ids, reference undeclared tasks in
+    ``parents``/``children``, or contain a dependency cycle.
+    """
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"not valid JSON: {exc}") from None
+    if not isinstance(doc, Mapping):
+        raise ValueError("not a WfCommons document: top level is not an object")
+    name = str(doc.get("name") or "wfcommons-workflow")
+    workflow_obj = doc.get("workflow")
+    if not isinstance(workflow_obj, Mapping):
+        raise ValueError(
+            f"not a WfCommons document: {name!r} has no 'workflow' object"
+        )
+
+    spec_obj = workflow_obj.get("specification")
+    if isinstance(spec_obj, Mapping):  # split layout (>= 1.4)
+        raw_tasks = spec_obj.get("tasks")
+        file_sizes = _file_size_index(name, spec_obj.get("files"))
+        runtimes = _execution_runtimes(workflow_obj.get("execution"))
+    else:  # flat layout (<= 1.3)
+        raw_tasks = workflow_obj.get("tasks", workflow_obj.get("jobs"))
+        file_sizes = {}
+        runtimes = {}
+    if not isinstance(raw_tasks, list) or not raw_tasks:
+        raise ValueError(
+            f"WfCommons document {name!r} declares no tasks"
+        )
+
+    tasks: list[Task] = []
+    edges: list[tuple[str, str]] = []
+    declared: dict[str, dict[str, Any]] = {}
+    for raw in raw_tasks:
+        if not isinstance(raw, Mapping):
+            raise ValueError(
+                f"WfCommons document {name!r}: task entry is not an object"
+            )
+        task_id = str(raw.get("id") or raw.get("name") or "")
+        if not task_id:
+            raise ValueError(
+                f"WfCommons document {name!r}: task without id or name"
+            )
+        if task_id in declared:
+            raise ValueError(
+                f"WfCommons document {name!r}: duplicate task id {task_id!r}"
+            )
+        declared[task_id] = dict(raw)
+        tasks.append(_parse_task(raw, task_id, file_sizes, runtimes, default_runtime))
+
+    for task_id, raw in declared.items():
+        for parent in raw.get("parents") or ():
+            parent_id = str(parent)
+            if parent_id not in declared:
+                raise ValueError(
+                    f"WfCommons document {name!r}: task {task_id!r} lists "
+                    f"parent {parent_id!r}, which is not declared"
+                )
+            edges.append((parent_id, task_id))
+        for child in raw.get("children") or ():
+            child_id = str(child)
+            if child_id not in declared:
+                raise ValueError(
+                    f"WfCommons document {name!r}: task {task_id!r} lists "
+                    f"child {child_id!r}, which is not declared"
+                )
+            edges.append((task_id, child_id))
+
+    try:
+        return Workflow(name, tasks, edges)
+    except CycleError as exc:
+        raise CycleError(
+            f"WfCommons document {name!r} is not acyclic: {exc}"
+        ) from None
+
+
+def read_wfcommons_file(
+    path: str | Path, *, default_runtime: float = 1.0
+) -> Workflow:
+    """Read a WfCommons JSON instance from ``path``."""
+    return read_wfcommons(
+        Path(path).read_text(encoding="utf-8"), default_runtime=default_runtime
+    )
+
+
+def _executable(raw: Mapping[str, Any], task_id: str) -> str:
+    """Executable name: ``category`` if present, else the de-numbered id."""
+    category = raw.get("category")
+    if category:
+        return str(category)
+    base = _COUNTER_SUFFIX.sub("", str(raw.get("name") or task_id))
+    return base or task_id
+
+
+def _file_size_index(name: str, raw_files: Any) -> dict[str, float]:
+    """Map file id -> bytes for the split layout's specification.files."""
+    sizes: dict[str, float] = {}
+    for raw in raw_files or ():
+        if not isinstance(raw, Mapping):
+            continue
+        file_id = str(raw.get("id") or raw.get("name") or "")
+        if not file_id:
+            raise ValueError(
+                f"WfCommons document {name!r}: file entry without id"
+            )
+        sizes[file_id] = float(raw.get("sizeInBytes", raw.get("size", 0.0)) or 0.0)
+    return sizes
+
+
+def _execution_runtimes(execution: Any) -> dict[str, float]:
+    """Map task id -> measured runtime from the split layout's execution."""
+    runtimes: dict[str, float] = {}
+    if not isinstance(execution, Mapping):
+        return runtimes
+    for raw in execution.get("tasks") or ():
+        if not isinstance(raw, Mapping):
+            continue
+        task_id = str(raw.get("id") or raw.get("name") or "")
+        runtime = raw.get("runtimeInSeconds", raw.get("runtime"))
+        if task_id and runtime is not None:
+            runtimes[task_id] = float(runtime)
+    return runtimes
+
+
+def _parse_task(
+    raw: Mapping[str, Any],
+    task_id: str,
+    file_sizes: Mapping[str, float],
+    runtimes: Mapping[str, float],
+    default_runtime: float,
+) -> Task:
+    runtime = raw.get("runtimeInSeconds", raw.get("runtime"))
+    if runtime is None:
+        runtime = runtimes.get(task_id, default_runtime)
+
+    input_size = 0.0
+    output_size = 0.0
+    for raw_file in raw.get("files") or ():  # flat layout: inline files
+        if not isinstance(raw_file, Mapping):
+            continue
+        size = float(
+            raw_file.get("sizeInBytes", raw_file.get("size", 0.0)) or 0.0
+        )
+        link = raw_file.get("link", "")
+        if link == "input":
+            input_size += size
+        elif link == "output":
+            output_size += size
+    for file_id in raw.get("inputFiles") or ():  # split layout: by reference
+        input_size += file_sizes.get(str(file_id), 0.0)
+    for file_id in raw.get("outputFiles") or ():
+        output_size += file_sizes.get(str(file_id), 0.0)
+
+    return Task(
+        task_id=task_id,
+        executable=_executable(raw, task_id),
+        runtime=float(runtime),
+        input_size=input_size,
+        output_size=output_size,
+    )

@@ -68,6 +68,43 @@ class TestRead:
         with pytest.raises(ValueError, match="without ref"):
             read_dax(bad)
 
+    def test_parent_without_ref_names_the_child(self):
+        bad = SAMPLE_DAX.replace('<parent ref="ID0000001"/>', "<parent/>", 1)
+        with pytest.raises(
+            ValueError, match="under <child ref='ID0000002'> without ref"
+        ):
+            read_dax(bad)
+
+    def test_dangling_child_ref_names_the_job(self):
+        bad = SAMPLE_DAX.replace(
+            '<child ref="ID0000002">', '<child ref="ID9999999">'
+        )
+        with pytest.raises(
+            ValueError,
+            match="<child ref='ID9999999'> references a job that is not declared",
+        ):
+            read_dax(bad)
+
+    def test_dangling_parent_ref_names_parent_and_child(self):
+        bad = SAMPLE_DAX.replace(
+            '<parent ref="ID0000001"/>', '<parent ref="ID8888888"/>', 1
+        )
+        with pytest.raises(
+            ValueError,
+            match="<parent ref='ID8888888'> under <child ref='ID0000002'>",
+        ):
+            read_dax(bad)
+
+    def test_cycle_names_the_document(self):
+        from repro.dag.workflow import CycleError
+
+        cyclic = SAMPLE_DAX.replace(
+            "</adag>",
+            '<child ref="ID0000001"><parent ref="ID0000002"/></child></adag>',
+        )
+        with pytest.raises(CycleError, match="'sample' is not acyclic"):
+            read_dax(cyclic)
+
 
 class TestRoundTrip:
     def test_simple_round_trip(self, two_stage):

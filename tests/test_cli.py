@@ -326,3 +326,85 @@ class TestValidateCommand:
         assert args.seeds == 2
         assert args.kind == "all"
         assert not args.quick and not args.shallow
+
+
+class TestZooCommands:
+    def test_zoo_list(self, capsys):
+        assert main(["zoo", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "zoo/montage-small" in out
+        assert "builtin workloads:" in out and "tpch6-S" in out
+
+    def test_zoo_describe(self, capsys):
+        assert main(["zoo", "describe", "montage-small"]) == 0
+        out = capsys.readouterr().out
+        assert "per-stage trace statistics" in out
+        assert "mProject" in out
+
+    def test_zoo_describe_unknown_exits(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["zoo", "describe", "not-an-instance"])
+
+    def test_zoo_import_file(self, capsys, tmp_path):
+        from repro.zoo.registry import zoo_instance_path
+
+        dax_out = tmp_path / "out.dax"
+        assert main([
+            "zoo", "import", str(zoo_instance_path("blast-small")),
+            "--dax", str(dax_out),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "imported 'blast-small'" in out
+        assert dax_out.exists()
+
+    def test_zoo_import_rejects_broken_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"workflow": {"tasks": []}}', encoding="utf-8")
+        with pytest.raises(SystemExit, match="declares no tasks"):
+            main(["zoo", "import", str(bad)])
+
+    def test_zoo_calibrate_report(self, capsys):
+        assert main(["zoo", "calibrate", "montage-small", "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "calibration of montage-small" in out
+        assert "max relative error" in out
+
+    def test_zoo_calibrate_out_and_scale(self, capsys, tmp_path):
+        from repro.zoo import spec_from_json
+
+        spec_path = tmp_path / "spec.json"
+        assert main([
+            "zoo", "calibrate", "seismology-small",
+            "--scale", "2", "--out", str(spec_path),
+        ]) == 0
+        spec = spec_from_json(spec_path.read_text(encoding="utf-8"))
+        assert spec.name.endswith("-x2")
+
+    def test_run_zoo_workload(self, capsys):
+        assert main(["run", "zoo/seismology-small", "--validate"]) == 0
+        assert "zoo/seismology-small" in capsys.readouterr().out
+
+    def test_unknown_workload_lists_zoo_names(self):
+        with pytest.raises(SystemExit, match="zoo/montage-small"):
+            main(["run", "definitely-not-real"])
+
+    def test_fleet_rejects_unknown_workload_cleanly(self):
+        with pytest.raises(SystemExit, match="choose one of"):
+            main(["fleet", "--n", "2", "--workloads", "zoo/nope"])
+
+    def test_fleet_runs_zoo_workload(self, capsys):
+        assert main([
+            "fleet", "--n", "2", "--workloads", "zoo/seismology-small",
+            "--validate",
+        ]) == 0
+        assert "zoo/seismology-small" in capsys.readouterr().out
+
+    def test_campaign_with_zoo_workload_and_validate(self, capsys, tmp_path):
+        store = tmp_path / "campaign.json"
+        assert main([
+            "campaign", "--store", str(store),
+            "--workloads", "zoo/seismology-small",
+            "--policies", "wire", "--charging-units", "60", "--validate",
+        ]) == 0
+        assert "2 cells" not in capsys.readouterr().out  # 1 cell matrix
+        assert store.exists()

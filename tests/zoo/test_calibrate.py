@@ -1,0 +1,186 @@
+"""Tests for trace calibration and spec serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dag.task import Task
+from repro.dag.workflow import Workflow
+from repro.workloads.base import EmpiricalSizes, FixedSize
+from repro.zoo import (
+    calibrate,
+    load_instance,
+    render_calibration,
+    scale_spec,
+    spec_from_json,
+    spec_to_json,
+    zoo_instance_names,
+)
+
+
+def chain_workflow(stage_tasks):
+    """Build a stage-barrier chain from [(executable, [(runtime, size)...])]."""
+    tasks, edges = [], []
+    previous: list[str] = []
+    for executable, samples in stage_tasks:
+        ids = []
+        for index, (runtime, size) in enumerate(samples):
+            task_id = f"{executable}_{index}"
+            ids.append(task_id)
+            tasks.append(
+                Task(
+                    task_id=task_id,
+                    executable=executable,
+                    runtime=runtime,
+                    input_size=size,
+                    output_size=size / 2,
+                )
+            )
+            edges.extend((parent, task_id) for parent in previous)
+        previous = ids
+    return Workflow("chain", tasks, edges)
+
+
+class TestMomentMatching:
+    @pytest.mark.parametrize("name", zoo_instance_names())
+    def test_vendored_instances_fit_exactly(self, name):
+        result = calibrate(load_instance(name))
+        assert result.max_mean_rel_err < 1e-9
+        assert result.max_cv_rel_err < 1e-9
+
+    def test_model_stats_match_sample_moments(self):
+        rng = np.random.default_rng(7)
+        sizes = rng.lognormal(10, 0.4, size=40)
+        runtimes = 5.0 * (0.3 + 0.7 * sizes / sizes.mean()) * rng.lognormal(
+            -0.02, 0.2, size=40
+        )
+        wf = chain_workflow([("stage", list(zip(runtimes, sizes)))])
+        fit = calibrate(wf).stages[0]
+        assert fit.model_mean == pytest.approx(float(runtimes.mean()))
+        assert fit.model_cv == pytest.approx(
+            float(runtimes.std() / runtimes.mean())
+        )
+        assert 0.0 <= fit.size_dependence <= 1.0
+
+    def test_degenerate_single_task_stage(self):
+        wf = chain_workflow([("solo", [(4.0, 100.0)])])
+        result = calibrate(wf)
+        fit = result.stages[0]
+        assert fit.noise_cv == 0.0
+        assert fit.size_dependence == 0.0
+        template = result.spec.templates[0]
+        assert isinstance(template.size_model, FixedSize)
+
+    def test_empirical_sizes_kept_verbatim(self):
+        wf = chain_workflow([("s", [(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)])])
+        model = calibrate(wf).spec.templates[0].size_model
+        assert isinstance(model, EmpiricalSizes)
+        assert model.sizes == (10.0, 20.0, 30.0)
+
+    def test_generated_workflow_has_source_shape(self):
+        wf = load_instance("epigenomics-small")
+        generated = calibrate(wf).spec.generate(3)
+        assert [(s.executable, s.size) for s in generated.stages] == [
+            (s.executable, s.size) for s in wf.stages
+        ]
+
+
+class TestLinkageInference:
+    def test_one_to_one(self):
+        tasks = [
+            Task(f"a_{i}", "a", 1.0, 10.0, 5.0) for i in range(4)
+        ] + [Task(f"b_{i}", "b", 2.0, 10.0, 5.0) for i in range(4)]
+        edges = [(f"a_{i}", f"b_{i}") for i in range(4)]
+        wf = Workflow("pipe", tasks, edges)
+        assert calibrate(wf).stages[1].linkage == "one_to_one"
+
+    def test_block(self):
+        tasks = [
+            Task(f"a_{i}", "a", 1.0, 10.0, 5.0) for i in range(5)
+        ] + [Task(f"b_{i}", "b", 2.0, 10.0, 5.0) for i in range(2)]
+        edges = [("a_0", "b_0"), ("a_1", "b_0"), ("a_2", "b_0"),
+                 ("a_3", "b_1"), ("a_4", "b_1")]
+        wf = Workflow("merge", tasks, edges)
+        assert calibrate(wf).stages[1].linkage == "block"
+
+    def test_barrier_is_all(self):
+        wf = chain_workflow(
+            [("a", [(1.0, 10.0)] * 3), ("b", [(2.0, 10.0)] * 2)]
+        )
+        assert calibrate(wf).stages[1].linkage == "all"
+
+    def test_overlapping_parents_fall_back_to_all(self):
+        tasks = [
+            Task(f"a_{i}", "a", 1.0, 10.0, 5.0) for i in range(3)
+        ] + [Task(f"b_{i}", "b", 2.0, 10.0, 5.0) for i in range(3)]
+        edges = [("a_0", "b_0"), ("a_1", "b_0"), ("a_1", "b_1"),
+                 ("a_2", "b_1"), ("a_2", "b_2"), ("a_0", "b_2")]
+        wf = Workflow("pairs", tasks, edges)
+        assert calibrate(wf).stages[1].linkage == "all"
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", zoo_instance_names())
+    def test_calibrate_twice_is_byte_identical(self, name):
+        first = spec_to_json(calibrate(load_instance(name)).spec)
+        second = spec_to_json(calibrate(load_instance(name)).spec)
+        assert first == second
+
+    def test_spec_json_round_trip(self):
+        spec = calibrate(load_instance("montage-small")).spec
+        text = spec_to_json(spec)
+        again = spec_from_json(text)
+        assert again == spec
+        assert spec_to_json(again) == text
+
+    def test_round_tripped_spec_generates_identically(self):
+        spec = calibrate(load_instance("blast-small")).spec
+        again = spec_from_json(spec_to_json(spec))
+        a, b = spec.generate(5), again.generate(5)
+        assert a.tasks == b.tasks
+
+    def test_spec_json_rejects_unknown_version(self):
+        with pytest.raises(ValueError, match="format version"):
+            spec_from_json('{"format_version": 99}')
+
+
+class TestScaleSpec:
+    def test_counts_scale(self):
+        spec = calibrate(load_instance("seismology-small")).spec
+        doubled = scale_spec(spec, 2.0)
+        assert doubled.name == spec.name + "-x2"
+        for before, after in zip(spec.templates, doubled.templates):
+            assert after.count == max(1, round(before.count * 2.0))
+        # scaled specs still generate
+        assert len(doubled.generate(0)) == sum(
+            t.count for t in doubled.templates
+        )
+
+    def test_one_to_one_falls_back_to_block_when_indivisible(self):
+        from repro.workloads.base import StagedWorkflowSpec, StageTemplate
+
+        spec = StagedWorkflowSpec(
+            name="pipe",
+            templates=(
+                StageTemplate("a", 4, 1.0, 0.0, FixedSize(10.0)),
+                StageTemplate(
+                    "b", 2, 1.0, 0.0, FixedSize(10.0), linkage="one_to_one"
+                ),
+            ),
+        )
+        scaled = scale_spec(spec, 0.75)  # counts 3 and 2: 3 % 2 != 0
+        assert scaled.templates[1].linkage == "block"
+        assert len(scaled.generate(0)) == sum(t.count for t in scaled.templates)
+
+    def test_rejects_non_positive_factor(self):
+        spec = calibrate(load_instance("blast-small")).spec
+        with pytest.raises(ValueError, match="scale factor"):
+            scale_spec(spec, 0.0)
+
+
+def test_render_calibration_mentions_every_stage():
+    result = calibrate(load_instance("montage-small"))
+    text = render_calibration(result)
+    for fit in result.stages:
+        assert fit.stage_id in text

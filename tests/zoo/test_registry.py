@@ -1,0 +1,103 @@
+"""Tests for the central workload registry."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.dag.workflow import Workflow
+from repro.workloads.base import StagedWorkflowSpec
+from repro.zoo import (
+    UnknownWorkloadError,
+    available_workloads,
+    calibrated_spec,
+    resolve_workload,
+    workload_catalog,
+    zoo_instance_names,
+)
+from repro.zoo.registry import ZOO_PREFIX, GeneratorSpec, LazyZooSpec
+
+
+class TestAvailableWorkloads:
+    def test_contains_builtin_and_zoo_names(self):
+        names = available_workloads()
+        assert "tpch6-S" in names
+        assert "montage-S" in names
+        for instance in zoo_instance_names():
+            assert ZOO_PREFIX + instance in names
+
+    def test_sorted_within_groups(self):
+        names = available_workloads()
+        builtin = [n for n in names if not n.startswith(ZOO_PREFIX)]
+        zoo = [n for n in names if n.startswith(ZOO_PREFIX)]
+        assert builtin == sorted(builtin)
+        assert zoo == sorted(zoo)
+        # builtin block comes first
+        assert names == tuple(builtin + zoo)
+
+
+class TestResolveWorkload:
+    def test_builtin_resolves_to_spec(self):
+        spec = resolve_workload("genome-S")
+        assert isinstance(spec, StagedWorkflowSpec)
+        assert isinstance(spec.generate(0), Workflow)
+
+    def test_montage_resolves_to_generator(self):
+        gen = resolve_workload("montage-S")
+        assert isinstance(gen, GeneratorSpec)
+        wf = gen.generate(1)
+        assert isinstance(wf, Workflow)
+
+    def test_zoo_name_resolves_to_calibrated_spec(self):
+        name = ZOO_PREFIX + zoo_instance_names()[0]
+        spec = resolve_workload(name)
+        assert isinstance(spec, StagedWorkflowSpec)
+        assert spec.name == name
+
+    def test_zoo_resolution_is_cached(self):
+        name = zoo_instance_names()[0]
+        assert calibrated_spec(name) is calibrated_spec(name)
+        assert resolve_workload(ZOO_PREFIX + name) is calibrated_spec(name)
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(UnknownWorkloadError) as excinfo:
+            resolve_workload("no-such-thing")
+        message = str(excinfo.value)
+        assert "no-such-thing" in message
+        assert "tpch6-S" in message
+        assert ZOO_PREFIX + zoo_instance_names()[0] in message
+
+    def test_unknown_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            resolve_workload("zoo/not-vendored")
+
+
+class TestCatalog:
+    def test_every_registry_name_is_in_the_catalog(self):
+        catalog = workload_catalog()
+        assert set(catalog) == set(available_workloads())
+
+    def test_zoo_entries_are_lazy(self):
+        catalog = workload_catalog()
+        name = zoo_instance_names()[0]
+        entry = catalog[ZOO_PREFIX + name]
+        assert isinstance(entry, LazyZooSpec)
+        assert entry.name == ZOO_PREFIX + name
+        wf = entry.generate(2)
+        assert wf.tasks == calibrated_spec(name).generate(2).tasks
+
+    def test_catalog_entries_are_picklable(self):
+        catalog = workload_catalog()
+        for entry in catalog.values():
+            pickle.dumps(entry)
+        # spot-check that a pickled clone generates identically
+        for name in ("tpch6-S", "montage-S", ZOO_PREFIX + zoo_instance_names()[0]):
+            entry = catalog[name]
+            clone = pickle.loads(pickle.dumps(entry))
+            assert clone.generate(0).tasks == entry.generate(0).tasks
+
+    def test_fleet_catalog_delegates_to_registry(self):
+        from repro.fleet.harness import fleet_workload_catalog
+
+        assert set(fleet_workload_catalog()) == set(available_workloads())

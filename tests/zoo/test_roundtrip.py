@@ -1,0 +1,63 @@
+"""Round-trip every zoo instance through both exchange formats.
+
+The zoo's imported workflows must be first-class citizens of the DAG
+layer: surviving ``repro.dag.serialize`` (native JSON, lossless) and
+``repro.dag.dax`` (Pegasus XML) with ids, edges, executables, runtimes,
+and sizes intact — same contract the builtin workload generators meet in
+``tests/dag/test_roundtrip_workloads.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.dax import read_dax, write_dax
+from repro.dag.serialize import workflow_from_json, workflow_to_json
+from repro.zoo import load_instance, zoo_instance_names
+
+
+def assert_same_structure(again, original):
+    """Format-independent structural equality: ids, edges, task fields."""
+    assert set(again.tasks) == set(original.tasks)
+    for task_id, task in original.tasks.items():
+        back = again.task(task_id)
+        assert back.executable == task.executable
+        assert back.runtime == pytest.approx(task.runtime)
+        assert back.input_size == pytest.approx(task.input_size)
+        assert back.output_size == pytest.approx(task.output_size)
+        assert again.parents(task_id) == original.parents(task_id)
+        assert again.children(task_id) == original.children(task_id)
+    assert again.roots == original.roots
+
+
+@pytest.mark.parametrize("name", zoo_instance_names())
+class TestZooRoundTrip:
+    def test_json_round_trip(self, name):
+        original = load_instance(name)
+        again = workflow_from_json(workflow_to_json(original))
+        assert again.name == original.name
+        assert_same_structure(again, original)
+        for task_id, task in original.tasks.items():
+            assert again.task(task_id) == task
+        assert {
+            stage.stage_id: tuple(stage.task_ids) for stage in again.stages
+        } == {
+            stage.stage_id: tuple(stage.task_ids) for stage in original.stages
+        }
+
+    def test_json_round_trip_is_stable(self, name):
+        original = load_instance(name)
+        text = workflow_to_json(original)
+        assert workflow_to_json(workflow_from_json(text)) == text
+
+    def test_dax_round_trip(self, name):
+        original = load_instance(name)
+        again = read_dax(write_dax(original))
+        assert again.name == original.name
+        assert_same_structure(again, original)
+
+    def test_import_is_deterministic(self, name):
+        """Two imports of the same file are byte-identically serializable."""
+        assert workflow_to_json(load_instance(name)) == workflow_to_json(
+            load_instance(name)
+        )

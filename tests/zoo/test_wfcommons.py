@@ -1,0 +1,233 @@
+"""Tests for the WfCommons JSON importer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dag.workflow import CycleError
+from repro.zoo import load_instance, read_wfcommons, zoo_instance_names
+from repro.zoo.registry import zoo_instance_path
+
+FLAT_DOC = {
+    "name": "tiny",
+    "schemaVersion": "1.3",
+    "workflow": {
+        "tasks": [
+            {
+                "name": "split_00000",
+                "id": "split_00000",
+                "category": "split",
+                "runtimeInSeconds": 2.5,
+                "parents": [],
+                "files": [
+                    {"name": "a.in", "link": "input", "sizeInBytes": 100.0},
+                    {"name": "a.out", "link": "output", "sizeInBytes": 40.0},
+                ],
+            },
+            {
+                "name": "work_00000",
+                "id": "work_00000",
+                "category": "work",
+                "runtimeInSeconds": 7.0,
+                "parents": ["split_00000"],
+                "files": [
+                    {"name": "b1.in", "link": "input", "sizeInBytes": 20.0},
+                    {"name": "b2.in", "link": "input", "sizeInBytes": 20.0},
+                    {"name": "b.out", "link": "output", "sizeInBytes": 10.0},
+                ],
+            },
+        ]
+    },
+}
+
+SPLIT_DOC = {
+    "name": "tiny-split",
+    "schemaVersion": "1.4",
+    "workflow": {
+        "specification": {
+            "tasks": [
+                {
+                    "name": "first",
+                    "id": "first",
+                    "parents": [],
+                    "children": ["second"],
+                    "inputFiles": ["f.in"],
+                    "outputFiles": ["f.out"],
+                },
+                {
+                    "name": "second",
+                    "id": "second",
+                    "parents": ["first"],
+                    "children": [],
+                    "inputFiles": ["f.out"],
+                    "outputFiles": [],
+                },
+            ],
+            "files": [
+                {"id": "f.in", "sizeInBytes": 64.0},
+                {"id": "f.out", "sizeInBytes": 32.0},
+            ],
+        },
+        "execution": {
+            "tasks": [
+                {"id": "first", "runtimeInSeconds": 3.0},
+                {"id": "second", "runtimeInSeconds": 9.0},
+            ]
+        },
+    },
+}
+
+
+def doc(**overrides) -> str:
+    merged = json.loads(json.dumps(FLAT_DOC))
+    merged.update(overrides)
+    return json.dumps(merged)
+
+
+class TestFlatLayout:
+    def test_parses_tasks_edges_and_sizes(self):
+        wf = read_wfcommons(json.dumps(FLAT_DOC))
+        assert wf.name == "tiny"
+        assert set(wf.tasks) == {"split_00000", "work_00000"}
+        assert wf.parents("work_00000") == {"split_00000"}
+        split = wf.task("split_00000")
+        assert split.executable == "split"
+        assert split.runtime == 2.5
+        assert split.input_size == 100.0
+        assert split.output_size == 40.0
+        # multiple input files sum
+        assert wf.task("work_00000").input_size == 40.0
+
+    def test_legacy_jobs_key_and_runtime_key(self):
+        text = json.dumps(
+            {
+                "name": "legacy",
+                "workflow": {
+                    "jobs": [
+                        {"name": "solo_ID0001", "runtime": 4.0, "parents": []}
+                    ]
+                },
+            }
+        )
+        wf = read_wfcommons(text)
+        task = wf.task("solo_ID0001")
+        assert task.runtime == 4.0
+        # executable from the de-numbered name when category is absent
+        assert task.executable == "solo"
+
+    def test_default_runtime(self):
+        text = json.dumps(
+            {"workflow": {"tasks": [{"name": "t", "parents": []}]}}
+        )
+        assert read_wfcommons(text, default_runtime=6.5).task("t").runtime == 6.5
+
+
+class TestSplitLayout:
+    def test_parses_specification_and_execution(self):
+        wf = read_wfcommons(json.dumps(SPLIT_DOC))
+        first = wf.task("first")
+        assert first.runtime == 3.0
+        assert first.input_size == 64.0
+        assert first.output_size == 32.0
+        second = wf.task("second")
+        assert second.runtime == 9.0
+        assert second.input_size == 32.0
+        # children edges deduplicate against parents edges
+        assert wf.parents("second") == {"first"}
+
+    def test_missing_execution_falls_back_to_default(self):
+        trimmed = json.loads(json.dumps(SPLIT_DOC))
+        del trimmed["workflow"]["execution"]
+        wf = read_wfcommons(json.dumps(trimmed), default_runtime=1.0)
+        assert wf.task("first").runtime == 1.0
+
+
+class TestValidation:
+    def test_rejects_bad_json(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_wfcommons("{nope")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="top level is not an object"):
+            read_wfcommons("[1, 2]")
+
+    def test_rejects_missing_workflow(self):
+        with pytest.raises(ValueError, match="no 'workflow' object"):
+            read_wfcommons(json.dumps({"name": "empty"}))
+
+    def test_rejects_no_tasks(self):
+        with pytest.raises(ValueError, match="declares no tasks"):
+            read_wfcommons(json.dumps({"name": "x", "workflow": {"tasks": []}}))
+
+    def test_rejects_task_without_id(self):
+        text = json.dumps({"workflow": {"tasks": [{"runtimeInSeconds": 1.0}]}})
+        with pytest.raises(ValueError, match="task without id or name"):
+            read_wfcommons(text)
+
+    def test_rejects_duplicate_ids(self):
+        text = json.dumps(
+            {
+                "workflow": {
+                    "tasks": [
+                        {"name": "twin", "parents": []},
+                        {"name": "twin", "parents": []},
+                    ]
+                }
+            }
+        )
+        with pytest.raises(ValueError, match="duplicate task id 'twin'"):
+            read_wfcommons(text)
+
+    def test_dangling_parent_names_task_and_ref(self):
+        bad = json.loads(json.dumps(FLAT_DOC))
+        bad["workflow"]["tasks"][1]["parents"] = ["ghost"]
+        with pytest.raises(
+            ValueError,
+            match="task 'work_00000' lists parent 'ghost', which is not declared",
+        ):
+            read_wfcommons(json.dumps(bad))
+
+    def test_dangling_child_names_task_and_ref(self):
+        bad = json.loads(json.dumps(FLAT_DOC))
+        bad["workflow"]["tasks"][0]["children"] = ["phantom"]
+        with pytest.raises(
+            ValueError,
+            match="task 'split_00000' lists child 'phantom', which is not declared",
+        ):
+            read_wfcommons(json.dumps(bad))
+
+    def test_cycle_names_the_document(self):
+        bad = json.loads(json.dumps(FLAT_DOC))
+        bad["workflow"]["tasks"][0]["parents"] = ["work_00000"]
+        with pytest.raises(CycleError, match="'tiny' is not acyclic"):
+            read_wfcommons(json.dumps(bad))
+
+
+class TestVendoredInstances:
+    def test_all_instances_import(self):
+        names = zoo_instance_names()
+        assert len(names) >= 3
+        for name in names:
+            wf = load_instance(name)
+            assert len(wf) > 0
+            assert len(wf.stages) >= 2
+
+    def test_both_layouts_are_vendored(self):
+        layouts = set()
+        for name in zoo_instance_names():
+            payload = json.loads(
+                zoo_instance_path(name).read_text(encoding="utf-8")
+            )
+            layouts.add(
+                "split" if "specification" in payload["workflow"] else "flat"
+            )
+        assert layouts == {"flat", "split"}
+
+    def test_runtimes_and_sizes_are_positive(self):
+        for name in zoo_instance_names():
+            wf = load_instance(name)
+            for task in wf.tasks.values():
+                assert task.runtime > 0
+                assert task.input_size > 0

@@ -1,0 +1,297 @@
+#!/usr/bin/env python3
+"""Regenerate the vendored WfCommons instances in ``src/repro/zoo/data/``.
+
+The zoo vendors five small workflow instances whose shapes follow the
+published WfCommons/Pegasus applications (Montage, Epigenomics, Cycles,
+Seismology, BLAST). Each instance is synthesized from the same
+generative family the calibration harness fits — per-stage mean
+runtimes, multiplicative lognormal skew, and a size-dependent runtime
+component — with fixed seeds, so the files are deterministic and the
+calibration bench (``benchmarks/bench_zoo_calibration.py``) exercises a
+genuine round trip: trace -> fitted spec -> matching statistics.
+
+Four instances use the flat WfFormat <= 1.3 layout (inline per-task
+``files``); BLAST uses the split >= 1.4 layout
+(``specification``/``execution``) so both importer paths stay covered.
+
+Run from the repo root::
+
+    python tools/gen_zoo_instances.py
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+DATA_DIR = Path(__file__).resolve().parent.parent / "src" / "repro" / "zoo" / "data"
+
+MiB = float(1 << 20)
+
+
+@dataclass(frozen=True)
+class StageDef:
+    """One stage of a synthesized instance."""
+
+    executable: str
+    count: int
+    mean_exec: float
+    cv: float
+    mean_input: float
+    size_cv: float = 0.3
+    size_dependence: float = 0.7
+    output_fraction: float = 1.0
+    #: dependency pattern to the previous stage:
+    #: all / one_to_one / block / pairs
+    linkage: str = "all"
+
+
+@dataclass(frozen=True)
+class InstanceDef:
+    name: str
+    seed: int
+    stages: tuple[StageDef, ...]
+    layout: str = "flat"  # "flat" (<= 1.3) or "split" (>= 1.4)
+    field_order: tuple[str, ...] = field(default=())
+
+
+def _parent_ids(stage: StageDef, ids: list[str], previous: list[str]) -> list[list[str]]:
+    if not previous or stage.linkage == "all":
+        return [list(previous)] * stage.count
+    if stage.linkage == "pairs":
+        # Each task depends on two cyclically-adjacent predecessors —
+        # Montage's mDiffFit pattern (one fit per overlapping image pair).
+        return [
+            sorted({previous[i % len(previous)], previous[(i + 1) % len(previous)]})
+            for i in range(stage.count)
+        ]
+    if stage.linkage == "one_to_one":
+        if len(previous) % stage.count != 0:
+            raise ValueError(
+                f"{stage.executable}: one_to_one needs divisible counts"
+            )
+        share = len(previous) // stage.count
+        return [previous[i * share : (i + 1) * share] for i in range(stage.count)]
+    # block: contiguous partition, remainder spread over the front
+    share, extra = divmod(len(previous), stage.count)
+    sets, cursor = [], 0
+    for i in range(stage.count):
+        take = share + (1 if i < extra else 0)
+        sets.append(previous[cursor : cursor + take])
+        cursor += take
+    return sets
+
+
+def _realize(instance: InstanceDef):
+    """Realize tasks: ids, parents, sizes, runtimes — the trace content."""
+    rng = np.random.default_rng(instance.seed)
+    tasks = []
+    previous: list[str] = []
+    for index, stage in enumerate(instance.stages):
+        ids = [f"{stage.executable}_{i:05d}" for i in range(stage.count)]
+        if stage.size_cv > 0:
+            sigma2 = math.log1p(stage.size_cv**2)
+            sizes = stage.mean_input * rng.lognormal(
+                mean=-0.5 * sigma2, sigma=math.sqrt(sigma2), size=stage.count
+            )
+        else:
+            sizes = np.full(stage.count, stage.mean_input)
+        mean_size = float(sizes.mean())
+        scale = (
+            1.0
+            - stage.size_dependence
+            + stage.size_dependence * sizes / mean_size
+        )
+        if stage.cv > 0:
+            sigma2 = math.log1p(stage.cv**2)
+            noise = rng.lognormal(
+                mean=-0.5 * sigma2, sigma=math.sqrt(sigma2), size=stage.count
+            )
+        else:
+            noise = np.ones(stage.count)
+        runtimes = np.maximum(stage.mean_exec * scale * noise, 0.05)
+        parents = _parent_ids(stage, ids, previous)
+        for i, task_id in enumerate(ids):
+            tasks.append(
+                {
+                    "id": task_id,
+                    "executable": stage.executable,
+                    "runtime": round(float(runtimes[i]), 3),
+                    "input": round(float(sizes[i]), 0),
+                    "output": round(float(sizes[i]) * stage.output_fraction, 0),
+                    "parents": parents[i],
+                }
+            )
+        previous = ids
+    return tasks
+
+
+def _flat_document(instance: InstanceDef, tasks) -> dict:
+    return {
+        "name": instance.name,
+        "schemaVersion": "1.3",
+        "author": {"name": "repro zoo generator", "email": "zoo@localhost"},
+        "workflow": {
+            "makespanInSeconds": round(sum(t["runtime"] for t in tasks), 3),
+            "tasks": [
+                {
+                    "name": t["id"],
+                    "id": t["id"],
+                    "category": t["executable"],
+                    "type": "compute",
+                    "runtimeInSeconds": t["runtime"],
+                    "parents": t["parents"],
+                    "files": [
+                        {
+                            "name": f"{t['id']}.in",
+                            "link": "input",
+                            "sizeInBytes": t["input"],
+                        },
+                        {
+                            "name": f"{t['id']}.out",
+                            "link": "output",
+                            "sizeInBytes": t["output"],
+                        },
+                    ],
+                }
+                for t in tasks
+            ],
+        },
+    }
+
+
+def _split_document(instance: InstanceDef, tasks) -> dict:
+    children: dict[str, list[str]] = {t["id"]: [] for t in tasks}
+    for t in tasks:
+        for parent in t["parents"]:
+            children[parent].append(t["id"])
+    files = []
+    for t in tasks:
+        files.append({"id": f"{t['id']}.in", "sizeInBytes": t["input"]})
+        files.append({"id": f"{t['id']}.out", "sizeInBytes": t["output"]})
+    return {
+        "name": instance.name,
+        "schemaVersion": "1.4",
+        "author": {"name": "repro zoo generator", "email": "zoo@localhost"},
+        "workflow": {
+            "specification": {
+                "tasks": [
+                    {
+                        "name": t["id"],
+                        "id": t["id"],
+                        "category": t["executable"],
+                        "parents": t["parents"],
+                        "children": children[t["id"]],
+                        "inputFiles": [f"{t['id']}.in"],
+                        "outputFiles": [f"{t['id']}.out"],
+                    }
+                    for t in tasks
+                ],
+                "files": files,
+            },
+            "execution": {
+                "tasks": [
+                    {"id": t["id"], "runtimeInSeconds": t["runtime"]}
+                    for t in tasks
+                ]
+            },
+        },
+    }
+
+
+INSTANCES = (
+    # Montage: the IPAC mosaic pipeline — wide projection fan, pairwise
+    # background fits, a narrow model/merge spine, then per-tile cleanup.
+    InstanceDef(
+        name="montage-small",
+        seed=101,
+        stages=(
+            StageDef("mProject", 12, 14.0, 0.25, 24 * MiB, 0.35, 0.8, 1.6, "all"),
+            StageDef("mDiffFit", 24, 4.5, 0.30, 6 * MiB, 0.40, 0.6, 0.4, "pairs"),
+            StageDef("mConcatFit", 1, 8.0, 0.10, 2 * MiB, 0.0, 0.3, 1.0, "all"),
+            StageDef("mBgModel", 1, 16.0, 0.10, 2 * MiB, 0.0, 0.2, 1.0, "all"),
+            StageDef("mBackground", 12, 3.5, 0.25, 30 * MiB, 0.30, 0.7, 1.0, "all"),
+            StageDef("mImgtbl", 1, 5.0, 0.10, 3 * MiB, 0.0, 0.3, 1.0, "all"),
+            StageDef("mAdd", 1, 24.0, 0.10, 360 * MiB, 0.0, 0.8, 0.5, "all"),
+            StageDef("mShrink", 1, 6.5, 0.10, 180 * MiB, 0.0, 0.7, 0.1, "all"),
+            StageDef("mJPEG", 1, 2.5, 0.10, 18 * MiB, 0.0, 0.5, 0.2, "all"),
+        ),
+    ),
+    # Epigenomics: the USC DNA-methylation pipeline — split, four
+    # per-chunk 1:1 stages, hierarchical merge, index, pileup.
+    InstanceDef(
+        name="epigenomics-small",
+        seed=202,
+        stages=(
+            StageDef("fastqSplit", 1, 22.0, 0.10, 96 * MiB, 0.0, 0.8, 1.0, "all"),
+            StageDef("filterContams", 8, 2.8, 0.20, 12 * MiB, 0.25, 0.7, 0.9, "all"),
+            StageDef("sol2sanger", 8, 4.0, 0.20, 11 * MiB, 0.25, 0.7, 1.0, "one_to_one"),
+            StageDef("fast2bfq", 8, 5.5, 0.20, 11 * MiB, 0.25, 0.7, 0.5, "one_to_one"),
+            StageDef("map", 8, 36.0, 0.30, 5.5 * MiB, 0.25, 0.8, 1.2, "one_to_one"),
+            StageDef("mapMerge", 2, 18.0, 0.15, 26 * MiB, 0.10, 0.6, 1.0, "block"),
+            StageDef("maqIndex", 1, 12.0, 0.10, 52 * MiB, 0.0, 0.6, 0.6, "all"),
+            StageDef("pileup", 1, 15.0, 0.10, 31 * MiB, 0.0, 0.6, 0.3, "all"),
+        ),
+    ),
+    # Cycles: the agroecosystem model — parameter-sweep fan of baseline
+    # and fertilizer-increase simulations feeding summary/plot stages.
+    InstanceDef(
+        name="cycles-small",
+        seed=303,
+        stages=(
+            StageDef("baseline_cycles", 16, 9.0, 0.35, 2 * MiB, 0.45, 0.5, 1.5, "all"),
+            StageDef("cycles", 16, 11.0, 0.35, 3 * MiB, 0.45, 0.5, 1.2, "one_to_one"),
+            StageDef("fertilizer_increase_output_parser", 16, 2.2, 0.25, 3.6 * MiB, 0.40, 0.5, 0.3, "one_to_one"),
+            StageDef("cycles_output_summary", 1, 6.0, 0.10, 17 * MiB, 0.0, 0.6, 0.2, "all"),
+            StageDef("cycles_plots", 4, 13.0, 0.20, 3.4 * MiB, 0.15, 0.4, 0.5, "all"),
+        ),
+    ),
+    # Seismology: sG1IterDecon deconvolutions over seismogram pairs,
+    # gathered by a single misfit-sifting wrapper.
+    InstanceDef(
+        name="seismology-small",
+        seed=404,
+        stages=(
+            StageDef("sG1IterDecon", 20, 7.5, 0.40, 1.2 * MiB, 0.55, 0.8, 0.8, "all"),
+            StageDef("wrapper_siftSTFByMisfit", 1, 4.0, 0.10, 19 * MiB, 0.0, 0.5, 0.2, "all"),
+        ),
+    ),
+    # BLAST: split the query FASTA, fan out blastall matchers, then two
+    # concatenation steps. Split layout: specification + execution.
+    InstanceDef(
+        name="blast-small",
+        seed=505,
+        layout="split",
+        stages=(
+            StageDef("split_fasta", 1, 3.0, 0.10, 8 * MiB, 0.0, 0.5, 1.0, "all"),
+            StageDef("blastall", 16, 28.0, 0.30, 0.5 * MiB, 0.35, 0.75, 2.0, "all"),
+            StageDef("cat_blast", 1, 2.5, 0.10, 16 * MiB, 0.0, 0.5, 1.0, "all"),
+            StageDef("cat", 1, 1.5, 0.10, 16 * MiB, 0.0, 0.5, 1.0, "all"),
+        ),
+    ),
+)
+
+
+def main() -> int:
+    DATA_DIR.mkdir(parents=True, exist_ok=True)
+    for instance in INSTANCES:
+        tasks = _realize(instance)
+        doc = (
+            _split_document(instance, tasks)
+            if instance.layout == "split"
+            else _flat_document(instance, tasks)
+        )
+        path = DATA_DIR / f"{instance.name}.json"
+        path.write_text(
+            json.dumps(doc, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {len(tasks):4d} tasks to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
