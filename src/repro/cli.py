@@ -401,22 +401,28 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     units = args.charging_units or list(CHARGING_UNITS)
     seeds = list(range(args.repetitions))
     store = CampaignStore(args.store)
-    records, executed, failed = run_campaign_parallel(
-        store,
-        specs,
-        policies,
-        units,
-        seeds,
-        site=site,
-        jobs=args.jobs,
-        save_every=args.save_every,
-        trace_dir=args.trace_dir,
-        chaos=_chaos(args.chaos),
-        validate=args.validate,
-    )
+    try:
+        records, executed, failed = run_campaign_parallel(
+            store,
+            specs,
+            policies,
+            units,
+            seeds,
+            site=site,
+            jobs=args.jobs,
+            save_every=args.save_every,
+            trace_dir=args.trace_dir,
+            chaos=_chaos(args.chaos),
+            validate=args.validate,
+            backend=args.backend,
+            workqueue_dir=args.workqueue_dir,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    shown_backend = args.backend or ("serial" if args.jobs == 1 else "process")
     print(
         f"{len(records)} cells in {args.store} "
-        f"({executed} newly executed, jobs={args.jobs})"
+        f"({executed} newly executed, backend={shown_backend}, jobs={args.jobs})"
     )
     for cell in failed:
         print(
@@ -436,14 +442,20 @@ def cmd_robustness(args: argparse.Namespace) -> int:
         specs = {name: _workload(name) for name in args.workloads}
     chaos_levels = [NO_CHAOS]
     chaos_levels += [_chaos(text) for text in (args.chaos or [])]
-    rows = robustness_experiment(
-        specs,
-        noise_levels=tuple(args.noise),
-        fault_levels=tuple(args.faults),
-        chaos_levels=tuple(chaos_levels),
-        charging_unit=args.charging_unit,
-        seed=args.seed,
-    )
+    try:
+        rows = robustness_experiment(
+            specs,
+            noise_levels=tuple(args.noise),
+            fault_levels=tuple(args.faults),
+            chaos_levels=tuple(chaos_levels),
+            charging_unit=args.charging_unit,
+            seed=args.seed,
+            jobs=args.jobs,
+            backend=args.backend,
+            workqueue_dir=args.workqueue_dir,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
     print(
         render_table(
             ["workload", "noise", "faults", "chaos", "wire u", "static u",
@@ -494,17 +506,22 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         # parallel; serial and parallel sweeps return identical rows.
         from repro.experiments import fleet_experiment, render_fleet_sweep
 
-        rows = fleet_experiment(
-            args.rates,
-            n=args.n,
-            workloads=args.workloads,
-            policy=args.policy,
-            autoscaler=args.autoscaler,
-            charging_unit=args.charging_unit,
-            seeds=tuple(range(args.seed, args.seed + args.repetitions)),
-            jobs=args.jobs,
-            chaos=chaos,
-        )
+        try:
+            rows = fleet_experiment(
+                args.rates,
+                n=args.n,
+                workloads=args.workloads,
+                policy=args.policy,
+                autoscaler=args.autoscaler,
+                charging_unit=args.charging_unit,
+                seeds=tuple(range(args.seed, args.seed + args.repetitions)),
+                jobs=args.jobs,
+                chaos=chaos,
+                backend=args.backend,
+                workqueue_dir=args.workqueue_dir,
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
         print(render_fleet_sweep(rows))
         if args.out:
             import json
@@ -859,6 +876,26 @@ def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_args(parser: argparse.ArgumentParser) -> None:
+    """``--backend``/``--workqueue-dir`` for every fan-out subcommand."""
+    from repro.experiments.executors import BACKEND_NAMES
+
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default=None,
+        help="executor backend (default: serial at --jobs 1, else a "
+        "process pool with a pinned start method; workqueue fans out "
+        "over every host draining --workqueue-dir)",
+    )
+    parser.add_argument(
+        "--workqueue-dir",
+        metavar="DIR",
+        help="shared directory for --backend workqueue; other hosts join "
+        "with: python -m repro.experiments.executors.workqueue DIR",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1001,6 +1038,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run every cell with the runtime invariant checker attached",
     )
+    _add_backend_args(campaign)
     campaign.set_defaults(handler=cmd_campaign)
 
     robustness = sub.add_parser(
@@ -1036,6 +1074,11 @@ def build_parser() -> argparse.ArgumentParser:
     robustness.add_argument(
         "--out", metavar="FILE", help="also write the rows as JSON here"
     )
+    robustness.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker processes for the grid (1 = inline)",
+    )
+    _add_backend_args(robustness)
     _add_common_run_args(robustness)
     robustness.set_defaults(handler=cmd_robustness)
 
@@ -1161,6 +1204,7 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--out", metavar="FILE", help="sweep mode: also write rows as JSON here"
     )
+    _add_backend_args(fleet)
     _add_common_run_args(fleet)
     fleet.set_defaults(handler=cmd_fleet)
 

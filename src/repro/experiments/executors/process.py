@@ -1,0 +1,192 @@
+"""Persistent process-pool executor with pinned start method.
+
+Fixes the two historical scale-out bugs in one place:
+
+* **Start method is pinned**, never platform-default. The default was
+  ``fork`` on Linux, ``spawn`` on macOS/Windows, and is changing again
+  in Python 3.14 (``forkserver``/``spawn`` on POSIX) — three behaviors
+  for one line of code. :data:`DEFAULT_START_METHOD` resolves once, to
+  ``fork`` where the platform offers it (cheapest worker startup by
+  far — no re-import of numpy/repro per worker, which is what made
+  ``--jobs 4`` *slower* than serial on sub-second campaigns) and
+  ``spawn`` everywhere else; pass ``start_method=`` to override. The
+  choice is an explicit constructor-resolved value either way, so
+  behavior cannot silently drift across hosts or Python versions.
+
+* **Honest retry accounting.** A ``BrokenProcessPool`` poisons every
+  in-flight future, not just the task whose worker died. Draining those
+  futures must therefore not charge the innocent tasks' attempt budget:
+  crash-drained work is resubmitted free, and only an attempt where the
+  worker callable actually ran and raised counts against
+  ``max_attempts``. Free resubmission is bounded by
+  :data:`~repro.experiments.executors.base.CRASH_FREE_RETRIES`
+  consecutive no-progress pool rebuilds, after which crashes are
+  charged — a task that reliably SIGKILLs its worker converges to a
+  failed outcome instead of rebuilding the pool forever.
+
+The pool itself is persistent for the duration of one :meth:`run`:
+workers are created once, the shared ``(worker, context)`` pair crosses
+the process boundary once via the pool initializer, and every submitted
+task ships only its own payload. Heterogeneous task durations
+load-balance naturally — workers pull the next task the moment they
+finish one (callers wanting coarser units chunk before submitting, as
+:func:`~repro.experiments.parallel.parallel_map` does).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Sequence
+
+from repro.experiments.executors.base import (
+    CRASH_FREE_RETRIES,
+    ExecutorBackend,
+    TaskOutcome,
+    format_error,
+)
+
+__all__ = ["DEFAULT_START_METHOD", "ProcessBackend"]
+
+#: the pinned multiprocessing start method: ``fork`` where the platform
+#: supports it (POSIX), else ``spawn`` — resolved once at import, never
+#: the interpreter's mutable platform default
+DEFAULT_START_METHOD = (
+    "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+)
+
+#: per-worker shared state installed by the pool initializer
+_WORKER_STATE: tuple | None = None
+
+
+def _init_worker(worker, context) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (worker, context)
+
+
+def _call_task(task):
+    """Worker entry point: one task against the initializer-shipped pair."""
+    assert _WORKER_STATE is not None, "process-pool initializer did not run"
+    worker, context = _WORKER_STATE
+    return worker(context, task)
+
+
+class ProcessBackend(ExecutorBackend):
+    """Fan tasks over a persistent ``ProcessPoolExecutor``."""
+
+    name = "process"
+
+    def __init__(self, jobs: int = 2, *, start_method: str | None = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.start_method = start_method or DEFAULT_START_METHOD
+        #: the explicitly pinned context every pool is built from
+        self.mp_context = multiprocessing.get_context(self.start_method)
+
+    def _new_pool(self, worker, context) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=self.mp_context,
+            initializer=_init_worker,
+            initargs=(worker, context),
+        )
+
+    def run(
+        self,
+        worker: Callable[[Any, Any], Any],
+        tasks: Sequence,
+        *,
+        context: Any = None,
+        max_attempts: int = 1,
+        on_result: Callable[[TaskOutcome], None] | None = None,
+    ) -> list[TaskOutcome]:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        outcomes: list[TaskOutcome | None] = [None] * len(tasks)
+        attempts = [0] * len(tasks)
+        crashes = [0] * len(tasks)
+        #: consecutive pool rebuilds without a single completed execution
+        stalled_rebuilds = 0
+
+        def decide(index: int, *, value=None, error=None, exception=None) -> None:
+            outcome = TaskOutcome(
+                index,
+                value=value,
+                error=error,
+                attempts=attempts[index],
+                crashes=crashes[index],
+                exception=exception,
+            )
+            outcomes[index] = outcome
+            if on_result is not None:
+                on_result(outcome)
+
+        executor = self._new_pool(worker, context)
+        try:
+            futures: dict[Future, int] = {}
+
+            def submit(index: int) -> None:
+                futures[executor.submit(_call_task, tasks[index])] = index
+
+            for index in range(len(tasks)):
+                submit(index)
+            while futures:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                broken = False
+                executed_any = False
+                resubmit: list[int] = []
+                crashed: list[int] = []
+                for future in done:
+                    index = futures.pop(future)
+                    try:
+                        value = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        crashed.append(index)
+                        continue
+                    except Exception as exc:  # noqa: BLE001 - executed-and-failed
+                        executed_any = True
+                        attempts[index] += 1
+                        if attempts[index] < max_attempts:
+                            resubmit.append(index)
+                        else:
+                            decide(index, error=format_error(exc), exception=exc)
+                        continue
+                    executed_any = True
+                    attempts[index] += 1
+                    decide(index, value=value)
+                if broken:
+                    # A dead worker poisons the whole pool: every in-flight
+                    # future fails with BrokenProcessPool even though its
+                    # task never executed. Drain them all, rebuild the
+                    # pool, and resubmit without charging attempts.
+                    crashed.extend(futures.values())
+                    futures.clear()
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    stalled_rebuilds = 0 if executed_any else stalled_rebuilds + 1
+                    charge = stalled_rebuilds > CRASH_FREE_RETRIES
+                    for index in sorted(set(crashed)):
+                        crashes[index] += 1
+                        if charge:
+                            attempts[index] += 1
+                        if charge and attempts[index] >= max_attempts:
+                            decide(
+                                index,
+                                error=(
+                                    "worker process died repeatedly "
+                                    f"({crashes[index]} pool rebuilds)"
+                                ),
+                            )
+                        else:
+                            resubmit.append(index)
+                    executor = self._new_pool(worker, context)
+                elif executed_any:
+                    stalled_rebuilds = 0
+                for index in resubmit:
+                    submit(index)
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]

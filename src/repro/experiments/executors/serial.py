@@ -1,0 +1,60 @@
+"""Inline executor: tasks run in the calling process, in task order.
+
+The reference implementation of the backend contract — every other
+backend must be observably equivalent to this one (modulo wall-clock).
+There is no process boundary, so crash-like failures cannot happen here
+and retry accounting reduces to the executed-attempt rule: a worker
+exception consumes an attempt, and a task fails once its attempts reach
+``max_attempts``. Nothing is ever retried "just in case" — a
+deterministic exception at ``max_attempts=1`` costs exactly one
+invocation (see the invocation-counting regression tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.experiments.executors.base import ExecutorBackend, TaskOutcome, format_error
+
+__all__ = ["SerialBackend"]
+
+
+class SerialBackend(ExecutorBackend):
+    """Run every task inline; the ``jobs=1`` path of every fan-out."""
+
+    name = "serial"
+
+    def run(
+        self,
+        worker: Callable[[Any, Any], Any],
+        tasks: Sequence,
+        *,
+        context: Any = None,
+        max_attempts: int = 1,
+        on_result: Callable[[TaskOutcome], None] | None = None,
+    ) -> list[TaskOutcome]:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        outcomes: list[TaskOutcome] = []
+        for index, task in enumerate(tasks):
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    value = worker(context, task)
+                except Exception as exc:  # noqa: BLE001 - isolation is the contract
+                    if attempts < max_attempts:
+                        continue
+                    outcome = TaskOutcome(
+                        index,
+                        error=format_error(exc),
+                        attempts=attempts,
+                        exception=exc,
+                    )
+                    break
+                outcome = TaskOutcome(index, value=value, attempts=attempts)
+                break
+            outcomes.append(outcome)
+            if on_result is not None:
+                on_result(outcome)
+        return outcomes

@@ -1,0 +1,341 @@
+"""Multi-host work-queue executor: lease/claim/result files in a shared dir.
+
+Several hosts can drain one campaign by pointing consumers at the same
+(network-shared) directory; no server, no sockets — the filesystem is
+the coordination medium, and atomic exclusive-create (``O_EXCL``) is the
+lock. The protocol under ``root/``:
+
+* ``meta.pkl`` — the ``(worker, context)`` pair, pickled once by the
+  producer (atomic write-then-rename);
+* ``tasks/<index>-a<attempt>.task`` — one pickled payload per pending
+  attempt of a task;
+* ``claims/<index>-a<attempt>.claim`` — a consumer claims an attempt by
+  exclusively creating its claim file (the lease; owner host/pid/time
+  inside, mtime is the lease clock);
+* ``results/<index>-a<attempt>.result`` — the attempt's pickled outcome,
+  written atomically by the claiming consumer;
+* ``done`` — marker the producer writes when every task is decided;
+  consumers exit when they see it.
+
+Exactly-once in the common path: a claim file can be created exclusively
+by only one consumer, so two consumers scanning the same task race on
+``O_EXCL`` and exactly one executes it (covered by the two-consumer
+conformance test). A consumer that dies mid-task leaves a claim with no
+result; when the lease is older than ``lease_timeout`` the producer
+re-enqueues the attempt *free of charge* (crash semantics — the task
+never executed-and-failed). If the stale consumer was merely slow, its
+late result is still accepted — execution degrades to at-least-once in
+that window, which is safe here because every task is a deterministic
+pure function of its payload.
+
+Retry accounting matches the other backends: a result recording a worker
+exception charges one attempt against ``max_attempts``; lease expiries
+are free until :data:`~repro.experiments.executors.base.CRASH_FREE_RETRIES`
+consecutive expiries on the same task, after which they are charged so a
+poisonous task cannot be re-leased forever.
+
+The producer (:meth:`WorkqueueBackend.run`) optionally spawns ``jobs``
+local consumer processes so a single-host run still scales; remote hosts
+join with::
+
+    python -m repro.experiments.executors.workqueue /shared/queue-dir
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import pickle
+import socket
+import time
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.experiments.executors.base import (
+    CRASH_FREE_RETRIES,
+    ExecutorBackend,
+    TaskOutcome,
+)
+
+__all__ = ["WorkqueueBackend", "consume_workqueue", "main"]
+
+_DONE = "done"
+_META = "meta.pkl"
+
+
+def _write_atomic(path: Path, blob: bytes) -> None:
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    tmp.write_bytes(blob)
+    tmp.replace(path)
+
+
+def _stem(index: int, attempt: int) -> str:
+    return f"{index:06d}-a{attempt:03d}"
+
+
+def consume_workqueue(
+    root: str | Path,
+    *,
+    poll_interval: float = 0.05,
+    drain_once: bool = False,
+) -> int:
+    """Claim and execute tasks from ``root`` until its ``done`` marker.
+
+    The consumer half of the protocol — run one per host that should
+    help drain the queue. With ``drain_once`` the consumer returns as
+    soon as a scan finds nothing claimable instead of polling for more
+    work. Returns the number of tasks this consumer executed.
+    """
+    root = Path(root)
+    tasks_dir, claims_dir, results_dir = root / "tasks", root / "claims", root / "results"
+    meta: tuple | None = None
+    executed = 0
+    while True:
+        if (root / _DONE).exists():
+            return executed
+        claimed_any = False
+        for task_file in sorted(tasks_dir.glob("*.task")):
+            stem = task_file.name[: -len(".task")]
+            claim = claims_dir / f"{stem}.claim"
+            result = results_dir / f"{stem}.result"
+            if result.exists():
+                continue
+            # Load the shared (worker, context) pair *before* claiming:
+            # a meta that cannot be unpickled on this host (e.g. a
+            # __main__-defined worker) must fail here, not after taking
+            # a claim some other consumer then waits a lease to recover.
+            if meta is None:
+                meta = pickle.loads((root / _META).read_bytes())
+            try:
+                fd = os.open(claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue  # another consumer owns this attempt
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(
+                    {"host": socket.gethostname(), "pid": os.getpid(), "time": time.time()},
+                    fh,
+                )
+            worker, context = meta
+            try:
+                value = worker(context, pickle.loads(task_file.read_bytes()))
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                try:
+                    exc_blob: bytes | None = pickle.dumps(exc)
+                except Exception:
+                    exc_blob = None
+                blob = pickle.dumps(
+                    ("err", f"{type(exc).__name__}: {exc}", exc_blob)
+                )
+            else:
+                blob = pickle.dumps(("ok", value, None))
+            _write_atomic(result, blob)
+            executed += 1
+            claimed_any = True
+        if not claimed_any:
+            if drain_once:
+                return executed
+            time.sleep(poll_interval)
+
+
+class WorkqueueBackend(ExecutorBackend):
+    """Produce tasks into a shared directory and collect their results.
+
+    ``jobs`` local consumer processes are spawned for the duration of
+    the run (0 is allowed: the producer only coordinates, and external
+    hosts do all the work). ``start_method`` pins the multiprocessing
+    context for the local consumers exactly like
+    :class:`~repro.experiments.executors.ProcessBackend`.
+    """
+
+    name = "workqueue"
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        jobs: int = 1,
+        lease_timeout: float = 60.0,
+        poll_interval: float = 0.02,
+        start_method: str | None = None,
+    ) -> None:
+        from repro.experiments.executors.process import DEFAULT_START_METHOD
+
+        if jobs < 0:
+            raise ValueError("jobs must be >= 0")
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be > 0")
+        self.root = Path(root)
+        self.jobs = jobs
+        self.lease_timeout = lease_timeout
+        self.poll_interval = poll_interval
+        self.start_method = start_method or DEFAULT_START_METHOD
+        self.mp_context = multiprocessing.get_context(self.start_method)
+
+    def run(
+        self,
+        worker: Callable[[Any, Any], Any],
+        tasks: Sequence,
+        *,
+        context: Any = None,
+        max_attempts: int = 1,
+        on_result: Callable[[TaskOutcome], None] | None = None,
+    ) -> list[TaskOutcome]:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        root = self.root
+        for sub in ("tasks", "claims", "results"):
+            (root / sub).mkdir(parents=True, exist_ok=True)
+        done_marker = root / _DONE
+        done_marker.unlink(missing_ok=True)
+        _write_atomic(root / _META, pickle.dumps((worker, context)))
+
+        outcomes: list[TaskOutcome | None] = [None] * len(tasks)
+        attempts = [0] * len(tasks)
+        crashes = [0] * len(tasks)
+        #: task index -> the attempt number currently enqueued
+        live_attempt = [1] * len(tasks)
+        for index, task in enumerate(tasks):
+            _write_atomic(root / "tasks" / f"{_stem(index, 1)}.task", pickle.dumps(task))
+
+        consumers = [
+            self.mp_context.Process(
+                target=consume_workqueue,
+                args=(str(root),),
+                kwargs={"poll_interval": self.poll_interval},
+                daemon=True,
+            )
+            for _ in range(self.jobs)
+        ]
+        for proc in consumers:
+            proc.start()
+
+        def decide(index: int, *, value=None, error=None, exception=None) -> None:
+            outcome = TaskOutcome(
+                index,
+                value=value,
+                error=error,
+                attempts=attempts[index],
+                crashes=crashes[index],
+                exception=exception,
+            )
+            outcomes[index] = outcome
+            if on_result is not None:
+                on_result(outcome)
+
+        def reenqueue(index: int) -> None:
+            live_attempt[index] += 1
+            _write_atomic(
+                root / "tasks" / f"{_stem(index, live_attempt[index])}.task",
+                pickle.dumps(tasks[index]),
+            )
+
+        try:
+            while any(outcome is None for outcome in outcomes):
+                progressed = False
+                for index in range(len(tasks)):
+                    if outcomes[index] is not None:
+                        continue
+                    # Accept the first result from any enqueued attempt —
+                    # including a superseded one whose consumer turned out
+                    # to be slow rather than dead.
+                    result_file = next(
+                        (
+                            candidate
+                            for attempt in range(1, live_attempt[index] + 1)
+                            if (
+                                candidate := root
+                                / "results"
+                                / f"{_stem(index, attempt)}.result"
+                            ).exists()
+                        ),
+                        None,
+                    )
+                    if result_file is not None:
+                        status, payload, exc_blob = pickle.loads(result_file.read_bytes())
+                        # Consume the attempt: drop its files so a retry is
+                        # never double-charged from the same stale result.
+                        stem = result_file.name[: -len(".result")]
+                        result_file.unlink(missing_ok=True)
+                        (root / "tasks" / f"{stem}.task").unlink(missing_ok=True)
+                        progressed = True
+                        attempts[index] += 1
+                        if status == "ok":
+                            decide(index, value=payload)
+                        elif attempts[index] < max_attempts:
+                            reenqueue(index)
+                        else:
+                            exception = (
+                                pickle.loads(exc_blob) if exc_blob is not None else None
+                            )
+                            decide(index, error=payload, exception=exception)
+                        continue
+                    claim_file = (
+                        root / "claims" / f"{_stem(index, live_attempt[index])}.claim"
+                    )
+                    try:
+                        lease_age = time.time() - claim_file.stat().st_mtime
+                    except OSError:
+                        continue  # unclaimed (or claim arriving right now)
+                    if lease_age <= self.lease_timeout:
+                        continue
+                    # Lease expired: the consumer that claimed this attempt
+                    # is presumed dead. The task never executed-and-failed,
+                    # so re-enqueue free of charge — until the consecutive-
+                    # expiry cap, after which expiries are charged so a
+                    # worker-killing task converges to a failed outcome.
+                    progressed = True
+                    crashes[index] += 1
+                    if crashes[index] > CRASH_FREE_RETRIES:
+                        attempts[index] += 1
+                    if attempts[index] >= max_attempts:
+                        decide(
+                            index,
+                            error=(
+                                f"workqueue lease expired {crashes[index]} times "
+                                "(consumer died repeatedly)"
+                            ),
+                        )
+                    else:
+                        reenqueue(index)
+                if not progressed:
+                    time.sleep(self.poll_interval)
+        finally:
+            done_marker.touch()
+            deadline = time.time() + 5.0
+            for proc in consumers:
+                proc.join(timeout=max(0.0, deadline - time.time()))
+                if proc.is_alive():  # pragma: no cover - defensive cleanup
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.experiments.executors.workqueue <dir>`` — join a queue."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("root", help="shared work-queue directory")
+    parser.add_argument(
+        "--poll-interval", type=float, default=0.2,
+        help="seconds between scans when no work is claimable",
+    )
+    parser.add_argument(
+        "--drain-once", action="store_true",
+        help="exit after one pass finds nothing claimable instead of "
+        "waiting for the producer's done marker",
+    )
+    args = parser.parse_args(argv)
+    executed = consume_workqueue(
+        args.root, poll_interval=args.poll_interval, drain_once=args.drain_once
+    )
+    print(f"executed {executed} tasks from {args.root}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

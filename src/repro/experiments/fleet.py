@@ -15,9 +15,11 @@ runs produce identical rows.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Sequence
 
 from repro.cloud.faults import ChaosSpec
+from repro.experiments.executors import ExecutorBackend
 from repro.experiments.parallel import parallel_map
 from repro.fleet.arrivals import PoissonArrivals
 from repro.fleet.harness import DEFAULT_FLEET_WORKLOADS, run_fleet
@@ -86,11 +88,13 @@ def fleet_experiment(
     seeds: Sequence[int] = (0,),
     jobs: int = 1,
     chaos: ChaosSpec | None = None,
+    backend: str | ExecutorBackend | None = None,
+    workqueue_dir: str | Path | None = None,
 ) -> list[FleetSweepRow]:
     """Sweep the Poisson arrival rate; one row per ``(rate, seed)`` cell.
 
-    Rows come back sorted by ``(rate, seed)`` whatever the worker
-    completion order, so serial ≡ parallel output.
+    Rows come back sorted by ``(rate, seed)`` whatever the worker (or
+    backend) completion order, so serial ≡ process ≡ workqueue output.
     """
     if not rates:
         raise ValueError("at least one arrival rate is required")
@@ -100,7 +104,10 @@ def fleet_experiment(
         for rate in rates
         for seed in seeds
     ]
-    rows = parallel_map(_run_sweep_cell, cells, jobs=jobs)
+    rows = parallel_map(
+        _run_sweep_cell, cells, jobs=jobs, backend=backend,
+        workqueue_dir=workqueue_dir,
+    )
     return sorted(rows, key=lambda r: (r.rate, r.seed))
 
 

@@ -1,26 +1,34 @@
-"""Parallel campaign execution (multi-process cell fan-out).
+"""Campaign/sweep fan-out over the pluggable executor layer.
 
 :func:`~repro.experiments.campaign.run_campaign` fills the §IV matrix one
 cell at a time; the cells are fully independent (each is one seeded
-simulation), so the matrix parallelizes embarrassingly across worker
-processes. :func:`run_campaign_parallel` shards the missing cells over a
-:class:`~concurrent.futures.ProcessPoolExecutor`, streams finished
-:class:`~repro.experiments.campaign.CellRecord` summaries back to the
-parent, and batches store saves (atomic write-then-rename, every
-``save_every`` completions plus a guaranteed final flush) so an
-interrupted campaign still resumes exactly where it stopped.
+simulation), so the matrix parallelizes embarrassingly. This module is
+the thin façade that adapts the two fan-out shapes the experiments use —
+:func:`parallel_map` for generic sweeps and
+:func:`run_campaign_parallel` for persistent campaign stores — onto
+:mod:`repro.experiments.executors`, which owns the actual execution
+(inline, persistent process pool with a pinned start method, or the
+multi-host work-queue protocol).
 
 Determinism: a cell's simulation depends only on its ``(workflow,
 policy, charging_unit, seed)`` key — never on scheduling order or which
-worker ran it — so a parallel campaign produces a byte-identical store
-to a serial one (records are persisted in sorted key order).
+worker (or host) ran it — so every backend produces a byte-identical
+store to a serial run (records are persisted in sorted key order).
 
-Fault tolerance: a cell whose worker raises (or whose worker process
-dies, breaking the pool) is re-queued once; a second failure is reported
-as a :class:`FailedCell` rather than aborting the remaining cells.
+Failure semantics differ by shape, deliberately:
 
-Policy factories are sent to workers by pickling when possible;
-the standard §IV-C factories from
+* :func:`parallel_map` treats a worker exception as deterministic and
+  raises it immediately — the same ``fn`` invocation count at ``jobs=1``
+  and ``jobs=N``, never paying twice for a reproducible failure. Only
+  crash-like failures (a worker process dying) are retried, free of
+  charge, by the backend.
+* :func:`run_campaign_parallel` isolates failures per cell: an
+  executed-and-failed cell is retried once (attempts are charged only
+  when the cell itself ran and raised) and then reported as a
+  :class:`FailedCell` rather than aborting the remaining matrix.
+
+Policy factories are sent to workers by pickling when possible; the
+standard §IV-C factories from
 :func:`~repro.experiments.harness.policy_factories` are closures (not
 picklable), so those are shipped by *name* and rebuilt inside the worker
 against the campaign's site.
@@ -29,8 +37,6 @@ against the campaign's site.
 from __future__ import annotations
 
 import pickle
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
@@ -46,12 +52,18 @@ from repro.experiments.campaign import (
     missing_cells,
     record_from_result,
 )
+from repro.experiments.executors import (
+    ExecutorBackend,
+    SerialBackend,
+    TaskOutcome,
+    resolve_backend,
+)
 from repro.experiments.harness import policy_factories, run_setting
 from repro.workloads.base import StagedWorkflowSpec
 
 __all__ = ["FailedCell", "parallel_map", "run_campaign_parallel"]
 
-#: one cell is retried at most this many times in total
+#: one campaign cell may execute-and-fail at most this many times in total
 _MAX_ATTEMPTS = 2
 
 
@@ -60,93 +72,60 @@ def _run_batch(fn, batch: list) -> list:
     return [fn(item) for item in batch]
 
 
-def parallel_map(fn, items: Sequence, *, jobs: int = 1, chunk: int | None = None) -> list:
+def parallel_map(
+    fn,
+    items: Sequence,
+    *,
+    jobs: int = 1,
+    chunk: int | None = None,
+    backend: str | ExecutorBackend | None = None,
+    workqueue_dir: str | Path | None = None,
+) -> list:
     """Fan a picklable function over independent items, order-preserving.
 
     The generic sibling of :func:`run_campaign_parallel` for experiments
     whose cells aren't campaign records (e.g. the fleet arrival-rate
     sweep). Results come back in ``items`` order regardless of which
-    worker finished first, so ``jobs=1`` and ``jobs=N`` are
-    result-identical for deterministic ``fn``.
+    worker finished first, so every backend is result-identical for
+    deterministic ``fn``.
 
-    Items ship in chunks of ``chunk`` per future (default: the smallest
-    size that still gives every worker four waves of work), so the
-    per-item pickling of ``fn`` and the future round-trip amortize across
-    the batch instead of repeating per item. A chunk whose worker raises
-    (or dies, breaking the pool) is retried once as a unit; a second
-    failure raises.
+    Items ship in chunks of ``chunk`` per task (default: the smallest
+    size that still gives every worker four waves of work, the
+    work-stealing sweet spot for heterogeneous item durations), so the
+    future round-trip amortizes across the batch instead of repeating
+    per item. An exception raised by ``fn`` is deterministic and raises
+    immediately — ``fn`` runs exactly once per item on every backend —
+    while crash-like worker deaths are retried free by the backend.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     if chunk is not None and chunk < 1:
         raise ValueError("chunk must be >= 1")
-    if jobs == 1 or len(items) <= 1:
-        results = []
-        for item in items:
-            last: Exception | None = None
-            for _ in range(_MAX_ATTEMPTS):
-                try:
-                    results.append(fn(item))
-                    last = None
-                    break
-                except Exception as exc:  # noqa: BLE001 - retry once
-                    last = exc
-            if last is not None:
-                raise last
-        return results
-
-    if chunk is None:
-        chunk = max(1, -(-len(items) // (jobs * 4)))
-    batches = [list(items[i : i + chunk]) for i in range(0, len(items), chunk)]
-    out: dict[int, list] = {}
-    attempts = [0] * len(batches)
-    executor = ProcessPoolExecutor(max_workers=jobs)
-    try:
-        futures: dict[Future, int] = {}
-
-        def submit(index: int) -> None:
-            attempts[index] += 1
-            futures[executor.submit(_run_batch, fn, batches[index])] = index
-
-        for index in range(len(batches)):
-            submit(index)
-        while futures:
-            done, _ = wait(futures, return_when=FIRST_COMPLETED)
-            broken = False
-            retry: list[int] = []
-            for future in done:
-                index = futures.pop(future)
-                try:
-                    out[index] = future.result()
-                except BrokenProcessPool:
-                    broken = True
-                    retry.append(index)
-                except Exception:
-                    if attempts[index] < _MAX_ATTEMPTS:
-                        retry.append(index)
-                    else:
-                        raise
-            if broken:
-                for future, index in list(futures.items()):
-                    del futures[future]
-                    retry.append(index)
-                executor.shutdown(wait=False, cancel_futures=True)
-                executor = ProcessPoolExecutor(max_workers=jobs)
-            for index in sorted(set(retry)):
-                if attempts[index] >= _MAX_ATTEMPTS:
-                    raise RuntimeError(
-                        f"parallel_map chunk {index} failed twice "
-                        "(worker process died)"
-                    )
-                submit(index)
-    finally:
-        executor.shutdown(wait=False, cancel_futures=True)
-    return [result for index in range(len(batches)) for result in out[index]]
+    the_backend = resolve_backend(backend, jobs=jobs, workqueue_dir=workqueue_dir)
+    if isinstance(the_backend, SerialBackend) or len(items) <= 1:
+        the_backend = SerialBackend()
+        batches = [list(items)] if items else []
+    else:
+        if chunk is None:
+            # four waves of chunks per worker, using the backend's own
+            # worker count when it carries one (an explicit instance)
+            wave_jobs = max(getattr(the_backend, "jobs", 0) or jobs, 1)
+            chunk = max(1, -(-len(items) // (wave_jobs * 4)))
+        batches = [list(items[i : i + chunk]) for i in range(0, len(items), chunk)]
+    outcomes = the_backend.run(_run_batch, batches, context=fn, max_attempts=1)
+    for outcome in outcomes:
+        if not outcome.ok:
+            if outcome.exception is not None:
+                raise outcome.exception
+            raise RuntimeError(
+                f"parallel_map chunk {outcome.index} failed: {outcome.error}"
+            )
+    return [result for outcome in outcomes for result in outcome.value]
 
 
 @dataclass(frozen=True)
 class FailedCell:
-    """A matrix cell that failed on both its attempts."""
+    """A matrix cell that failed on all its charged attempts."""
 
     key: CellKey
     error: str
@@ -170,21 +149,21 @@ def _factory_payload(
         return ("name", name)
     raise ValueError(
         f"policy factory {name!r} is not picklable and is not a standard "
-        "policy name; use jobs=1 or make the factory picklable "
-        "(e.g. a class or a module-level function)"
+        "policy name; use the serial backend or make the factory "
+        "picklable (e.g. a class or a module-level function)"
     )
 
 
 def _run_cell(
     key: CellKey,
     spec: StagedWorkflowSpec,
-    payload: tuple[str, bytes | str],
+    payload: tuple[str, bytes | str | Callable[[], Autoscaler]],
     site: CloudSite,
     trace_dir: str | None = None,
     chaos: ChaosSpec | None = None,
     validate: object = None,
 ) -> CellRecord:
-    """Worker entry point: execute one cell, return its summary record.
+    """Execute one cell, return its summary record.
 
     Each cell traces to its own key-derived file, so concurrent workers
     never share a file handle and a retried attempt overwrites cleanly.
@@ -193,7 +172,9 @@ def _run_cell(
     inline run's.
     """
     mode, blob = payload
-    if mode == "pickle":
+    if mode == "direct":  # serial backend: no process boundary to cross
+        factory = blob
+    elif mode == "pickle":
         factory = pickle.loads(blob)  # type: ignore[arg-type]
     else:
         factory = policy_factories(site, include_oracle=True)[blob]
@@ -212,22 +193,15 @@ def _run_cell(
     return record_from_result(key, result)
 
 
-#: per-worker campaign context installed by the pool initializer: the
-#: shared immutable inputs (specs, factory payloads, site, chaos) cross
-#: the process boundary once per worker instead of being re-pickled for
-#: every submitted cell
-_CELL_CTX: tuple | None = None
+def _cell_worker(context: tuple, key: CellKey) -> CellRecord:
+    """Backend worker entry point: one cell against the shared context.
 
-
-def _init_cell_worker(specs, payloads, site, trace_dir, chaos, validate) -> None:
-    global _CELL_CTX
-    _CELL_CTX = (specs, payloads, site, trace_dir, chaos, validate)
-
-
-def _run_cell_shared(key: CellKey) -> CellRecord:
-    """Worker entry point: one cell against the initializer-shipped context."""
-    assert _CELL_CTX is not None, "campaign worker initializer did not run"
-    specs, payloads, site, trace_dir, chaos, validate = _CELL_CTX
+    The context tuple (specs, factory payloads, site, trace dir, chaos,
+    validate) crosses the process boundary once per worker via the
+    backend's context-shipping channel instead of being re-pickled for
+    every submitted cell.
+    """
+    specs, payloads, site, trace_dir, chaos, validate = context
     return _run_cell(
         key,
         specs[key.workflow],
@@ -252,18 +226,22 @@ def run_campaign_parallel(
     trace_dir: str | Path | None = None,
     chaos: ChaosSpec | None = None,
     validate: object = None,
+    backend: str | ExecutorBackend | None = None,
+    workqueue_dir: str | Path | None = None,
 ) -> tuple[list[CellRecord], int, list[FailedCell]]:
-    """Fill the matrix's missing cells across ``jobs`` worker processes.
+    """Fill the matrix's missing cells through an executor backend.
 
-    Returns ``(all records, #new, failed cells)``. With ``jobs=1`` the
-    cells run inline (no process pool) with identical retry and flush
-    semantics; either way the resulting store is byte-identical to a
-    serial :func:`~repro.experiments.campaign.run_campaign` over the same
-    matrix. The store is saved after every ``save_every`` completions and
-    always flushed on return or on any exception. ``trace_dir`` gives
-    every executed cell its own JSONL telemetry file (written by the
-    worker that ran the cell); the per-cell trace bytes match a serial
-    run's because the engine is deterministic per cell key.
+    Returns ``(all records, #new, failed cells)``. ``backend=None``
+    picks ``serial`` at ``jobs=1`` and the process pool otherwise;
+    ``backend="workqueue"`` (with ``workqueue_dir``) lets several hosts
+    drain one matrix. Whatever runs the cells, the resulting store is
+    byte-identical to a serial
+    :func:`~repro.experiments.campaign.run_campaign` over the same
+    matrix. The store is saved after every ``save_every`` completions
+    and always flushed on return or on any exception. ``trace_dir``
+    gives every executed cell its own JSONL telemetry file (written by
+    the worker that ran the cell); the per-cell trace bytes match a
+    serial run's because the engine is deterministic per cell key.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -272,124 +250,44 @@ def run_campaign_parallel(
     the_site = site or exogeni_site()
     the_trace_dir = str(trace_dir) if trace_dir is not None else None
     todo = missing_cells(store, specs, policies, charging_units, seeds)
+    the_backend = resolve_backend(backend, jobs=jobs, workqueue_dir=workqueue_dir)
+    if backend is None and len(todo) <= 1:
+        the_backend = SerialBackend()  # a pool for one cell is pure overhead
+    if isinstance(the_backend, SerialBackend):
+        payloads: dict[str, tuple] = {
+            name: ("direct", factory) for name, factory in policies.items()
+        }
+    else:
+        payloads = {
+            name: _factory_payload(name, factory)
+            for name, factory in policies.items()
+        }
+    context = (dict(specs), payloads, the_site, the_trace_dir, chaos, validate)
+
     executed = 0
     failed: list[FailedCell] = []
 
-    if jobs == 1 or len(todo) <= 1:
-        try:
-            for key in todo:
-                record, error = _attempt_inline(
-                    key, specs, policies, the_site, the_trace_dir, chaos, validate
-                )
-                if record is None:
-                    failed.append(FailedCell(key, error or "unknown error"))
-                    continue
-                store.put(record)
-                executed += 1
-                if store.dirty >= save_every:
-                    store.save()
-        finally:
-            store.flush()
-        return store.records(), executed, failed
+    def on_result(outcome: TaskOutcome) -> None:
+        nonlocal executed
+        if outcome.ok:
+            store.put(outcome.value)
+            executed += 1
+            if store.dirty >= save_every:
+                store.save()
+        else:
+            failed.append(FailedCell(todo[outcome.index], outcome.error))
 
-    payloads = {
-        name: _factory_payload(name, factory) for name, factory in policies.items()
-    }
-    attempts: dict[CellKey, int] = {key: 0 for key in todo}
-    pending = list(todo)
-    initargs = (dict(specs), payloads, the_site, the_trace_dir, chaos, validate)
-    executor = ProcessPoolExecutor(
-        max_workers=jobs, initializer=_init_cell_worker, initargs=initargs
-    )
     try:
-        futures: dict[Future, CellKey] = {}
-
-        def submit(key: CellKey) -> None:
-            attempts[key] += 1
-            future = executor.submit(_run_cell_shared, key)
-            futures[future] = key
-
-        for key in pending:
-            submit(key)
-        while futures:
-            done, _ = wait(futures, return_when=FIRST_COMPLETED)
-            broken = False
-            retry: list[CellKey] = []
-            for future in done:
-                key = futures.pop(future)
-                error = "unknown error"
-                try:
-                    record = future.result()
-                except BrokenProcessPool:
-                    broken = True
-                    record = None
-                    error = "worker process died"
-                except Exception as exc:  # noqa: BLE001 - isolate cell failures
-                    record = None
-                    error = f"{type(exc).__name__}: {exc}"
-                if record is not None:
-                    store.put(record)
-                    executed += 1
-                    if store.dirty >= save_every:
-                        store.save()
-                elif attempts[key] < _MAX_ATTEMPTS:
-                    retry.append(key)
-                else:
-                    failed.append(FailedCell(key, error))
-            if broken:
-                # A dead worker poisons the whole pool: every in-flight
-                # future fails with BrokenProcessPool. Drain them into
-                # retry/failed, rebuild the pool, then resubmit.
-                for future, key in list(futures.items()):
-                    del futures[future]
-                    if attempts[key] < _MAX_ATTEMPTS:
-                        retry.append(key)
-                    else:
-                        failed.append(FailedCell(key, "worker process died"))
-                executor.shutdown(wait=False, cancel_futures=True)
-                executor = ProcessPoolExecutor(
-                    max_workers=jobs,
-                    initializer=_init_cell_worker,
-                    initargs=initargs,
-                )
-            for key in retry:
-                submit(key)
+        the_backend.run(
+            _cell_worker,
+            todo,
+            context=context,
+            max_attempts=_MAX_ATTEMPTS,
+            on_result=on_result,
+        )
     finally:
-        executor.shutdown(wait=False, cancel_futures=True)
         store.flush()
-    failed.sort(key=lambda f: (f.key.workflow, f.key.policy, f.key.charging_unit, f.key.seed))
+    failed.sort(
+        key=lambda f: (f.key.workflow, f.key.policy, f.key.charging_unit, f.key.seed)
+    )
     return store.records(), executed, failed
-
-
-def _attempt_inline(
-    key: CellKey,
-    specs: Mapping[str, StagedWorkflowSpec],
-    policies: Mapping[str, Callable[[], Autoscaler]],
-    site: CloudSite,
-    trace_dir: str | None = None,
-    chaos: ChaosSpec | None = None,
-    validate: object = None,
-) -> tuple[CellRecord | None, str | None]:
-    """Run one cell inline with the same retry-once semantics as workers."""
-    error: str | None = None
-    for _ in range(_MAX_ATTEMPTS):
-        try:
-            result = run_setting(
-                specs[key.workflow],
-                policies[key.policy],
-                key.charging_unit,
-                seed=key.seed,
-                site=site,
-                trace_path=(
-                    cell_trace_path(trace_dir, key)
-                    if trace_dir is not None
-                    else None
-                ),
-                chaos=chaos,
-                validate=validate,
-            )
-        except Exception as exc:  # noqa: BLE001 - isolate cell failures
-            error = f"{type(exc).__name__}: {exc}"
-            continue
-        return record_from_result(key, result), None
-    return None, error
